@@ -1,0 +1,101 @@
+// Ablation A4: alarm-filter comparison. The paper proposes the simple k-of-n
+// rule and points at SPRT and CUSUM as the principled alternatives; this
+// bench runs all three on the same stuck-at scenario and reports detection
+// latency and filtered false alarms on healthy sensors.
+//
+// Expected shape: all three detect a hard stuck-at quickly; SPRT/CUSUM give
+// lower filtered false-alarm rates for comparable latency because they
+// integrate evidence instead of counting.
+
+#include <cstdio>
+#include <optional>
+
+#include "common/scenario.h"
+
+int main() {
+  using namespace sentinel;
+  const double fault_start = 3.0 * kSecondsPerDay;
+
+  std::printf("# A4 -- alarm filter comparison (stuck-at on sensor 6 at day 3, 14-day runs)\n");
+  std::printf("%8s %14s %22s %22s\n", "filter", "latency_h", "healthy_filtered_rate",
+              "healthy_raw_rate");
+
+  const struct {
+    core::FilterKind kind;
+    const char* name;
+  } filters[] = {{core::FilterKind::kKofN, "kofn"},
+                 {core::FilterKind::kSprt, "sprt"},
+                 {core::FilterKind::kCusum, "cusum"}};
+
+  for (const auto& f : filters) {
+    bench::ScenarioConfig sc;
+    sc.duration_days = 14.0;
+    sc.filter = f.kind;
+    const auto r = bench::run_scenario(
+        {}, sc, bench::make_injection(bench::InjectionKind::kStuckAt, sc.seed, fault_start));
+    const auto& p = *r.pipeline;
+
+    std::optional<double> latency;
+    std::size_t healthy_filtered = 0, healthy_raw = 0, healthy_n = 0;
+    for (const auto& hist : p.history()) {
+      const auto it6 = hist.sensors.find(6);
+      if (!latency && it6 != hist.sensors.end() && it6->second.filtered_alarm &&
+          hist.window_start >= fault_start) {
+        latency = (hist.window_start - fault_start) / kSecondsPerHour;
+      }
+      for (const auto& [id, info] : hist.sensors) {
+        if (id == 6) continue;
+        ++healthy_n;
+        healthy_filtered += info.filtered_alarm;
+        healthy_raw += info.raw_alarm;
+      }
+    }
+    std::printf("%8s %14s %21.3f%% %21.3f%%\n", f.name,
+                latency ? std::to_string(*latency).substr(0, 6).c_str() : "miss",
+                100.0 * static_cast<double>(healthy_filtered) / static_cast<double>(healthy_n),
+                100.0 * static_cast<double>(healthy_raw) / static_cast<double>(healthy_n));
+  }
+
+  // k-of-n operating-point grid: the latency / false-alarm trade the paper's
+  // "k raw alarms in the last n time steps" rule offers.
+  std::printf("\nk-of-n grid (same scenario):\n");
+  std::printf("%8s %14s %22s\n", "k/n", "latency_h", "healthy_filtered_rate");
+  const std::pair<std::size_t, std::size_t> grid[] = {{1, 1}, {1, 3}, {2, 3}, {2, 5},
+                                                      {3, 5}, {4, 5}, {5, 8}, {7, 8}};
+  for (const auto& [k, n] : grid) {
+    bench::ScenarioConfig sc;
+    sc.duration_days = 14.0;
+    auto r = bench::run_scenario(
+        {}, sc, bench::make_injection(bench::InjectionKind::kStuckAt, sc.seed, fault_start));
+    // Rebuild the pipeline with the custom filter over the same trace.
+    core::PipelineConfig pc = r.pipeline_config;
+    pc.alarm_filter.kind = core::FilterKind::kKofN;
+    pc.alarm_filter.k = k;
+    pc.alarm_filter.n = n;
+    core::DetectionPipeline p(pc);
+    p.process_trace(r.sim.trace);
+
+    std::optional<double> latency;
+    std::size_t healthy_filtered = 0, healthy_n = 0;
+    for (const auto& hist : p.history()) {
+      const auto it6 = hist.sensors.find(6);
+      if (!latency && it6 != hist.sensors.end() && it6->second.filtered_alarm &&
+          hist.window_start >= fault_start) {
+        latency = (hist.window_start - fault_start) / kSecondsPerHour;
+      }
+      for (const auto& [id, info] : hist.sensors) {
+        if (id == 6) continue;
+        ++healthy_n;
+        healthy_filtered += info.filtered_alarm;
+      }
+    }
+    char kn[16];
+    std::snprintf(kn, sizeof kn, "%zu/%zu", k, n);
+    std::printf("%8s %14s %21.3f%%\n", kn,
+                latency ? std::to_string(*latency).substr(0, 6).c_str() : "miss",
+                100.0 * static_cast<double>(healthy_filtered) / static_cast<double>(healthy_n));
+  }
+  std::printf("\nexpected: k=1 reacts instantly but passes isolated false alarms through;\n");
+  std::printf("larger k/n suppresses them at the cost of latency\n");
+  return 0;
+}

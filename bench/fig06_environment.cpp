@@ -1,0 +1,41 @@
+// Fig. 6 reproduction: humidity and temperature variation over one complete
+// day (the paper shows July 9th; we show day 9 of the simulated GDI month).
+// Expected shape: temperature sweeps ~12..32 C with a mid-afternoon peak;
+// humidity moves in anti-phase, ~56..96 %RH.
+
+#include <cstdio>
+
+#include "common/scenario.h"
+
+int main() {
+  using namespace sentinel;
+
+  sim::GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = 31.0 * kSecondsPerDay;
+  const sim::GdiEnvironment env(cfg);
+
+  std::printf("# Fig. 6 -- temperature and humidity variation, day 9\n");
+  std::printf("# paper shape: continuous diurnal variation; temp and humidity anti-correlated\n");
+  std::printf("%8s %12s %12s\n", "hour", "temp_C", "humidity_%");
+
+  const double day_start = 8.0 * kSecondsPerDay;  // day 9, zero-based day 8
+  for (double h = 0.0; h < 24.0; h += 0.5) {
+    const AttrVec v = env.truth(day_start + h * kSecondsPerHour);
+    std::printf("%8.1f %12.2f %12.2f\n", h, v[0], v[1]);
+  }
+
+  // Whole-month envelope, to confirm the paper's "similar trend is observed
+  // for the whole month".
+  double tmin = 1e9, tmax = -1e9, hmin = 1e9, hmax = -1e9;
+  for (double t = 0.0; t < cfg.duration_seconds; t += kSecondsPerHour) {
+    const AttrVec v = env.truth(t);
+    tmin = std::min(tmin, v[0]);
+    tmax = std::max(tmax, v[0]);
+    hmin = std::min(hmin, v[1]);
+    hmax = std::max(hmax, v[1]);
+  }
+  std::printf("\n# month envelope: temp [%.1f, %.1f] C, humidity [%.1f, %.1f] %%\n", tmin, tmax,
+              hmin, hmax);
+  std::printf("# paper envelope (Fig. 6/7): temp ~[12, 32] C, humidity ~[56, 96] %%\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// P2 -- google-benchmark: classical HMM kernels (forward, Viterbi,
+// Baum-Welch) and the online estimator. Quantifies the paper's core
+// complexity argument: classical identification (the Warrender baseline's
+// training) is orders of magnitude more expensive than the online update the
+// redundancy-based approach gets away with.
+
+#include <benchmark/benchmark.h>
+
+#include "hmm/hmm.h"
+#include "hmm/online_hmm.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sentinel;
+
+hmm::Hmm make_model(std::size_t states, std::size_t symbols, std::uint64_t seed) {
+  Rng rng(seed, "perf-hmm");
+  return hmm::Hmm::random(states, symbols, rng);
+}
+
+void BM_Forward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto model = make_model(n, n, 7);
+  Rng rng(11, "perf-seq");
+  const auto sample = model.sample(512, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.log_likelihood(sample.symbols));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 512));
+}
+
+void BM_Viterbi(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto model = make_model(n, n, 7);
+  Rng rng(11, "perf-seq");
+  const auto sample = model.sample(512, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.viterbi(sample.symbols));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 512));
+}
+
+void BM_BaumWelch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto truth = make_model(n, n, 7);
+  Rng rng(11, "perf-seq");
+  const auto sample = truth.sample(256, rng);
+  hmm::BaumWelchOptions opts;
+  opts.max_iterations = 10;
+  for (auto _ : state) {
+    Rng init_rng(13, "perf-init");
+    auto model = hmm::Hmm::random(n, n, init_rng);
+    benchmark::DoNotOptimize(model.baum_welch({sample.symbols}, opts));
+  }
+}
+
+void BM_OnlineHmmObserve(benchmark::State& state) {
+  Rng rng(17, "perf-online");
+  hmm::OnlineHmm m;
+  std::vector<std::pair<hmm::StateId, hmm::StateId>> steps;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    steps.emplace_back(static_cast<hmm::StateId>(rng.uniform_int(0, 7)),
+                       static_cast<hmm::StateId>(rng.uniform_int(0, 7)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [h, s] = steps[i++ & 4095];
+    m.observe(h, s);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Forward)->Arg(4)->Arg(8)->Arg(16)->Arg(40);
+BENCHMARK(BM_Viterbi)->Arg(4)->Arg(8)->Arg(16)->Arg(40);
+BENCHMARK(BM_BaumWelch)->Arg(4)->Arg(8)->Arg(16)->Arg(40);
+BENCHMARK(BM_OnlineHmmObserve);
+BENCHMARK_MAIN();

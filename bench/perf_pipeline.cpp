@@ -1,0 +1,87 @@
+// P1 -- google-benchmark: collector-node pipeline throughput. The paper's
+// procedure must run on a base station / cluster head, so per-window cost
+// matters; this bench measures it against network size and model-state
+// count.
+
+#include <benchmark/benchmark.h>
+
+#include "common/scenario.h"
+#include "trace/windower.h"
+
+namespace {
+
+using namespace sentinel;
+
+std::vector<ObservationSet> make_windows(std::size_t sensors, double days,
+                                         std::uint64_t seed) {
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = days * kSecondsPerDay;
+  ec.seed = seed;
+  const sim::GdiEnvironment env(ec);
+  sim::GdiDeploymentConfig dc;
+  dc.num_sensors = sensors;
+  dc.seed = seed;
+  auto simulator = sim::make_gdi_deployment(env, dc);
+  auto result = simulator.run(ec.duration_seconds);
+  return window_trace(std::move(result.trace), 3600.0);
+}
+
+core::PipelineConfig config_for(std::size_t states, std::uint64_t seed) {
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = 7.0 * kSecondsPerDay;
+  ec.seed = seed;
+  const sim::GdiEnvironment env(ec);
+  bench::ScenarioConfig sc;
+  sc.initial_states = states;
+  sc.seed = seed;
+  return bench::make_pipeline_config(env, sc);
+}
+
+void BM_PipelineWindow(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const auto windows = make_windows(sensors, 7.0, 42);
+  const auto cfg = config_for(6, 42);
+
+  for (auto _ : state) {
+    core::DetectionPipeline p(cfg);
+    for (const auto& w : windows) {
+      if (!w.empty()) p.process_window(w);
+    }
+    benchmark::DoNotOptimize(p.windows_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * windows.size()));
+}
+
+void BM_PipelineStates(benchmark::State& state) {
+  const auto states_n = static_cast<std::size_t>(state.range(0));
+  const auto windows = make_windows(10, 7.0, 42);
+  const auto cfg = config_for(states_n, 42);
+
+  for (auto _ : state) {
+    core::DetectionPipeline p(cfg);
+    for (const auto& w : windows) {
+      if (!w.empty()) p.process_window(w);
+    }
+    benchmark::DoNotOptimize(p.windows_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * windows.size()));
+}
+
+void BM_Diagnose(benchmark::State& state) {
+  const auto windows = make_windows(10, 7.0, 42);
+  const auto cfg = config_for(6, 42);
+  core::DetectionPipeline p(cfg);
+  for (const auto& w : windows) {
+    if (!w.empty()) p.process_window(w);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.diagnose());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PipelineWindow)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+BENCHMARK(BM_PipelineStates)->Arg(4)->Arg(6)->Arg(8)->Arg(12);
+BENCHMARK(BM_Diagnose);
+BENCHMARK_MAIN();

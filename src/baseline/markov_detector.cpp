@@ -1,0 +1,59 @@
+#include "baseline/markov_detector.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sentinel::baseline {
+
+MarkovChainDetector::MarkovChainDetector(MarkovDetectorConfig cfg) : cfg_(cfg) {
+  if (cfg_.window < 2 || !(cfg_.epsilon > 0.0)) {
+    throw std::invalid_argument("MarkovChainDetector: bad configuration");
+  }
+}
+
+MarkovTrainStats MarkovChainDetector::train(const std::vector<hmm::StateId>& clean) {
+  if (clean.size() < cfg_.window) {
+    throw std::invalid_argument("MarkovChainDetector::train: sequence shorter than window");
+  }
+  chain_ = hmm::MarkovChain();
+  chain_.add_sequence(clean);
+
+  std::vector<double> scores;
+  for (std::size_t i = 0; i + cfg_.window <= clean.size(); ++i) {
+    const std::vector<hmm::StateId> w(clean.begin() + static_cast<std::ptrdiff_t>(i),
+                                      clean.begin() + static_cast<std::ptrdiff_t>(i + cfg_.window));
+    scores.push_back(chain_.log_likelihood(w, cfg_.epsilon) /
+                     static_cast<double>(cfg_.window - 1));
+  }
+  threshold_ = quantile(scores, cfg_.threshold_quantile);
+  trained_ = true;
+
+  MarkovTrainStats stats;
+  stats.states = chain_.num_states();
+  stats.transitions = chain_.total_transitions();
+  stats.threshold = threshold_;
+  return stats;
+}
+
+double MarkovChainDetector::score(const std::vector<hmm::StateId>& window) const {
+  if (!trained_) throw std::logic_error("MarkovChainDetector::score before train");
+  if (window.size() < 2) {
+    throw std::invalid_argument("MarkovChainDetector::score: window too short");
+  }
+  return chain_.log_likelihood(window, cfg_.epsilon) /
+         static_cast<double>(window.size() - 1);
+}
+
+std::vector<bool> MarkovChainDetector::detect(const std::vector<hmm::StateId>& test) const {
+  if (!trained_) throw std::logic_error("MarkovChainDetector::detect before train");
+  std::vector<bool> out(test.size(), false);
+  for (std::size_t end = cfg_.window; end <= test.size(); ++end) {
+    const std::vector<hmm::StateId> w(test.begin() + static_cast<std::ptrdiff_t>(end - cfg_.window),
+                                      test.begin() + static_cast<std::ptrdiff_t>(end));
+    out[end - 1] = score(w) < threshold_;
+  }
+  return out;
+}
+
+}  // namespace sentinel::baseline

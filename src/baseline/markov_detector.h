@@ -1,0 +1,58 @@
+// Markov-chain anomaly detector (the paper's related work [11], Jha, Tan &
+// Maxion: "Markov Chains, Classifiers, and Intrusion Detection").
+//
+// A first-order Markov chain is estimated from an attack-free training
+// sequence; test windows are scored by their per-transition log-likelihood
+// under the chain, and an anomaly is declared below a threshold calibrated
+// as a quantile of training-window scores. Cheaper than the Warrender HMM
+// (no Baum-Welch) but, per Ye et al. [14] (also cited by the paper), only
+// robust at low noise -- the baseline-comparison bench shows both
+// properties. Like the other baselines: detection only, no error-vs-attack
+// semantics.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hmm/markov_chain.h"
+
+namespace sentinel::baseline {
+
+struct MarkovDetectorConfig {
+  std::size_t window = 12;           // scoring window length (symbols)
+  double threshold_quantile = 0.01;  // eta calibration
+  double epsilon = 1e-6;             // probability floor for unseen transitions
+};
+
+struct MarkovTrainStats {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  double threshold = 0.0;
+};
+
+class MarkovChainDetector {
+ public:
+  explicit MarkovChainDetector(MarkovDetectorConfig cfg);
+
+  /// Fit the chain to an attack-free state-id sequence and calibrate eta.
+  MarkovTrainStats train(const std::vector<hmm::StateId>& clean_sequence);
+
+  bool trained() const { return trained_; }
+  double threshold() const { return threshold_; }
+  const hmm::MarkovChain& chain() const { return chain_; }
+
+  /// Per-transition normalized log-likelihood of a window of state ids.
+  double score(const std::vector<hmm::StateId>& window) const;
+
+  /// Sliding-window detection; result[i] refers to the window ending at i.
+  std::vector<bool> detect(const std::vector<hmm::StateId>& test_sequence) const;
+
+ private:
+  MarkovDetectorConfig cfg_;
+  hmm::MarkovChain chain_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace sentinel::baseline

@@ -1,0 +1,37 @@
+// Median-deviation baseline: flag a sensor whose window representative
+// deviates from the per-attribute median of all sensors by more than
+// k robust standard deviations (MAD * 1.4826). The simplest redundancy-based
+// detector one would deploy before reaching for the paper's machinery --
+// detection only, no fault-vs-attack diagnosis, and blind to coordinated
+// coalitions that move the median itself.
+
+#pragma once
+
+#include <map>
+
+#include "trace/windower.h"
+
+namespace sentinel::baseline {
+
+struct MedianDetectorConfig {
+  double k = 4.0;          // deviation multiplier
+  double min_sigma = 0.5;  // floor on the robust sigma (quiet environments)
+};
+
+class MedianDetector {
+ public:
+  explicit MedianDetector(MedianDetectorConfig cfg);
+
+  /// Flag sensors in one window. Windows with < 3 sensors flag nobody.
+  std::map<SensorId, bool> process(const ObservationSet& window);
+
+  std::size_t flags(SensorId sensor) const;
+  std::size_t windows(SensorId sensor) const;
+
+ private:
+  MedianDetectorConfig cfg_;
+  std::map<SensorId, std::size_t> flag_counts_;
+  std::map<SensorId, std::size_t> window_counts_;
+};
+
+}  // namespace sentinel::baseline

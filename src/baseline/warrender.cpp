@@ -1,0 +1,83 @@
+#include "baseline/warrender.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sentinel::baseline {
+
+WarrenderDetector::WarrenderDetector(WarrenderConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_hidden_states == 0 || cfg_.window == 0) {
+    throw std::invalid_argument("WarrenderDetector: bad configuration");
+  }
+}
+
+hmm::Sequence WarrenderDetector::encode(const std::vector<hmm::StateId>& seq) const {
+  hmm::Sequence out;
+  out.reserve(seq.size());
+  for (const hmm::StateId id : seq) {
+    const auto it = symbol_index_.find(id);
+    out.push_back(it == symbol_index_.end() ? unknown_symbol_ : it->second);
+  }
+  return out;
+}
+
+WarrenderTrainStats WarrenderDetector::train(const std::vector<hmm::StateId>& clean_sequence) {
+  if (clean_sequence.size() < cfg_.window) {
+    throw std::invalid_argument("WarrenderDetector::train: sequence shorter than window");
+  }
+  symbol_index_.clear();
+  for (const hmm::StateId id : clean_sequence) {
+    symbol_index_.try_emplace(id, symbol_index_.size());
+  }
+  // Reserve one slot for symbols never seen in training; the Baum-Welch
+  // floor keeps its emission probability nonzero so test windows containing
+  // it score low instead of -inf.
+  unknown_symbol_ = symbol_index_.size();
+  const std::size_t num_symbols = symbol_index_.size() + 1;
+
+  Rng rng(cfg_.seed, "warrender-init");
+  model_ = hmm::Hmm::random(cfg_.num_hidden_states, num_symbols, rng);
+
+  hmm::BaumWelchOptions opts;
+  opts.max_iterations = cfg_.baum_welch_iterations;
+  const auto bw = model_.baum_welch({encode(clean_sequence)}, opts);
+
+  // Calibrate eta as a low quantile of the training windows' scores.
+  std::vector<double> scores;
+  const auto encoded = encode(clean_sequence);
+  for (std::size_t i = 0; i + cfg_.window <= encoded.size(); ++i) {
+    const hmm::Sequence w(encoded.begin() + static_cast<std::ptrdiff_t>(i),
+                          encoded.begin() + static_cast<std::ptrdiff_t>(i + cfg_.window));
+    scores.push_back(model_.normalized_log_likelihood(w));
+  }
+  threshold_ = quantile(scores, cfg_.threshold_quantile);
+  trained_ = true;
+
+  WarrenderTrainStats stats;
+  stats.iterations = bw.iterations;
+  stats.final_log_likelihood =
+      bw.log_likelihood_per_iter.empty() ? 0.0 : bw.log_likelihood_per_iter.back();
+  stats.threshold = threshold_;
+  return stats;
+}
+
+double WarrenderDetector::score(const std::vector<hmm::StateId>& window) const {
+  if (!trained_) throw std::logic_error("WarrenderDetector::score before train");
+  if (window.empty()) throw std::invalid_argument("WarrenderDetector::score: empty window");
+  return model_.normalized_log_likelihood(encode(window));
+}
+
+std::vector<bool> WarrenderDetector::detect(const std::vector<hmm::StateId>& test) const {
+  if (!trained_) throw std::logic_error("WarrenderDetector::detect before train");
+  std::vector<bool> out(test.size(), false);
+  for (std::size_t end = cfg_.window; end <= test.size(); ++end) {
+    const std::vector<hmm::StateId> w(test.begin() + static_cast<std::ptrdiff_t>(end - cfg_.window),
+                                      test.begin() + static_cast<std::ptrdiff_t>(end));
+    out[end - 1] = score(w) < threshold_;
+  }
+  return out;
+}
+
+}  // namespace sentinel::baseline

@@ -1,0 +1,74 @@
+// Warrender-style single-host HMM anomaly detector (the paper's section 2
+// comparator, after Warrender, Forrest & Pearlmutter 1999).
+//
+// The classical recipe the paper argues against:
+//  1. an *attack-free training phase* collects a clean symbol sequence,
+//  2. Baum-Welch fits an HMM lambda to it (expensive, offline),
+//  3. at test time, sliding windows O are scored with Pr{O | lambda} and an
+//     anomaly is declared when the normalized log-likelihood drops below a
+//     threshold eta (calibrated as a quantile of training-window scores).
+//
+// Limitations on display (and measured in bench/baseline_comparison): the
+// training phase must be guaranteed clean, training cost grows steeply with
+// hidden-state count, and the detector flags *that* something is anomalous
+// but cannot say what -- no error-vs-attack distinction.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hmm/hmm.h"
+#include "hmm/markov_chain.h"
+
+namespace sentinel::baseline {
+
+struct WarrenderConfig {
+  std::size_t num_hidden_states = 5;
+  std::size_t window = 12;           // scoring window length (symbols)
+  double threshold_quantile = 0.01;  // eta = this quantile of training scores
+  std::size_t baum_welch_iterations = 50;
+  std::uint64_t seed = 1234;
+};
+
+struct WarrenderTrainStats {
+  std::size_t iterations = 0;
+  double final_log_likelihood = 0.0;
+  double threshold = 0.0;  // eta on the normalized log-likelihood
+};
+
+class WarrenderDetector {
+ public:
+  explicit WarrenderDetector(WarrenderConfig cfg);
+
+  /// Fit the model to an attack-free sequence of state ids and calibrate the
+  /// threshold. Throws if the sequence is shorter than the scoring window.
+  WarrenderTrainStats train(const std::vector<hmm::StateId>& clean_sequence);
+
+  bool trained() const { return trained_; }
+  double threshold() const { return threshold_; }
+
+  /// Normalized log-likelihood of one window of state ids (unseen ids map to
+  /// a reserved rare-symbol slot).
+  double score(const std::vector<hmm::StateId>& window) const;
+
+  /// Slide over a test sequence; result[i] = true if the window ending at
+  /// position i scores below eta (positions before the first full window are
+  /// false).
+  std::vector<bool> detect(const std::vector<hmm::StateId>& test_sequence) const;
+
+  const hmm::Hmm& model() const { return model_; }
+
+ private:
+  hmm::Sequence encode(const std::vector<hmm::StateId>& seq) const;
+
+  WarrenderConfig cfg_;
+  std::map<hmm::StateId, std::size_t> symbol_index_;
+  std::size_t unknown_symbol_ = 0;
+  hmm::Hmm model_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace sentinel::baseline

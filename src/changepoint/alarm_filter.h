@@ -1,0 +1,38 @@
+// Alarm-filter interface (paper section 3.1, "Alarm Filtering").
+//
+// Raw alarms a^j are noisy (the paper measures ~1.5% false-alarm rate on a
+// healthy GDI node); a filter turns the Bernoulli raw-alarm stream of one
+// sensor into a clean filtered alarm b^j. The paper proposes the simple
+// k-of-n rule and points at SPRT and CUSUM for the sophisticated variants;
+// all three live here behind one interface.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace sentinel::changepoint {
+
+class AlarmFilter {
+ public:
+  virtual ~AlarmFilter() = default;
+
+  /// Feed one raw alarm observation; returns the filtered alarm state after
+  /// this step (true = filtered alarm raised).
+  virtual bool update(bool raw_alarm) = 0;
+
+  /// Current filtered state without feeding.
+  virtual bool active() const = 0;
+
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using AlarmFilterPtr = std::unique_ptr<AlarmFilter>;
+
+/// Factory signature so the pipeline can stamp one filter per sensor.
+using AlarmFilterFactory = std::function<AlarmFilterPtr()>;
+
+}  // namespace sentinel::changepoint

@@ -1,0 +1,46 @@
+#include "changepoint/cusum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sentinel::changepoint {
+
+CusumFilter::CusumFilter(CusumConfig cfg) : cfg_(cfg) {
+  const bool probs_ok = cfg.p0 > 0.0 && cfg.p0 < 1.0 && cfg.p1 > 0.0 && cfg.p1 < 1.0 &&
+                        cfg.p1 > cfg.p0;
+  if (!probs_ok || !(cfg.threshold > 0.0)) throw std::invalid_argument("CusumFilter: bad config");
+
+  on_step_true_ = std::log(cfg.p1 / cfg.p0);
+  on_step_false_ = std::log((1.0 - cfg.p1) / (1.0 - cfg.p0));
+  off_step_true_ = -on_step_true_;
+  off_step_false_ = -on_step_false_;
+}
+
+bool CusumFilter::update(bool raw_alarm) {
+  if (!active_) {
+    s_ = std::max(0.0, s_ + (raw_alarm ? on_step_true_ : on_step_false_));
+    if (s_ >= cfg_.threshold) {
+      active_ = true;
+      s_ = 0.0;
+    }
+  } else {
+    s_ = std::max(0.0, s_ + (raw_alarm ? off_step_true_ : off_step_false_));
+    if (s_ >= cfg_.threshold) {
+      active_ = false;
+      s_ = 0.0;
+    }
+  }
+  return active_;
+}
+
+void CusumFilter::reset() {
+  s_ = 0.0;
+  active_ = false;
+}
+
+AlarmFilterFactory make_cusum_factory(CusumConfig cfg) {
+  return [cfg] { return std::make_unique<CusumFilter>(cfg); };
+}
+
+}  // namespace sentinel::changepoint

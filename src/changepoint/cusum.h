@@ -1,0 +1,40 @@
+// Two-sided Bernoulli CUSUM alarm filter (Page's test; Basseville &
+// Nikiforov). The onset chart accumulates evidence for H1 (sensor faulty)
+// while the alarm is clear; once the alarm is raised, a mirrored recovery
+// chart accumulates evidence for H0 and clears the alarm -- giving CUSUM both
+// fast onset detection and a principled clear condition.
+
+#pragma once
+
+#include "changepoint/alarm_filter.h"
+
+namespace sentinel::changepoint {
+
+struct CusumConfig {
+  double p0 = 0.02;      // raw-alarm rate under H0
+  double p1 = 0.50;      // raw-alarm rate under H1
+  double threshold = 4.0;  // decision threshold h on the cumulative LLR
+};
+
+class CusumFilter final : public AlarmFilter {
+ public:
+  explicit CusumFilter(CusumConfig cfg);
+
+  bool update(bool raw_alarm) override;
+  bool active() const override { return active_; }
+  void reset() override;
+  std::string name() const override { return "cusum"; }
+
+  double statistic() const { return s_; }
+
+ private:
+  CusumConfig cfg_;
+  double on_step_true_, on_step_false_;    // LLR(H1:H0) increments
+  double off_step_true_, off_step_false_;  // LLR(H0:H1) increments
+  double s_ = 0.0;
+  bool active_ = false;
+};
+
+AlarmFilterFactory make_cusum_factory(CusumConfig cfg);
+
+}  // namespace sentinel::changepoint

@@ -1,0 +1,37 @@
+#include "changepoint/kofn.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sentinel::changepoint {
+
+KofNFilter::KofNFilter(std::size_t k, std::size_t n) : k_(k), n_(n) {
+  if (k == 0 || n == 0 || k > n) throw std::invalid_argument("KofNFilter: need 1 <= k <= n");
+}
+
+bool KofNFilter::update(bool raw_alarm) {
+  window_.push_back(raw_alarm);
+  if (raw_alarm) ++count_;
+  if (window_.size() > n_) {
+    if (window_.front()) --count_;
+    window_.pop_front();
+  }
+  active_ = count_ >= k_;
+  return active_;
+}
+
+void KofNFilter::reset() {
+  window_.clear();
+  count_ = 0;
+  active_ = false;
+}
+
+std::string KofNFilter::name() const {
+  return "kofn(" + std::to_string(k_) + "/" + std::to_string(n_) + ")";
+}
+
+AlarmFilterFactory make_kofn_factory(std::size_t k, std::size_t n) {
+  return [k, n] { return std::make_unique<KofNFilter>(k, n); };
+}
+
+}  // namespace sentinel::changepoint

@@ -1,0 +1,38 @@
+// k-of-n alarm filter: raise a filtered alarm when at least k of the last n
+// raw alarms fired; clear when the count drops below k (paper section 3.1's
+// simple approach, with k <= n).
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "changepoint/alarm_filter.h"
+
+namespace sentinel::changepoint {
+
+class KofNFilter final : public AlarmFilter {
+ public:
+  KofNFilter(std::size_t k, std::size_t n);
+
+  bool update(bool raw_alarm) override;
+  bool active() const override { return active_; }
+  void reset() override;
+  std::string name() const override;
+
+  std::size_t k() const { return k_; }
+  std::size_t n() const { return n_; }
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t k_;
+  std::size_t n_;
+  std::deque<bool> window_;
+  std::size_t count_ = 0;
+  bool active_ = false;
+};
+
+AlarmFilterFactory make_kofn_factory(std::size_t k, std::size_t n);
+
+}  // namespace sentinel::changepoint

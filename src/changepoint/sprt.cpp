@@ -1,0 +1,44 @@
+#include "changepoint/sprt.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sentinel::changepoint {
+
+SprtFilter::SprtFilter(SprtConfig cfg) : cfg_(cfg) {
+  const bool probs_ok = cfg.p0 > 0.0 && cfg.p0 < 1.0 && cfg.p1 > 0.0 && cfg.p1 < 1.0 &&
+                        cfg.p1 > cfg.p0;
+  const bool errors_ok = cfg.alpha > 0.0 && cfg.alpha < 1.0 && cfg.beta > 0.0 && cfg.beta < 1.0;
+  if (!probs_ok || !errors_ok) throw std::invalid_argument("SprtFilter: bad configuration");
+
+  step_on_ = std::log(cfg.p1 / cfg.p0);
+  step_off_ = std::log((1.0 - cfg.p1) / (1.0 - cfg.p0));
+  upper_ = std::log((1.0 - cfg.beta) / cfg.alpha);
+  lower_ = std::log(cfg.beta / (1.0 - cfg.alpha));
+}
+
+bool SprtFilter::update(bool raw_alarm) {
+  llr_ += raw_alarm ? step_on_ : step_off_;
+  if (llr_ >= upper_) {
+    active_ = true;
+    llr_ = 0.0;
+    ++decisions_;
+  } else if (llr_ <= lower_) {
+    active_ = false;
+    llr_ = 0.0;
+    ++decisions_;
+  }
+  return active_;
+}
+
+void SprtFilter::reset() {
+  llr_ = 0.0;
+  active_ = false;
+  decisions_ = 0;
+}
+
+AlarmFilterFactory make_sprt_factory(SprtConfig cfg) {
+  return [cfg] { return std::make_unique<SprtFilter>(cfg); };
+}
+
+}  // namespace sentinel::changepoint

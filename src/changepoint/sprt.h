@@ -1,0 +1,53 @@
+// Wald's Sequential Probability Ratio Test over a Bernoulli raw-alarm stream
+// (Basseville & Nikiforov, cited by the paper as the sophisticated
+// alternative to k-of-n filtering).
+//
+// H0: raw alarms fire with the nominal false-alarm rate p0 (healthy sensor).
+// H1: raw alarms fire with rate p1 (faulty/malicious sensor), p1 > p0.
+//
+// The log-likelihood ratio accumulates per observation and is compared with
+// thresholds a = ln((1-beta)/alpha) and b = ln(beta/(1-alpha)) derived from
+// the designed error rates. A decision restarts the test; the filtered alarm
+// holds the last decision (H1 = alarm active) so that the filter behaves as a
+// latch that SPRT re-evaluates continuously.
+
+#pragma once
+
+#include "changepoint/alarm_filter.h"
+
+namespace sentinel::changepoint {
+
+struct SprtConfig {
+  double p0 = 0.02;     // nominal false-alarm probability under H0
+  double p1 = 0.50;     // raw-alarm probability under H1
+  double alpha = 0.01;  // designed false-positive rate
+  double beta = 0.01;   // designed false-negative rate
+};
+
+class SprtFilter final : public AlarmFilter {
+ public:
+  explicit SprtFilter(SprtConfig cfg);
+
+  bool update(bool raw_alarm) override;
+  bool active() const override { return active_; }
+  void reset() override;
+  std::string name() const override { return "sprt"; }
+
+  double log_likelihood_ratio() const { return llr_; }
+  /// Decisions made since construction/reset (for average-run-length stats).
+  std::size_t decisions() const { return decisions_; }
+
+ private:
+  SprtConfig cfg_;
+  double step_on_;    // LLR increment when a raw alarm fires
+  double step_off_;   // LLR increment when it does not
+  double upper_;      // accept H1 at llr >= upper_
+  double lower_;      // accept H0 at llr <= lower_
+  double llr_ = 0.0;
+  bool active_ = false;
+  std::size_t decisions_ = 0;
+};
+
+AlarmFilterFactory make_sprt_factory(SprtConfig cfg);
+
+}  // namespace sentinel::changepoint

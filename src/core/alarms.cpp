@@ -1,0 +1,63 @@
+#include "core/alarms.h"
+
+#include <stdexcept>
+
+namespace sentinel::core {
+
+changepoint::AlarmFilterFactory make_filter_factory(const AlarmFilterConfig& cfg) {
+  switch (cfg.kind) {
+    case FilterKind::kKofN:
+      return changepoint::make_kofn_factory(cfg.k, cfg.n);
+    case FilterKind::kSprt: {
+      changepoint::SprtConfig sc;
+      sc.p0 = cfg.p0;
+      sc.p1 = cfg.p1;
+      sc.alpha = cfg.sprt_alpha;
+      sc.beta = cfg.sprt_beta;
+      return changepoint::make_sprt_factory(sc);
+    }
+    case FilterKind::kCusum: {
+      changepoint::CusumConfig cc;
+      cc.p0 = cfg.p0;
+      cc.p1 = cfg.p1;
+      cc.threshold = cfg.cusum_threshold;
+      return changepoint::make_cusum_factory(cc);
+    }
+  }
+  throw std::invalid_argument("make_filter_factory: unknown filter kind");
+}
+
+AlarmBank::AlarmBank(const AlarmFilterConfig& cfg) : factory_(make_filter_factory(cfg)) {}
+
+AlarmUpdate AlarmBank::update(SensorId sensor, bool raw_alarm) {
+  auto it = filters_.find(sensor);
+  if (it == filters_.end()) it = filters_.emplace(sensor, factory_()).first;
+
+  AlarmUpdate out;
+  out.raw = raw_alarm;
+  const bool before = it->second->active();
+  out.filtered = it->second->update(raw_alarm);
+  out.raised_edge = !before && out.filtered;
+  out.cleared_edge = before && !out.filtered;
+
+  if (raw_alarm) ++raw_counts_[sensor];
+  ++window_counts_[sensor];
+  return out;
+}
+
+bool AlarmBank::filtered_active(SensorId sensor) const {
+  const auto it = filters_.find(sensor);
+  return it != filters_.end() && it->second->active();
+}
+
+std::size_t AlarmBank::raw_count(SensorId sensor) const {
+  const auto it = raw_counts_.find(sensor);
+  return it == raw_counts_.end() ? 0 : it->second;
+}
+
+std::size_t AlarmBank::window_count(SensorId sensor) const {
+  const auto it = window_counts_.find(sensor);
+  return it == window_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace sentinel::core

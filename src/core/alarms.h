@@ -1,0 +1,53 @@
+// Alarm Generation + Alarm Filtering (paper section 3.1).
+//
+// A raw alarm a^j fires for sensor j in window i when the sensor's reading
+// does not belong to the correct state (l_j != c_i). The AlarmBank keeps one
+// AlarmFilter per sensor (k-of-n, SPRT, or CUSUM per configuration) and turns
+// the raw stream into filtered alarms b^j; filtered raise/clear edges drive
+// the error/attack track manager.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "changepoint/alarm_filter.h"
+#include "changepoint/cusum.h"
+#include "changepoint/kofn.h"
+#include "changepoint/sprt.h"
+#include "core/config.h"
+#include "trace/record.h"
+
+namespace sentinel::core {
+
+/// Build the configured filter factory.
+changepoint::AlarmFilterFactory make_filter_factory(const AlarmFilterConfig& cfg);
+
+struct AlarmUpdate {
+  bool raw = false;
+  bool filtered = false;
+  bool raised_edge = false;   // filtered went inactive -> active this window
+  bool cleared_edge = false;  // filtered went active -> inactive this window
+};
+
+class AlarmBank {
+ public:
+  explicit AlarmBank(const AlarmFilterConfig& cfg);
+
+  /// Feed the raw alarm for one sensor in the current window.
+  AlarmUpdate update(SensorId sensor, bool raw_alarm);
+
+  bool filtered_active(SensorId sensor) const;
+
+  /// Cumulative raw-alarm statistics per sensor (Fig. 12 accounting).
+  std::size_t raw_count(SensorId sensor) const;
+  std::size_t window_count(SensorId sensor) const;
+
+ private:
+  changepoint::AlarmFilterFactory factory_;
+  std::map<SensorId, changepoint::AlarmFilterPtr> filters_;
+  std::map<SensorId, std::size_t> raw_counts_;
+  std::map<SensorId, std::size_t> window_counts_;
+};
+
+}  // namespace sentinel::core

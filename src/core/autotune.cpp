@@ -1,0 +1,99 @@
+#include "core/autotune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/offline_kmeans.h"
+#include "trace/windower.h"
+#include "util/stats.h"
+#include "util/vecn.h"
+
+namespace sentinel::core {
+
+TuningReport suggest_configuration(const std::vector<SensorRecord>& records,
+                                   double window_seconds, std::size_t k, Rng& rng) {
+  // Re-window keeping raw samples: we need the within-window, within-sensor
+  // scatter, which the per-sensor representatives average away.
+  std::map<std::size_t, std::map<SensorId, std::vector<AttrVec>>> grouped;
+  for (const auto& r : records) {
+    const auto w = static_cast<std::size_t>(r.time / window_seconds);
+    grouped[w][r.sensor].push_back(r.attrs);
+  }
+
+  std::vector<double> spreads;
+  std::vector<AttrVec> window_means;
+  for (const auto& [w, sensors] : grouped) {
+    std::vector<AttrVec> all;
+    for (const auto& [sensor, samples] : sensors) {
+      for (const auto& s : samples) all.push_back(s);
+      if (samples.size() < 2) continue;
+      // RMS distance of a sensor's samples to its own window mean.
+      const AttrVec mean = vecn::mean(samples);
+      double ms = 0.0;
+      for (const auto& s : samples) ms += vecn::dist2(mean, s);
+      spreads.push_back(std::sqrt(ms / static_cast<double>(samples.size())));
+    }
+    if (!all.empty()) window_means.push_back(vecn::mean(all));
+  }
+  if (window_means.size() < k) {
+    throw std::invalid_argument("suggest_configuration: trace too short for k states");
+  }
+
+  TuningReport report;
+  report.noise_scale = median(spreads);
+
+  const auto km = kmeans(window_means, k, rng);
+  report.initial_states = km.centroids;
+
+  // Regime spacing: when k exceeds the true regime count, k-means packs
+  // redundant centroids inside each regime; collapse centroids that sit
+  // close together -- relative to the overall extent of the state space --
+  // before measuring the spacing, so the statistic reflects regimes, not
+  // sub-noise/sub-weather splits.
+  double max_pairwise = 0.0;
+  for (std::size_t i = 0; i < km.centroids.size(); ++i) {
+    for (std::size_t j = i + 1; j < km.centroids.size(); ++j) {
+      max_pairwise = std::max(max_pairwise, vecn::dist(km.centroids[i], km.centroids[j]));
+    }
+  }
+  const double collapse = std::max(4.0 * report.noise_scale, max_pairwise / 5.0);
+  std::vector<AttrVec> regimes;
+  for (const auto& c : km.centroids) {
+    bool absorbed = false;
+    for (const auto& r : regimes) {
+      if (vecn::dist(c, r) <= collapse) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) regimes.push_back(c);
+  }
+  if (regimes.size() < 2) {
+    report.state_spacing = collapse;  // no resolvable structure beyond noise
+  } else {
+    std::vector<double> nn;
+    for (std::size_t i = 0; i < regimes.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < regimes.size(); ++j) {
+        if (i != j) best = std::min(best, vecn::dist(regimes[i], regimes[j]));
+      }
+      nn.push_back(best);
+    }
+    report.state_spacing = median(nn);
+  }
+  report.scales_separated = report.state_spacing > 4.0 * report.noise_scale;
+
+  // Merge: above the noise floor, below the regime spacing. Spawn: half the
+  // spacing (a fresh regime halfway between two known ones deserves its own
+  // state), strictly above merge.
+  ModelStateConfig cfg;
+  cfg.merge_threshold = std::max(4.0 * report.noise_scale, report.state_spacing / 3.0);
+  cfg.spawn_threshold = std::max(report.state_spacing / 2.0, 1.5 * cfg.merge_threshold);
+  report.suggested = cfg;
+  return report;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,51 @@
+// Data-driven parameter suggestion.
+//
+// The paper's validity argument leans on "the system parameters [being]
+// properly tuned (e.g., the Model State Identification module does not
+// generate too many model states)" without saying how. This module derives
+// the clustering thresholds from the trace itself:
+//
+//   noise_scale    -- how far same-sensor readings scatter within a window
+//                     (the measurement-noise floor; merging below this is
+//                     mandatory or noise mints states);
+//   state_spacing  -- typical distance between the environment's regimes
+//                     (median nearest-neighbor distance among k-means
+//                     centroids of the per-window means);
+//   merge          ~ max(4 x noise, spacing / 3): comfortably above noise,
+//                     comfortably below the regime spacing;
+//   spawn          ~ spacing / 2, capped below the spacing so genuinely new
+//                     regimes (faults!) still get their own state and
+//                     bounded above merge.
+//
+// suggest_configuration() returns the evidence alongside the suggestion, so
+// an operator can sanity-check the two scales are actually separated; if
+// they are not (spacing < a few noise units), the method's assumptions are
+// questionable for this deployment and `scales_separated` says so.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace sentinel::core {
+
+struct TuningReport {
+  double noise_scale = 0.0;    // median within-window per-sensor RMS spread
+  double state_spacing = 0.0;  // median nearest-neighbor centroid distance
+  bool scales_separated = false;  // spacing > 4 x noise
+  ModelStateConfig suggested;
+  std::vector<AttrVec> initial_states;  // k-means centroids over window means
+};
+
+/// Analyze a (presumed mostly-healthy) trace and suggest clustering
+/// parameters plus the initial state set S_o. Throws std::invalid_argument
+/// when the trace is too short to windowize into at least k nonempty
+/// windows.
+TuningReport suggest_configuration(const std::vector<SensorRecord>& records,
+                                   double window_seconds, std::size_t k, Rng& rng);
+
+}  // namespace sentinel::core

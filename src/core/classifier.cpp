@@ -1,0 +1,370 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/vecn.h"
+
+namespace sentinel::core {
+
+namespace {
+
+using hmm::StateId;
+
+/// Dominant column index of a row, by emission mass.
+std::size_t argmax_row(const Matrix& b, std::size_t r) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < b.cols(); ++c) {
+    if (b(r, c) > b(r, best)) best = c;
+  }
+  return best;
+}
+
+struct FitResult {
+  double parameter = 0.0;     // g for calibration, k for additive
+  double residual_var = 0.0;  // variance of residuals around the fit
+};
+
+/// Least-squares x_e = g * x_c.
+FitResult fit_gain(const std::vector<double>& xc, const std::vector<double>& xe) {
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    sxx += xc[i] * xc[i];
+    sxy += xc[i] * xe[i];
+  }
+  FitResult f;
+  f.parameter = sxx > 1e-12 ? sxy / sxx : 1.0;
+  // Mean-square residual (biased) -- we care about magnitude, not estimator
+  // properties.
+  double ms = 0.0;
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    const double r = xe[i] - f.parameter * xc[i];
+    ms += r * r;
+  }
+  f.residual_var = ms / static_cast<double>(xc.size());
+  return f;
+}
+
+/// Least-squares x_e = x_c + k.
+FitResult fit_offset(const std::vector<double>& xc, const std::vector<double>& xe) {
+  FitResult f;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xc.size(); ++i) sum += xe[i] - xc[i];
+  f.parameter = sum / static_cast<double>(xc.size());
+  double ms = 0.0;
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    const double r = xe[i] - xc[i] - f.parameter;
+    ms += r * r;
+  }
+  f.residual_var = ms / static_cast<double>(xc.size());
+  return f;
+}
+
+}  // namespace
+
+FilteredEmission filter_emission(const hmm::OnlineHmm& m,
+                                 const std::vector<StateId>& hidden_keep, bool drop_bottom,
+                                 const ClassifierConfig& cfg) {
+  FilteredEmission out;
+  // Structural analysis runs on the decreasing-gain (long-run frequency)
+  // estimate: the fixed-gain EMA with gamma = 0.9 only remembers the last
+  // couple of windows, so intermittent signatures (a duty-cycled Creation
+  // attack splitting a row) would oscillate instead of accumulating.
+  const Matrix full = m.emission_matrix_avg();
+  const auto& hidden_ids = m.hidden_states();
+  const auto& symbol_ids = m.symbols();
+
+  const std::set<StateId> keep(hidden_keep.begin(), hidden_keep.end());
+
+  std::vector<std::size_t> col_idx;
+  for (std::size_t c = 0; c < symbol_ids.size(); ++c) {
+    if (drop_bottom && symbol_ids[c] == hmm::kBottomSymbol) continue;
+    col_idx.push_back(c);
+  }
+  if (col_idx.empty()) return out;
+
+  // Row filter: requested ids, and enough mass left after dropping bottom.
+  std::vector<std::size_t> row_idx;
+  for (std::size_t r = 0; r < hidden_ids.size(); ++r) {
+    if (!keep.empty() && keep.find(hidden_ids[r]) == keep.end()) continue;
+    double mass = 0.0;
+    for (const std::size_t c : col_idx) mass += full(r, c);
+    if (mass < cfg.min_row_mass) continue;
+    row_idx.push_back(r);
+  }
+  if (row_idx.empty()) return out;
+
+  // Build and renormalize.
+  Matrix b(row_idx.size(), col_idx.size());
+  for (std::size_t r = 0; r < row_idx.size(); ++r) {
+    for (std::size_t c = 0; c < col_idx.size(); ++c) b(r, c) = full(row_idx[r], col_idx[c]);
+  }
+  b.normalize_rows();
+
+  // Column filter: drop spurious symbols, renormalize again.
+  std::vector<std::size_t> strong_cols;
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    double mass = 0.0;
+    for (std::size_t r = 0; r < b.rows(); ++r) mass += b(r, c);
+    if (mass >= cfg.min_symbol_mass) strong_cols.push_back(c);
+  }
+  if (strong_cols.empty()) return out;
+  Matrix b2(b.rows(), strong_cols.size());
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < strong_cols.size(); ++c) b2(r, c) = b(r, strong_cols[c]);
+  }
+  b2.normalize_rows();
+
+  out.b = std::move(b2);
+  for (const std::size_t r : row_idx) out.hidden.push_back(hidden_ids[r]);
+  for (const std::size_t c : strong_cols) out.symbols.push_back(symbol_ids[col_idx[c]]);
+  return out;
+}
+
+OrthogonalityReport orthogonality(const FilteredEmission& f, const ClassifierConfig& cfg) {
+  OrthogonalityReport rep;
+  const Matrix& b = f.b;
+  if (b.rows() == 0 || b.cols() == 0) return rep;
+
+  // Cross products are normalized to cosine similarity: structural sharing
+  // (two rows emitting the same symbol, one row split over two symbols)
+  // makes the vectors near-proportional (cosine ~1) regardless of how the
+  // probability mass divides, while boundary leakage between adjacent
+  // clusters stays small. Self products stay raw: they measure row
+  // concentration (the paper's "> 0.8 for i = j").
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    rep.min_row_self = std::min(rep.min_row_self, b.row_dot(i, i));
+    for (std::size_t j = i + 1; j < b.rows(); ++j) {
+      const double denom = std::sqrt(b.row_dot(i, i) * b.row_dot(j, j));
+      const double cross = denom > 0.0 ? b.row_dot(i, j) / denom : 0.0;
+      rep.max_row_cross = std::max(rep.max_row_cross, cross);
+      if (cross > cfg.offdiag_max) rep.row_violations.emplace_back(f.hidden[i], f.hidden[j]);
+    }
+  }
+  for (std::size_t i = 0; i < b.cols(); ++i) {
+    rep.min_col_self = std::min(rep.min_col_self, b.col_dot(i, i));
+    for (std::size_t j = i + 1; j < b.cols(); ++j) {
+      const double denom = std::sqrt(b.col_dot(i, i) * b.col_dot(j, j));
+      const double cross = denom > 0.0 ? b.col_dot(i, j) / denom : 0.0;
+      rep.max_col_cross = std::max(rep.max_col_cross, cross);
+      if (cross > cfg.offdiag_max) rep.col_violations.emplace_back(f.symbols[i], f.symbols[j]);
+    }
+  }
+  rep.rows_orthogonal = rep.max_row_cross <= cfg.offdiag_max;
+  rep.cols_orthogonal = rep.max_col_cross <= cfg.offdiag_max;
+  return rep;
+}
+
+Diagnosis classify_network(const hmm::OnlineHmm& m_co,
+                           const std::vector<StateId>& significant_hidden,
+                           const CentroidLookup& centroid, const ClassifierConfig& cfg,
+                           std::size_t implicated_sensors) {
+  Diagnosis d;
+  const FilteredEmission f = filter_emission(m_co, significant_hidden, false, cfg);
+  if (f.empty()) {
+    d.explanation = "M_CO has no significant structure yet";
+    return d;
+  }
+  d.co = orthogonality(f, cfg);
+
+  if (implicated_sensors < cfg.min_implicated_sensors) {
+    // No coalition: whatever distortion B^CO carries is the bounded bias a
+    // single faulty sensor imposes on the network mean. Leave the diagnosis
+    // to the per-sensor B^CE analysis.
+    d.verdict = Verdict::kNormal;
+    d.kind = AnomalyKind::kNone;
+    d.explanation = d.co.rows_orthogonal && d.co.cols_orthogonal
+                        ? "B^CO orthogonal"
+                        : "B^CO distorted but no coalition: single-sensor bias, deferred to B^CE";
+    return d;
+  }
+
+  const bool row_viol = !d.co.rows_orthogonal;
+  // A column violation witnesses Dynamic Creation only when it involves a
+  // *fabricated* observable -- a symbol that is not itself one of the
+  // correct states. When both columns are correct states, the coupling is
+  // the residue of a many-to-one collapse (Deletion): the deleted state's
+  // row leaks a little self-emission near the attack region boundary, and
+  // that residual column is near-parallel to the hold column.
+  const std::set<StateId> hidden_set(f.hidden.begin(), f.hidden.end());
+  bool col_viol = false;
+  for (const auto& [si, sj] : d.co.col_violations) {
+    if (hidden_set.find(si) == hidden_set.end() || hidden_set.find(sj) == hidden_set.end()) {
+      col_viol = true;
+      break;
+    }
+  }
+  if (row_viol && col_viol) {
+    d.verdict = Verdict::kAttack;
+    d.kind = AnomalyKind::kMixedAttack;
+    d.explanation = "rows and columns of B^CO both non-orthogonal";
+    return d;
+  }
+  if (col_viol) {
+    d.verdict = Verdict::kAttack;
+    d.kind = AnomalyKind::kDynamicCreation;
+    d.explanation = "a correct state is associated with multiple observable states";
+    return d;
+  }
+  if (row_viol) {
+    d.verdict = Verdict::kAttack;
+    d.kind = AnomalyKind::kDynamicDeletion;
+    d.explanation = "multiple correct states are associated with one observable state";
+    return d;
+  }
+
+  // Orthogonal: Dynamic Change manifests as a one-to-one c -> o mapping with
+  // different attributes.
+  for (std::size_t r = 0; r < f.b.rows(); ++r) {
+    const std::size_t c = argmax_row(f.b, r);
+    const StateId h_id = f.hidden[r];
+    const StateId s_id = f.symbols[c];
+    if (h_id == s_id) continue;
+    const auto hc = centroid(h_id);
+    const auto sc = centroid(s_id);
+    if (!hc || !sc) continue;
+    if (vecn::dist(*hc, *sc) > cfg.change_attr_tol) d.changed_states.emplace_back(h_id, s_id);
+  }
+  if (!d.changed_states.empty()) {
+    d.verdict = Verdict::kAttack;
+    d.kind = AnomalyKind::kDynamicChange;
+    d.explanation = "correct states observed with different attributes";
+    return d;
+  }
+
+  d.verdict = Verdict::kNormal;
+  d.kind = AnomalyKind::kNone;
+  d.explanation = "B^CO orthogonal and attribute-consistent";
+  return d;
+}
+
+Diagnosis classify_sensor(const hmm::OnlineHmm& m_ce, const Diagnosis& network,
+                          bool coalition_member,
+                          const std::vector<hmm::StateId>& significant_hidden,
+                          const CentroidLookup& centroid, const ClassifierConfig& cfg) {
+  Diagnosis d;
+  d.co = network.co;
+
+  if (network.verdict == Verdict::kAttack && coalition_member) {
+    d.verdict = Verdict::kAttack;
+    d.kind = network.kind;
+    d.changed_states = network.changed_states;
+    d.explanation = "sensor implicated in network-level attack";
+    return d;
+  }
+
+  const FilteredEmission f =
+      filter_emission(m_ce, significant_hidden, /*drop_bottom=*/true, cfg);
+  if (f.empty()) {
+    d.verdict = Verdict::kNormal;
+    d.kind = AnomalyKind::kNone;
+    d.explanation = "track carries no informative error observations";
+    return d;
+  }
+  d.ce = orthogonality(f, cfg);
+
+  // --- Stuck-at: one column collects (approximately) all rows' mass. ---
+  std::size_t best_col = 0;
+  std::size_t best_count = 0;
+  for (std::size_t c = 0; c < f.b.cols(); ++c) {
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < f.b.rows(); ++r) {
+      if (f.b(r, c) >= cfg.stuck_min) ++count;
+    }
+    if (count > best_count) {
+      best_count = count;
+      best_col = c;
+    }
+  }
+  const auto required = std::max<std::size_t>(
+      cfg.stuck_min_states,
+      static_cast<std::size_t>(std::ceil(0.8 * static_cast<double>(f.b.rows()))));
+  if (f.b.rows() >= cfg.stuck_min_states && best_count >= required) {
+    d.verdict = Verdict::kError;
+    d.kind = AnomalyKind::kStuckAt;
+    d.stuck_state = f.symbols[best_col];
+    if (const auto c = centroid(*d.stuck_state)) d.stuck_value = *c;
+    std::ostringstream os;
+    os << best_count << "/" << f.b.rows() << " correct states emit the same error state";
+    d.explanation = os.str();
+    return d;
+  }
+
+  // --- One-to-one c <-> e: calibration vs additive. ---
+  // Pair each sufficiently concentrated correct-state row with its dominant
+  // error state; weak rows (transitional states whose error images scatter)
+  // are left out of the pairing, like the paper's own Table 5, whose rows
+  // carry only 0.5-0.9 of their mass on the paired state.
+  {
+    std::vector<std::pair<AttrVec, AttrVec>> pairs;  // (x_c, x_e)
+    std::set<std::size_t> used_cols;
+    bool distinct = true;
+    for (std::size_t r = 0; r < f.b.rows(); ++r) {
+      const std::size_t c = argmax_row(f.b, r);
+      if (f.b(r, c) < cfg.pair_min) continue;
+      if (!used_cols.insert(c).second) distinct = false;
+      const auto cc = centroid(f.hidden[r]);
+      const auto ec = centroid(f.symbols[c]);
+      if (cc && ec) pairs.emplace_back(*cc, *ec);
+    }
+    if (distinct && pairs.size() >= cfg.min_pairs) {
+      const std::size_t dims = pairs.front().first.size();
+      double total_cal = 0.0, total_add = 0.0;
+      bool cal_ok = true, add_ok = true;
+      AttrVec gains(dims), offsets(dims);
+      for (std::size_t a = 0; a < dims; ++a) {
+        std::vector<double> xc, xe;
+        for (const auto& [pc, pe] : pairs) {
+          xc.push_back(pc[a]);
+          xe.push_back(pe[a]);
+        }
+        const FitResult cal = fit_gain(xc, xe);
+        const FitResult add = fit_offset(xc, xe);
+        gains[a] = cal.parameter;
+        offsets[a] = add.parameter;
+        total_cal += cal.residual_var;
+        total_add += add.residual_var;
+        // Scale-aware acceptance: absolute floor plus a bound relative to
+        // the attribute's span across the paired correct states.
+        const auto [lo, hi] = std::minmax_element(xc.begin(), xc.end());
+        const double rel = cfg.rel_fit_tol * (*hi - *lo);
+        const double ceiling = std::max(cfg.diff_var_max, rel * rel);
+        cal_ok = cal_ok && cal.residual_var <= ceiling;
+        add_ok = add_ok && add.residual_var <= ceiling;
+      }
+      if (cal_ok && (total_cal <= total_add || !add_ok)) {
+        d.verdict = Verdict::kError;
+        d.kind = AnomalyKind::kCalibration;
+        d.gain = gains;
+        d.evidence_var = total_cal / static_cast<double>(dims);
+        d.explanation = "constant attribute ratio between correct and error states";
+        return d;
+      }
+      if (add_ok) {
+        d.verdict = Verdict::kError;
+        d.kind = AnomalyKind::kAdditive;
+        d.offset = offsets;
+        d.evidence_var = total_add / static_cast<double>(dims);
+        d.explanation = "constant attribute difference between correct and error states";
+        return d;
+      }
+    }
+  }
+
+  // --- Neither signature: diffuse emissions read as random noise, anything
+  // else is an unknown error (the network-level Dynamic Change re-check
+  // already happened in classify_network and came back clean). ---
+  d.verdict = Verdict::kError;
+  if (d.ce->min_row_self < cfg.diag_min && d.ce->rows_orthogonal) {
+    d.kind = AnomalyKind::kRandomNoise;
+    d.explanation = "diffuse B^CE rows: error states scatter per correct state";
+  } else {
+    d.kind = AnomalyKind::kUnknownError;
+    d.explanation = "B^CE matches no known error signature";
+  }
+  return d;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,85 @@
+// Error vs attack classification by structural analysis of the HMMs
+// (paper section 3.4, Fig. 5).
+//
+// Network level (B^CO of M_CO):
+//   - two *columns* not orthogonal  => a correct state is associated with
+//     multiple observable states     => Dynamic Creation attack;
+//   - two *rows* not orthogonal     => multiple correct states share an
+//     observable state               => Dynamic Deletion attack;
+//   - both                           => Mixed attack;
+//   - orthogonal but a correct state maps to an observable state with
+//     different attributes           => Dynamic Change attack.
+//
+// Sensor level (B^CE of the sensor's track, bottom symbol excluded):
+//   - one shared column of ~all ones => Stuck-at error;
+//   - rows/columns orthogonal (one-to-one c <-> e) with constant attribute
+//     ratio      => Calibration error;  constant difference => Additive error;
+//   - neither    => re-check Dynamic Change, else Unknown (a Random-Noise
+//     error produces a diffuse B^CE and is reported as such -- the paper
+//     notes it cannot be reliably separated from error-free operation).
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/report.h"
+#include "hmm/online_hmm.h"
+#include "util/matrix.h"
+
+namespace sentinel::core {
+
+/// Resolves a model-state id to its (current) centroid attributes.
+using CentroidLookup = std::function<std::optional<AttrVec>(hmm::StateId)>;
+
+/// An emission matrix restricted to significant rows/columns and
+/// row-renormalized; the substrate on which all structural tests run.
+struct FilteredEmission {
+  std::vector<hmm::StateId> hidden;   // row ids, in row order
+  std::vector<hmm::StateId> symbols;  // column ids, in column order
+  Matrix b;                           // rows renormalized to sum to 1
+
+  bool empty() const { return b.rows() == 0 || b.cols() == 0; }
+};
+
+/// Restrict an online HMM's emission matrix.
+///  - hidden_keep: hidden-state ids to retain (empty = all);
+///  - drop_bottom: remove the fictitious bottom column (B^CE analysis); rows
+///    that keep less than cfg.min_row_mass afterwards are dropped;
+///  - columns with total mass below cfg.min_symbol_mass are dropped as
+///    spurious.
+FilteredEmission filter_emission(const hmm::OnlineHmm& m,
+                                 const std::vector<hmm::StateId>& hidden_keep, bool drop_bottom,
+                                 const ClassifierConfig& cfg);
+
+/// Row/column orthogonality analysis of a filtered emission matrix.
+OrthogonalityReport orthogonality(const FilteredEmission& f, const ClassifierConfig& cfg);
+
+/// Network-level classification from M_CO.
+/// significant_hidden: correct-state ids with enough occupancy (spurious
+/// states excluded); empty = all.
+/// implicated_sensors: how many sensors currently hold diagnosable
+/// error/attack tracks. Attack verdicts require at least
+/// cfg.min_implicated_sensors of them -- a lone sensor can only bias the
+/// network mean by ~range/K, which is the error regime, so its distortion of
+/// B^CO is classified through its B^CE instead (see ClassifierConfig).
+Diagnosis classify_network(const hmm::OnlineHmm& m_co,
+                           const std::vector<hmm::StateId>& significant_hidden,
+                           const CentroidLookup& centroid, const ClassifierConfig& cfg,
+                           std::size_t implicated_sensors);
+
+/// Sensor-level classification from a track's M_CE, in the context of the
+/// network-level diagnosis. An attack verdict propagates only to sensors
+/// that are members of the attacking coalition (`coalition_member`); other
+/// sensors -- e.g. one with an independent calibration fault during an
+/// unrelated attack -- are still diagnosed through their own B^CE.
+/// significant_hidden restricts the correct-state rows like in
+/// classify_network (empty = all).
+Diagnosis classify_sensor(const hmm::OnlineHmm& m_ce, const Diagnosis& network,
+                          bool coalition_member,
+                          const std::vector<hmm::StateId>& significant_hidden,
+                          const CentroidLookup& centroid, const ClassifierConfig& cfg);
+
+}  // namespace sentinel::core

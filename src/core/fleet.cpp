@@ -1,0 +1,148 @@
+#include "core/fleet.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/vecn.h"
+
+namespace sentinel::core {
+
+namespace {
+
+/// Every state of `a` has a counterpart in `b` within tol.
+bool covered_by(const hmm::MarkovChain& a, const CentroidLookup& lookup_a,
+                const hmm::MarkovChain& b, const CentroidLookup& lookup_b, double tol) {
+  for (const auto id_a : a.states()) {
+    const auto ca = lookup_a(id_a);
+    if (!ca) return false;
+    bool matched = false;
+    for (const auto id_b : b.states()) {
+      const auto cb = lookup_b(id_b);
+      if (cb && vecn::dist(*ca, *cb) <= tol) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+int verdict_rank(Verdict v) {
+  switch (v) {
+    case Verdict::kNormal: return 0;
+    case Verdict::kError: return 1;
+    case Verdict::kAttack: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool models_structurally_similar(const hmm::MarkovChain& a, const CentroidLookup& lookup_a,
+                                 const hmm::MarkovChain& b, const CentroidLookup& lookup_b,
+                                 double tol) {
+  return covered_by(a, lookup_a, b, lookup_b, tol) && covered_by(b, lookup_b, a, lookup_a, tol);
+}
+
+std::string to_string(const FleetReport& r) {
+  std::ostringstream os;
+  os << "fleet: " << to_string(r.overall) << '\n';
+  for (const auto& [name, report] : r.regions) {
+    os << "[region " << name << "] " << to_string(report.network) << '\n';
+    for (const auto& [id, d] : report.sensors) {
+      os << "[region " << name << "] sensor " << id << ": " << to_string(d) << '\n';
+    }
+  }
+  if (!r.structural_outliers.empty()) {
+    os << "structural outliers:";
+    for (const auto& name : r.structural_outliers) os << ' ' << name;
+    os << '\n';
+  }
+  return os.str();
+}
+
+FleetMonitor::FleetMonitor(double state_match_tol) : state_match_tol_(state_match_tol) {
+  if (!(state_match_tol > 0.0)) {
+    throw std::invalid_argument("FleetMonitor: tolerance must be positive");
+  }
+}
+
+void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg) {
+  const auto [it, inserted] = regions_.try_emplace(name, std::move(cfg));
+  (void)it;
+  if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+}
+
+void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg,
+                              std::istream& checkpoint) {
+  const auto [it, inserted] = regions_.try_emplace(name, std::move(cfg), checkpoint);
+  (void)it;
+  if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+}
+
+void FleetMonitor::add_record(const std::string& region, const SensorRecord& rec) {
+  const auto it = regions_.find(region);
+  if (it == regions_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + region);
+  it->second.add_record(rec);
+}
+
+void FleetMonitor::finish() {
+  for (auto& [name, pipeline] : regions_) pipeline.finish();
+}
+
+DetectionPipeline& FleetMonitor::region(const std::string& name) {
+  const auto it = regions_.find(name);
+  if (it == regions_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + name);
+  return it->second;
+}
+
+const DetectionPipeline& FleetMonitor::region(const std::string& name) const {
+  const auto it = regions_.find(name);
+  if (it == regions_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + name);
+  return it->second;
+}
+
+std::vector<std::string> FleetMonitor::region_names() const {
+  std::vector<std::string> out;
+  out.reserve(regions_.size());
+  for (const auto& [name, pipeline] : regions_) out.push_back(name);
+  return out;
+}
+
+FleetReport FleetMonitor::diagnose() const {
+  FleetReport fleet;
+  // Per-region diagnoses, and cached pruned models.
+  std::map<std::string, hmm::MarkovChain> models;
+  for (const auto& [name, pipeline] : regions_) {
+    fleet.regions.emplace(name, pipeline.diagnose());
+    models.emplace(name, pipeline.correct_model());
+    if (verdict_rank(fleet.regions.at(name).network.verdict) > verdict_rank(fleet.overall)) {
+      fleet.overall = fleet.regions.at(name).network.verdict;
+    }
+    for (const auto& [id, d] : fleet.regions.at(name).sensors) {
+      if (verdict_rank(d.verdict) > verdict_rank(fleet.overall)) fleet.overall = d.verdict;
+    }
+  }
+
+  // Cross-region structural check: a region is an outlier when it disagrees
+  // with more than half of the other regions.
+  if (regions_.size() >= 3) {
+    for (const auto& [name, pipeline] : regions_) {
+      std::size_t disagreements = 0, others = 0;
+      for (const auto& [other_name, other] : regions_) {
+        if (other_name == name) continue;
+        ++others;
+        if (!models_structurally_similar(models.at(name), pipeline.centroid_lookup(),
+                                         models.at(other_name), other.centroid_lookup(),
+                                         state_match_tol_)) {
+          ++disagreements;
+        }
+      }
+      if (others > 0 && 2 * disagreements > others) fleet.structural_outliers.push_back(name);
+    }
+  }
+  return fleet;
+}
+
+}  // namespace sentinel::core

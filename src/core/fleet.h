@@ -1,0 +1,70 @@
+// Two-tier deployment: the paper's procedure "executes on a single data
+// collector node (e.g., a base station or a cluster head)". FleetMonitor is
+// the base-station tier above several cluster heads: each region runs its
+// own DetectionPipeline over its own sensors, and the fleet level combines
+// the regional diagnoses and cross-checks the learned environment models --
+// regions observing the same phenomenon should converge to structurally
+// similar M_C models, so a region whose model diverges from the fleet
+// majority is flagged even if its own internal majority was compromised
+// (a region-level mitigation of the paper's majority assumption).
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace sentinel::core {
+
+/// Centroid-matched structural similarity between two environment models:
+/// every significant state of one model must have a state of the other
+/// within `tol` (attribute distance), in both directions. State ids are
+/// region-local, so matching is by attributes, not ids.
+bool models_structurally_similar(const hmm::MarkovChain& a, const CentroidLookup& lookup_a,
+                                 const hmm::MarkovChain& b, const CentroidLookup& lookup_b,
+                                 double tol);
+
+struct FleetReport {
+  std::map<std::string, DiagnosisReport> regions;
+  /// Regions whose pruned M_C disagrees (by centroid-matched structure) with
+  /// the majority of the other regions.
+  std::vector<std::string> structural_outliers;
+  /// Worst verdict across regions (attack > error > normal).
+  Verdict overall = Verdict::kNormal;
+};
+
+std::string to_string(const FleetReport& r);
+
+class FleetMonitor {
+ public:
+  /// tol: attribute distance within which two regions' model states count as
+  /// the same physical state.
+  explicit FleetMonitor(double state_match_tol = 6.0);
+
+  /// Create a region (cluster head). Throws if the name already exists.
+  void add_region(const std::string& name, PipelineConfig cfg);
+
+  /// Create a region restored from a pipeline checkpoint (see
+  /// DetectionPipeline::save_checkpoint).
+  void add_region(const std::string& name, PipelineConfig cfg, std::istream& checkpoint);
+
+  /// Route a record to its region's pipeline. Throws on unknown region.
+  void add_record(const std::string& region, const SensorRecord& rec);
+
+  /// Flush all regions' partial windows.
+  void finish();
+
+  DetectionPipeline& region(const std::string& name);
+  const DetectionPipeline& region(const std::string& name) const;
+  std::vector<std::string> region_names() const;
+
+  FleetReport diagnose() const;
+
+ private:
+  double state_match_tol_;
+  std::map<std::string, DetectionPipeline> regions_;
+};
+
+}  // namespace sentinel::core

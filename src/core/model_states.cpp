@@ -1,0 +1,194 @@
+#include "core/model_states.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/serialize.h"
+#include "util/vecn.h"
+
+namespace sentinel::core {
+
+ModelStateSet::ModelStateSet(ModelStateConfig cfg, std::vector<AttrVec> initial) : cfg_(cfg) {
+  if (initial.empty()) throw std::invalid_argument("ModelStateSet: no initial states");
+  if (!(cfg_.alpha > 0.0 && cfg_.alpha < 1.0)) {
+    throw std::invalid_argument("ModelStateSet: alpha must be in (0,1)");
+  }
+  if (!(cfg_.merge_threshold >= 0.0) || !(cfg_.spawn_threshold > cfg_.merge_threshold)) {
+    throw std::invalid_argument("ModelStateSet: need 0 <= merge_threshold < spawn_threshold");
+  }
+  const std::size_t dims = initial.front().size();
+  for (auto& c : initial) {
+    if (c.size() != dims) throw std::invalid_argument("ModelStateSet: ragged initial states");
+    states_.push_back(ModelState{next_id_, std::move(c)});
+    historical_[next_id_] = states_.back().centroid;
+    ++next_id_;
+  }
+}
+
+StateId ModelStateSet::map(const AttrVec& p) const {
+  StateId best = states_.front().id;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const auto& s : states_) {
+    const double d = vecn::dist2(s.centroid, p);
+    if (d < best_d) {
+      best_d = d;
+      best = s.id;
+    }
+  }
+  return best;
+}
+
+std::vector<StateId> ModelStateSet::maybe_spawn(const std::vector<AttrVec>& points) {
+  std::vector<StateId> created;
+  const double thr2 = cfg_.spawn_threshold * cfg_.spawn_threshold;
+  for (const auto& p : points) {
+    if (states_.size() >= cfg_.max_states) break;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (const auto& s : states_) best_d = std::min(best_d, vecn::dist2(s.centroid, p));
+    if (best_d > thr2) {
+      states_.push_back(ModelState{next_id_, p});
+      historical_[next_id_] = p;
+      created.push_back(next_id_);
+      ++next_id_;
+      ++spawns_;
+    }
+  }
+  return created;
+}
+
+void ModelStateSet::update(const std::vector<AttrVec>& points) {
+  // eq. (5): P_k = { p_j | l_j = k }, accumulated as per-state sums.
+  std::map<StateId, std::pair<AttrVec, std::size_t>> acc;  // id -> (sum, count)
+  for (const auto& p : points) {
+    const StateId k = map(p);
+    auto& [sum, count] = acc[k];
+    if (sum.empty()) sum.assign(p.size(), 0.0);
+    for (std::size_t i = 0; i < p.size(); ++i) sum[i] += p[i];
+    ++count;
+  }
+  // eq. (6): s_k = (1 - alpha) s_k + alpha * mean(P_k), for nonempty P_k.
+  for (auto& s : states_) {
+    const auto it = acc.find(s.id);
+    if (it == acc.end()) continue;
+    const auto& [sum, count] = it->second;
+    for (std::size_t i = 0; i < s.centroid.size(); ++i) {
+      s.centroid[i] =
+          (1.0 - cfg_.alpha) * s.centroid[i] + cfg_.alpha * sum[i] / static_cast<double>(count);
+    }
+    historical_[s.id] = s.centroid;
+  }
+  merge_close_states();
+}
+
+void ModelStateSet::merge_close_states() {
+  const double thr2 = cfg_.merge_threshold * cfg_.merge_threshold;
+  bool changed = true;
+  while (changed && states_.size() > 1) {
+    changed = false;
+    for (std::size_t i = 0; i < states_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < states_.size() && !changed; ++j) {
+        if (vecn::dist2(states_[i].centroid, states_[j].centroid) <= thr2) {
+          // Keep the older id (smaller index position == earlier creation,
+          // since ids grow monotonically and spawns append).
+          auto& keep = states_[i];
+          const auto& drop = states_[j];
+          for (std::size_t d = 0; d < keep.centroid.size(); ++d) {
+            keep.centroid[d] = 0.5 * (keep.centroid[d] + drop.centroid[d]);
+          }
+          historical_[keep.id] = keep.centroid;
+          merged_into_[drop.id] = keep.id;
+          states_.erase(states_.begin() + static_cast<std::ptrdiff_t>(j));
+          ++merges_;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void ModelStateSet::save(std::ostream& os) const {
+  serialize::tag(os, "model-states");
+  serialize::put(os, states_.size());
+  for (const auto& s : states_) {
+    serialize::put(os, s.id);
+    serialize::put_vector(os, s.centroid);
+  }
+  serialize::put(os, historical_.size());
+  for (const auto& [id, c] : historical_) {
+    serialize::put(os, id);
+    serialize::put_vector(os, c);
+  }
+  serialize::put(os, merged_into_.size());
+  for (const auto& [from, to] : merged_into_) {
+    serialize::put(os, from);
+    serialize::put(os, to);
+  }
+  serialize::put(os, next_id_);
+  serialize::put(os, spawns_);
+  serialize::put(os, merges_);
+  os << '\n';
+}
+
+ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
+  serialize::expect(is, "model-states");
+  const auto n = serialize::get<std::size_t>(is);
+  if (n == 0) throw std::runtime_error("checkpoint: model-states empty");
+  std::vector<ModelState> states;
+  states.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ModelState s;
+    s.id = serialize::get<StateId>(is);
+    s.centroid = serialize::get_vector<double>(is);
+    states.push_back(std::move(s));
+  }
+  // Construct through the public constructor (validates cfg), then overwrite
+  // the state with the checkpointed one.
+  ModelStateSet set(cfg, {states.front().centroid});
+  set.states_ = std::move(states);
+  set.historical_.clear();
+  const auto nh = serialize::get<std::size_t>(is);
+  for (std::size_t i = 0; i < nh; ++i) {
+    const auto id = serialize::get<StateId>(is);
+    set.historical_[id] = serialize::get_vector<double>(is);
+  }
+  const auto nm = serialize::get<std::size_t>(is);
+  for (std::size_t i = 0; i < nm; ++i) {
+    const auto from = serialize::get<StateId>(is);
+    set.merged_into_[from] = serialize::get<StateId>(is);
+  }
+  set.next_id_ = serialize::get<StateId>(is);
+  set.spawns_ = serialize::get<std::size_t>(is);
+  set.merges_ = serialize::get<std::size_t>(is);
+  for (const auto& s : set.states_) {
+    if (set.historical_.find(s.id) == set.historical_.end()) {
+      throw std::runtime_error("checkpoint: active state missing from history");
+    }
+  }
+  return set;
+}
+
+std::optional<AttrVec> ModelStateSet::centroid(StateId id) const {
+  const auto it = historical_.find(id);
+  if (it == historical_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ModelStateSet::is_active(StateId id) const {
+  for (const auto& s : states_) {
+    if (s.id == id) return true;
+  }
+  return false;
+}
+
+StateId ModelStateSet::resolve(StateId id) const {
+  // Path-follow through merges (bounded by the merge count).
+  std::size_t hops = 0;
+  auto it = merged_into_.find(id);
+  while (it != merged_into_.end() && hops++ <= merges_) {
+    id = it->second;
+    it = merged_into_.find(id);
+  }
+  return id;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,88 @@
+// Model State Identification (paper section 3.1, eqs. (3), (5), (6)).
+//
+// Maintains the set S = {s_1, ..., s_M} of model states that synthetically
+// describe the physical conditions traversed by the environment *and by
+// error/attack data*. An on-line clustering algorithm updates centroids with
+// an EMA (eq. (6)), merges states that drift too close together, and spawns a
+// new state when an observation lands too far from every existing state --
+// which is how a stuck-at sensor's bogus regime gets its own state, e.g. the
+// paper's (15, 1).
+//
+// State ids are stable: a merge keeps the older state's id, and the merged
+// id's last centroid stays queryable so emission matrices built against it
+// remain interpretable.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "hmm/markov_chain.h"
+#include "trace/record.h"
+
+namespace sentinel::core {
+
+using hmm::StateId;
+
+struct ModelState {
+  StateId id = 0;
+  AttrVec centroid;
+};
+
+class ModelStateSet {
+ public:
+  /// Start from the initial estimate S_o (offline k-means over history, or
+  /// random -- the paper reports both work). Throws if empty.
+  ModelStateSet(ModelStateConfig cfg, std::vector<AttrVec> initial);
+
+  /// eq. (3): the active state nearest to p.
+  StateId map(const AttrVec& p) const;
+
+  /// Spawn pass: create a state s_{M+1} = p for every observation farther
+  /// than spawn_threshold from its nearest state (respecting max_states).
+  /// Returns ids of states created. Run *before* mapping a window so a fresh
+  /// fault regime is representable immediately.
+  std::vector<StateId> maybe_spawn(const std::vector<AttrVec>& points);
+
+  /// eqs. (5)+(6): EMA-update each state's centroid from the observations
+  /// mapped to it, then merge states closer than merge_threshold.
+  void update(const std::vector<AttrVec>& points);
+
+  const std::vector<ModelState>& states() const { return states_; }
+  std::size_t size() const { return states_.size(); }
+
+  /// Centroid by id; falls back to the last known centroid of a merged-away
+  /// state. nullopt for ids never seen.
+  std::optional<AttrVec> centroid(StateId id) const;
+
+  /// True if `id` is currently an active state.
+  bool is_active(StateId id) const;
+
+  /// If `id` was merged away, the id it was folded into (transitively).
+  StateId resolve(StateId id) const;
+
+  std::size_t spawn_count() const { return spawns_; }
+  std::size_t merge_count() const { return merges_; }
+
+  /// Checkpointing: active states, historical centroids, merge lineage.
+  /// load() requires the same ModelStateConfig the saved instance had.
+  void save(std::ostream& os) const;
+  static ModelStateSet load(ModelStateConfig cfg, std::istream& is);
+
+ private:
+  void merge_close_states();
+
+  ModelStateConfig cfg_;
+  std::vector<ModelState> states_;
+  std::map<StateId, AttrVec> historical_;  // last centroid of every id ever
+  std::map<StateId, StateId> merged_into_;
+  StateId next_id_ = 0;
+  std::size_t spawns_ = 0;
+  std::size_t merges_ = 0;
+};
+
+}  // namespace sentinel::core

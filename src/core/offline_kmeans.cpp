@@ -1,0 +1,112 @@
+#include "core/offline_kmeans.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/vecn.h"
+
+namespace sentinel::core {
+
+namespace {
+
+std::vector<AttrVec> kmeanspp_seed(const std::vector<AttrVec>& points, std::size_t k, Rng& rng) {
+  std::vector<AttrVec> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) best = std::min(best, vecn::dist2(c, points[i]));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; fall back to uniform.
+      centroids.push_back(points[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))]);
+      continue;
+    }
+    double u = rng.uniform() * total;
+    std::size_t pick = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (u < d2[i]) {
+        pick = i;
+        break;
+      }
+      u -= d2[i];
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<AttrVec>& points, std::size_t k, Rng& rng,
+                    std::size_t max_iterations, double tol) {
+  if (points.empty()) throw std::invalid_argument("kmeans: no points");
+  if (k == 0 || k > points.size()) throw std::invalid_argument("kmeans: bad k");
+
+  KMeansResult r;
+  r.centroids = kmeanspp_seed(points, k, rng);
+  r.assignment.assign(points.size(), 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    r.iterations = iter + 1;
+    // Assignment step.
+    r.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t a = vecn::nearest(r.centroids, points[i]);
+      r.assignment[i] = a;
+      r.inertia += vecn::dist2(r.centroids[a], points[i]);
+    }
+    // Update step.
+    const std::size_t dims = points.front().size();
+    std::vector<AttrVec> sums(k, AttrVec(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t a = r.assignment[i];
+      for (std::size_t d = 0; d < dims; ++d) sums[a][d] += points[i][d];
+      ++counts[a];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        r.centroids[c] = points[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))];
+        continue;
+      }
+      for (std::size_t d = 0; d < dims; ++d) {
+        r.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (prev_inertia - r.inertia < tol) break;
+    prev_inertia = r.inertia;
+  }
+  return r;
+}
+
+std::vector<AttrVec> random_initial_states(const std::vector<AttrVec>& points, std::size_t k,
+                                           Rng& rng) {
+  if (points.empty()) throw std::invalid_argument("random_initial_states: no points");
+  const std::size_t dims = points.front().size();
+  AttrVec lo(dims, std::numeric_limits<double>::infinity());
+  AttrVec hi(dims, -std::numeric_limits<double>::infinity());
+  for (const auto& p : points) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  std::vector<AttrVec> out(k, AttrVec(dims));
+  for (auto& c : out) {
+    for (std::size_t d = 0; d < dims; ++d) c[d] = rng.uniform(lo[d], hi[d]);
+  }
+  return out;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,32 @@
+// Offline k-means, used to produce the initial model-state estimate S_o from
+// historical data (paper section 4.1: "an initial set estimate of 6 states
+// determined by running an off-line clustering algorithm on the entire
+// data"). Lloyd's algorithm with k-means++ seeding.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace sentinel::core {
+
+struct KMeansResult {
+  std::vector<AttrVec> centroids;
+  std::vector<std::size_t> assignment;  // per input point
+  double inertia = 0.0;                 // sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Throws if points is empty, k == 0, or k > points.size().
+KMeansResult kmeans(const std::vector<AttrVec>& points, std::size_t k, Rng& rng,
+                    std::size_t max_iterations = 100, double tol = 1e-6);
+
+/// Convenience: k random points in the bounding box of the data ("this
+/// initial estimate can be completely random", section 4.1).
+std::vector<AttrVec> random_initial_states(const std::vector<AttrVec>& points, std::size_t k,
+                                           Rng& rng);
+
+}  // namespace sentinel::core

@@ -1,0 +1,255 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace sentinel::core {
+
+namespace {
+
+hmm::OnlineHmmConfig hmm_config(const PipelineConfig& cfg) {
+  hmm::OnlineHmmConfig hc;
+  hc.beta = cfg.beta;
+  hc.gamma = cfg.gamma;
+  return hc;
+}
+
+}  // namespace
+
+DetectionPipeline::DetectionPipeline(PipelineConfig cfg)
+    : cfg_(std::move(cfg)),
+      states_(cfg_.model_states, cfg_.initial_states),
+      windower_(cfg_.window_seconds),
+      alarms_(cfg_.alarm_filter),
+      tracks_(hmm_config(cfg_)),
+      m_co_(hmm_config(cfg_)) {
+  if (cfg_.min_sensors_per_window == 0) {
+    throw std::invalid_argument("DetectionPipeline: min_sensors_per_window must be >= 1");
+  }
+}
+
+DetectionPipeline::DetectionPipeline(PipelineConfig cfg, std::istream& checkpoint)
+    : DetectionPipeline(std::move(cfg)) {
+  serialize::expect(checkpoint, "sentinel-checkpoint-v1");
+  states_ = ModelStateSet::load(cfg_.model_states, checkpoint);
+  m_co_ = hmm::OnlineHmm::load(hmm_config(cfg_), checkpoint);
+  m_c_ = hmm::MarkovChain::load(checkpoint);
+  m_o_ = hmm::MarkovChain::load(checkpoint);
+  tracks_ = TrackManager::load(hmm_config(cfg_), checkpoint);
+  const bool has_prev_c = serialize::get_bool(checkpoint);
+  const auto prev_c = serialize::get<StateId>(checkpoint);
+  if (has_prev_c) prev_correct_ = prev_c;
+  const bool has_prev_o = serialize::get_bool(checkpoint);
+  const auto prev_o = serialize::get<StateId>(checkpoint);
+  if (has_prev_o) prev_observable_ = prev_o;
+  windows_skipped_ = serialize::get<std::size_t>(checkpoint);
+}
+
+void DetectionPipeline::save_checkpoint(std::ostream& os) const {
+  serialize::tag(os, "sentinel-checkpoint-v1");
+  states_.save(os);
+  m_co_.save(os);
+  m_c_.save(os);
+  m_o_.save(os);
+  tracks_.save(os);
+  serialize::put(os, prev_correct_.has_value());
+  serialize::put(os, prev_correct_.value_or(0));
+  serialize::put(os, prev_observable_.has_value());
+  serialize::put(os, prev_observable_.value_or(0));
+  serialize::put(os, windows_skipped_);
+  os << '\n';
+}
+
+void DetectionPipeline::add_record(const SensorRecord& rec) {
+  for (const auto& window : windower_.add(rec)) process_window(window);
+}
+
+void DetectionPipeline::finish() {
+  if (auto last = windower_.flush()) process_window(*last);
+}
+
+void DetectionPipeline::process_trace(const std::vector<SensorRecord>& records) {
+  for (const auto& window : window_trace(records, cfg_.window_seconds)) {
+    process_window(window);
+  }
+}
+
+void DetectionPipeline::process_window(const ObservationSet& window) {
+  if (window.per_sensor.size() < cfg_.min_sensors_per_window) {
+    ++windows_skipped_;
+    return;
+  }
+
+  // Per-sensor representatives drive every step: each sensor gets one vote
+  // per window, so a chatty sensor cannot outvote the rest.
+  std::vector<AttrVec> points;
+  points.reserve(window.per_sensor.size());
+  for (const auto& [id, p] : window.per_sensor) points.push_back(p);
+
+  // (1) Make fresh regimes representable before mapping (section 3.1's
+  // "creating a new state s_{M+1} = p_j"). The window mean is a spawn
+  // candidate too: under a coalition attack the network-level observable
+  // (eq. 2 maps the mean) can sit far from every individual reading -- the
+  // fabricated state of a Dynamic Creation attack must become a model state
+  // for B^CO to expose it.
+  std::vector<AttrVec> spawn_candidates = points;
+  spawn_candidates.push_back(window.overall_mean());
+  states_.maybe_spawn(spawn_candidates);
+
+  // (2) o_i, c_i, l_j.
+  const WindowStates ws = identify_states(window, states_);
+
+  WindowSummary summary;
+  summary.window_index = window.window_index;
+  summary.window_start = window.window_start;
+  summary.observable = ws.observable;
+  summary.correct = ws.correct;
+  summary.majority_size = ws.majority_size;
+
+  // (3) Alarms and tracks.
+  for (const auto& [sensor, l] : ws.mapping) {
+    const bool raw = l != ws.correct;
+    const AlarmUpdate u = alarms_.update(sensor, raw);
+    if (u.raised_edge) tracks_.open(sensor, window.window_index);
+    if (u.cleared_edge) tracks_.close(sensor, window.window_index);
+
+    if (tracks_.has_active_track(sensor)) {
+      const StateId e = raw ? l : hmm::kBottomSymbol;
+      tracks_.observe(sensor, ws.correct, e);
+    }
+
+    SensorWindowInfo info;
+    info.mapped = l;
+    info.raw_alarm = raw;
+    info.filtered_alarm = u.filtered;
+    summary.sensors.emplace(sensor, info);
+  }
+
+  // (4) Network HMM M_CO.
+  m_co_.observe(ws.correct, ws.observable);
+
+  // (5) Markov models M_C and M_O.
+  if (prev_correct_) {
+    m_c_.add_transition(*prev_correct_, ws.correct);
+  } else {
+    m_c_.add_visit(ws.correct);
+  }
+  if (prev_observable_) {
+    m_o_.add_transition(*prev_observable_, ws.observable);
+  } else {
+    m_o_.add_visit(ws.observable);
+  }
+  prev_correct_ = ws.correct;
+  prev_observable_ = ws.observable;
+
+  // (6) Centroid EMA update + merge.
+  states_.update(points);
+
+  history_.push_back(std::move(summary));
+}
+
+DetectionPipeline::CoalitionInfo DetectionPipeline::coalition() const {
+  // A coalition steers the network mean by injecting the *same* value, so
+  // its members' error tracks share a dominant error state; two independent
+  // faulty sensors (the GDI data's sensors 6 and 7) do not. The coalition is
+  // the largest group of implicated sensors whose cumulative track evidence
+  // peaks on the same (merge-resolved) error state.
+  std::map<StateId, std::set<SensorId>> by_dominant;
+  for (const SensorId sensor : tracks_.tracked_sensors()) {
+    if (tracks_.total_anomalies(sensor) < cfg_.classifier.min_track_anomalies) continue;
+    const hmm::OnlineHmm* m_ce = tracks_.combined_m_ce(sensor);
+    if (m_ce == nullptr) continue;
+    std::map<StateId, double> symbol_mass;
+    const auto& ids = m_ce->symbols();
+    const auto& totals = m_ce->symbol_totals();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == hmm::kBottomSymbol) continue;
+      symbol_mass[states_.resolve(ids[i])] += totals[i];
+    }
+    if (symbol_mass.empty()) continue;
+    const auto dominant = std::max_element(
+        symbol_mass.begin(), symbol_mass.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    by_dominant[dominant->first].insert(sensor);
+  }
+
+  CoalitionInfo info;
+  for (auto& [state, sensors] : by_dominant) {
+    if (sensors.size() > info.size) {
+      info.size = sensors.size();
+      info.dominant_error_state = state;
+      info.members = std::move(sensors);
+    }
+  }
+  return info;
+}
+
+std::vector<StateId> DetectionPipeline::correct_sequence() const {
+  std::vector<StateId> out;
+  out.reserve(history_.size());
+  for (const auto& w : history_) out.push_back(w.correct);
+  return out;
+}
+
+hmm::MarkovChain DetectionPipeline::correct_model() const {
+  return m_c_.pruned(cfg_.classifier.min_occupancy);
+}
+
+const hmm::OnlineHmm* DetectionPipeline::m_ce(SensorId sensor) const {
+  return tracks_.combined_m_ce(sensor);
+}
+
+std::vector<StateId> DetectionPipeline::significant_states() const {
+  // Occupancy prunes spurious states (the paper's low-probability
+  // fluctuation states); merged-away ids are dropped too -- their role was
+  // taken over by the surviving state, and keeping both would double-count
+  // the same physical regime during the structural analysis.
+  std::vector<StateId> out;
+  const auto ids = m_c_.states();
+  const auto occ = m_c_.occupancy();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (occ[i] >= cfg_.classifier.min_occupancy && states_.is_active(ids[i])) {
+      out.push_back(ids[i]);
+    }
+  }
+  return out;
+}
+
+CentroidLookup DetectionPipeline::centroid_lookup() const {
+  return [this](StateId id) { return states_.centroid(id); };
+}
+
+Diagnosis DetectionPipeline::diagnose_network() const {
+  return classify_network(m_co_, significant_states(), centroid_lookup(), cfg_.classifier,
+                          coalition_size());
+}
+
+std::map<SensorId, Diagnosis> DetectionPipeline::diagnose_sensors() const {
+  const Diagnosis network = diagnose_network();
+  const CoalitionInfo coal = coalition();
+  std::map<SensorId, Diagnosis> out;
+  for (const SensorId sensor : tracks_.tracked_sensors()) {
+    if (tracks_.total_anomalies(sensor) < cfg_.classifier.min_track_anomalies) {
+      continue;  // transient glitch, not diagnosable
+    }
+    const hmm::OnlineHmm* m = tracks_.combined_m_ce(sensor);
+    if (m == nullptr) continue;
+    const bool member = coal.members.find(sensor) != coal.members.end();
+    out.emplace(sensor, classify_sensor(*m, network, member, significant_states(),
+                                        centroid_lookup(), cfg_.classifier));
+  }
+  return out;
+}
+
+DiagnosisReport DetectionPipeline::diagnose() const {
+  DiagnosisReport report;
+  report.network = diagnose_network();
+  report.sensors = diagnose_sensors();
+  return report;
+}
+
+}  // namespace sentinel::core

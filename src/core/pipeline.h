@@ -1,0 +1,145 @@
+// The collector-node detection pipeline (paper section 3, Fig. 1).
+//
+// Per observation window the pipeline:
+//  1. lets the Model State Identification module spawn states for
+//     observations no existing state represents,
+//  2. identifies the observable state o_i (eq. 2), the per-sensor mappings
+//     l_j (eq. 3), and the correct state c_i (eq. 4, majority cluster),
+//  3. raises raw alarms a^j where l_j != c_i, filters them into b^j, and
+//     opens/closes per-sensor error/attack tracks on filtered edges,
+//  4. feeds (c_i, o_i) to the network HMM M_CO and (c_i, e_i) to each active
+//     track's HMM M_CE,
+//  5. appends c_i / o_i to the Markov models M_C and M_O, and
+//  6. EMA-updates the model-state centroids (eqs. 5-6) with merge/spawn.
+//
+// diagnose() then performs the section 3.4 structural analysis and returns
+// the combined network + per-sensor report.
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/alarms.h"
+#include "core/classifier.h"
+#include "core/config.h"
+#include "core/model_states.h"
+#include "core/report.h"
+#include "core/state_ident.h"
+#include "core/tracks.h"
+#include "hmm/markov_chain.h"
+#include "hmm/online_hmm.h"
+#include "trace/windower.h"
+
+namespace sentinel::core {
+
+/// Per-window, per-sensor alarm record (Fig. 12's raw-alarm series).
+struct SensorWindowInfo {
+  StateId mapped = 0;  // l_j
+  bool raw_alarm = false;
+  bool filtered_alarm = false;
+};
+
+struct WindowSummary {
+  std::size_t window_index = 0;
+  double window_start = 0.0;
+  StateId observable = 0;  // o_i
+  StateId correct = 0;     // c_i
+  std::size_t majority_size = 0;
+  std::map<SensorId, SensorWindowInfo> sensors;
+};
+
+class DetectionPipeline {
+ public:
+  explicit DetectionPipeline(PipelineConfig cfg);
+
+  /// Restore from a checkpoint written by save_checkpoint(). `cfg` must be
+  /// the same configuration the checkpointed pipeline ran with (the
+  /// checkpoint stores learned state, not configuration). Alarm filters
+  /// restart cold and re-converge within a filter window; the per-window
+  /// history is session-local and starts empty.
+  DetectionPipeline(PipelineConfig cfg, std::istream& checkpoint);
+
+  /// Persist all learned state -- model states, M_CO, M_C, M_O, every
+  /// error/attack track with its M_CE -- as a versioned text checkpoint.
+  /// Call at a window boundary (after finish() or between add_record bursts)
+  /// so no partial window is lost.
+  void save_checkpoint(std::ostream& os) const;
+
+  /// Streaming entry point: records must arrive roughly time-ordered; the
+  /// internal windower closes windows as time advances.
+  void add_record(const SensorRecord& rec);
+
+  /// Close the final partial window.
+  void finish();
+
+  /// Batch entry point used by experiments: process one pre-built window.
+  void process_window(const ObservationSet& window);
+
+  /// Convenience: window and process a whole trace, then finish().
+  void process_trace(const std::vector<SensorRecord>& records);
+
+  // --- Model access -------------------------------------------------------
+  const ModelStateSet& model_states() const { return states_; }
+  const hmm::OnlineHmm& m_co() const { return m_co_; }
+  const hmm::MarkovChain& m_c() const { return m_c_; }
+  const hmm::MarkovChain& m_o() const { return m_o_; }
+  /// The user-facing error/attack-free model of the environment (M_C with
+  /// spurious states pruned, Fig. 7).
+  hmm::MarkovChain correct_model() const;
+  /// Combined (all-tracks) M_CE for a sensor, if it ever had a track.
+  const hmm::OnlineHmm* m_ce(SensorId sensor) const;
+  const TrackManager& tracks() const { return tracks_; }
+  const AlarmBank& alarms() const { return alarms_; }
+
+  // --- History / stats ----------------------------------------------------
+  const std::vector<WindowSummary>& history() const { return history_; }
+  /// The c_i sequence of this session's processed windows (input for
+  /// core/smoothing.h).
+  std::vector<StateId> correct_sequence() const;
+  std::size_t windows_processed() const { return history_.size(); }
+  std::size_t windows_skipped() const { return windows_skipped_; }
+
+  /// Correct-state ids whose occupancy in M_C clears the spurious-state bar.
+  std::vector<StateId> significant_states() const;
+
+  /// Coordinated-coalition evidence gating B^CO attack verdicts (see
+  /// ClassifierConfig::min_implicated_sensors): the largest group of
+  /// implicated sensors whose error tracks share a dominant error state.
+  struct CoalitionInfo {
+    std::size_t size = 0;
+    std::optional<StateId> dominant_error_state;
+    std::set<SensorId> members;
+  };
+  CoalitionInfo coalition() const;
+  std::size_t coalition_size() const { return coalition().size; }
+
+  /// Centroid lookup bound to this pipeline's model-state set.
+  CentroidLookup centroid_lookup() const;
+
+  // --- Diagnosis (section 3.4) --------------------------------------------
+  Diagnosis diagnose_network() const;
+  std::map<SensorId, Diagnosis> diagnose_sensors() const;
+  DiagnosisReport diagnose() const;
+
+  const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  PipelineConfig cfg_;
+  ModelStateSet states_;
+  Windower windower_;
+  AlarmBank alarms_;
+  TrackManager tracks_;
+  hmm::OnlineHmm m_co_;
+  hmm::MarkovChain m_c_;
+  hmm::MarkovChain m_o_;
+  std::optional<StateId> prev_correct_;
+  std::optional<StateId> prev_observable_;
+  std::vector<WindowSummary> history_;
+  std::size_t windows_skipped_ = 0;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,134 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/vecn.h"
+
+namespace sentinel::core {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kNormal: return "normal";
+    case Verdict::kError: return "error";
+    case Verdict::kAttack: return "attack";
+  }
+  return "?";
+}
+
+std::string to_string(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::kNone: return "none";
+    case AnomalyKind::kStuckAt: return "stuck-at";
+    case AnomalyKind::kCalibration: return "calibration";
+    case AnomalyKind::kAdditive: return "additive";
+    case AnomalyKind::kRandomNoise: return "random-noise";
+    case AnomalyKind::kUnknownError: return "unknown-error";
+    case AnomalyKind::kDynamicCreation: return "dynamic-creation";
+    case AnomalyKind::kDynamicDeletion: return "dynamic-deletion";
+    case AnomalyKind::kDynamicChange: return "dynamic-change";
+    case AnomalyKind::kMixedAttack: return "mixed-attack";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnosis& d) {
+  std::ostringstream os;
+  os << to_string(d.verdict) << "/" << to_string(d.kind);
+  if (d.stuck_state) os << " stuck_state=" << *d.stuck_state << vecn::to_string(d.stuck_value);
+  if (!d.gain.empty()) os << " gain=" << vecn::to_string(d.gain, 2);
+  if (!d.offset.empty()) os << " offset=" << vecn::to_string(d.offset, 2);
+  if (!d.changed_states.empty()) {
+    os << " changed=[";
+    for (const auto& [c, o] : d.changed_states) os << c << "->" << o << " ";
+    os << "]";
+  }
+  if (!d.explanation.empty()) os << " (" << d.explanation << ")";
+  return os.str();
+}
+
+std::string to_string(const DiagnosisReport& r) {
+  std::ostringstream os;
+  os << "network: " << to_string(r.network) << '\n';
+  for (const auto& [id, d] : r.sensors) {
+    os << "sensor " << id << ": " << to_string(d) << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void append_vec(std::ostringstream& os, const AttrVec& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+void append_diagnosis(std::ostringstream& os, const Diagnosis& d) {
+  os << "{\"verdict\":";
+  append_escaped(os, to_string(d.verdict));
+  os << ",\"kind\":";
+  append_escaped(os, to_string(d.kind));
+  if (d.stuck_state) {
+    os << ",\"stuck_state\":" << *d.stuck_state << ",\"stuck_value\":";
+    append_vec(os, d.stuck_value);
+  }
+  if (!d.gain.empty()) {
+    os << ",\"gain\":";
+    append_vec(os, d.gain);
+  }
+  if (!d.offset.empty()) {
+    os << ",\"offset\":";
+    append_vec(os, d.offset);
+  }
+  if (!d.changed_states.empty()) {
+    os << ",\"changed_states\":[";
+    for (std::size_t i = 0; i < d.changed_states.size(); ++i) {
+      if (i) os << ',';
+      os << '[' << d.changed_states[i].first << ',' << d.changed_states[i].second << ']';
+    }
+    os << ']';
+  }
+  os << ",\"rows_orthogonal\":" << (d.co.rows_orthogonal ? "true" : "false")
+     << ",\"cols_orthogonal\":" << (d.co.cols_orthogonal ? "true" : "false")
+     << ",\"explanation\":";
+  append_escaped(os, d.explanation);
+  os << '}';
+}
+
+}  // namespace
+
+std::string to_json(const Diagnosis& d) {
+  std::ostringstream os;
+  append_diagnosis(os, d);
+  return os.str();
+}
+
+std::string to_json(const DiagnosisReport& r) {
+  std::ostringstream os;
+  os << "{\"network\":";
+  append_diagnosis(os, r.network);
+  os << ",\"sensors\":{";
+  bool first = true;
+  for (const auto& [id, d] : r.sensors) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << id << "\":";
+    append_diagnosis(os, d);
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace sentinel::core

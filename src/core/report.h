@@ -1,0 +1,86 @@
+// Diagnosis output types (paper section 3.4 and Fig. 5).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hmm/markov_chain.h"
+#include "trace/record.h"
+
+namespace sentinel::core {
+
+enum class Verdict {
+  kNormal,  // no structural anomaly
+  kError,   // accidental fault
+  kAttack,  // malicious activity
+};
+
+enum class AnomalyKind {
+  kNone,
+  // Errors (section 3.3, fault model).
+  kStuckAt,
+  kCalibration,
+  kAdditive,
+  kRandomNoise,  // diffuse B^CE; the paper notes this blurs into error-free
+  kUnknownError,
+  // Attacks (section 3.3, attack model).
+  kDynamicCreation,
+  kDynamicDeletion,
+  kDynamicChange,
+  kMixedAttack,
+};
+
+std::string to_string(Verdict v);
+std::string to_string(AnomalyKind k);
+
+/// Orthogonality analysis of an emission matrix (section 3.4): which row and
+/// column pairs violate sum_k b_ik b_jk = delta_ij.
+struct OrthogonalityReport {
+  bool rows_orthogonal = true;
+  bool cols_orthogonal = true;
+  double min_row_self = 1.0;   // min_i <row_i, row_i>
+  double max_row_cross = 0.0;  // max_{i != j} <row_i, row_j>
+  double min_col_self = 1.0;
+  double max_col_cross = 0.0;
+  /// Offending (i, j) hidden-state id pairs (rows) / symbol id pairs (cols).
+  std::vector<std::pair<hmm::StateId, hmm::StateId>> row_violations;
+  std::vector<std::pair<hmm::StateId, hmm::StateId>> col_violations;
+};
+
+struct Diagnosis {
+  Verdict verdict = Verdict::kNormal;
+  AnomalyKind kind = AnomalyKind::kNone;
+  OrthogonalityReport co;  // B^CO analysis (network level)
+  std::optional<OrthogonalityReport> ce;  // B^CE analysis (sensor level)
+
+  // Evidence, populated per kind.
+  std::optional<hmm::StateId> stuck_state;  // stuck-at: the shared error state
+  AttrVec stuck_value;                      // stuck-at: its attributes
+  AttrVec gain;          // calibration: mean x_e / x_c per attribute
+  AttrVec offset;        // additive: mean x_e - x_c per attribute
+  double evidence_var = 0.0;  // variance of the winning constant test
+  std::vector<std::pair<hmm::StateId, hmm::StateId>> changed_states;  // change attack: (c, o)
+
+  std::string explanation;  // human-readable rationale
+};
+
+std::string to_string(const Diagnosis& d);
+
+/// Combined pipeline output: the network-level verdict plus one diagnosis per
+/// sensor with an error/attack track.
+struct DiagnosisReport {
+  Diagnosis network;
+  std::map<SensorId, Diagnosis> sensors;
+};
+
+std::string to_string(const DiagnosisReport& r);
+
+/// Machine-readable rendering for downstream tooling (dashboards, alerting).
+/// Flat JSON, no external dependencies.
+std::string to_json(const Diagnosis& d);
+std::string to_json(const DiagnosisReport& r);
+
+}  // namespace sentinel::core

@@ -1,0 +1,80 @@
+#include "core/smoothing.h"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "hmm/hmm.h"
+
+namespace sentinel::core {
+
+std::vector<hmm::StateId> smooth_correct_sequence(const hmm::MarkovChain& m_c,
+                                                  const std::vector<hmm::StateId>& observed,
+                                                  double glitch_prob) {
+  if (!(glitch_prob > 0.0 && glitch_prob < 0.5)) {
+    throw std::invalid_argument("smooth_correct_sequence: glitch_prob must be in (0, 0.5)");
+  }
+  if (observed.size() < 2) return observed;
+
+  // Universe: chain states plus any novel observed ids, in stable order.
+  std::vector<hmm::StateId> ids = m_c.states();
+  std::set<hmm::StateId> known(ids.begin(), ids.end());
+  for (const auto id : observed) {
+    if (known.insert(id).second) ids.push_back(id);
+  }
+  const std::size_t m = ids.size();
+  std::map<hmm::StateId, std::size_t> index;
+  for (std::size_t i = 0; i < m; ++i) index[ids[i]] = i;
+
+  // Transitions: the MLE matrix with a small floor (so one glitchy window
+  // cannot be explained only by an unseen transition -- it has to beat the
+  // emission penalty instead); novel ids get a strong self-loop.
+  const Matrix mle = m_c.transition_matrix();
+  constexpr double kFloor = 1e-4;
+  Matrix a(m, m, kFloor);
+  const auto chain_states = m_c.states();
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i < chain_states.size()) {
+      for (std::size_t j = 0; j < chain_states.size(); ++j) a(i, j) += mle(i, j);
+    } else {
+      a(i, i) += 1.0;  // novel id: dwell
+    }
+  }
+  a.normalize_rows();
+
+  // Emissions: the majority vote reports the true state with prob 1 - q.
+  Matrix b(m, m, m > 1 ? glitch_prob / static_cast<double>(m - 1) : 1.0);
+  for (std::size_t i = 0; i < m; ++i) b(i, i) = 1.0 - glitch_prob;
+  b.normalize_rows();
+
+  // Initial distribution: occupancy over chain states, floor elsewhere.
+  std::vector<double> pi(m, kFloor);
+  const auto occ = m_c.occupancy();
+  for (std::size_t i = 0; i < chain_states.size(); ++i) pi[i] += occ[i];
+  double total = 0.0;
+  for (const double p : pi) total += p;
+  for (double& p : pi) p /= total;
+
+  const hmm::Hmm model(std::move(a), std::move(b), std::move(pi));
+  hmm::Sequence symbols;
+  symbols.reserve(observed.size());
+  for (const auto id : observed) symbols.push_back(index.at(id));
+
+  const auto decoded = model.viterbi(symbols);
+  std::vector<hmm::StateId> out;
+  out.reserve(decoded.path.size());
+  for (const auto idx : decoded.path) out.push_back(ids[idx]);
+  return out;
+}
+
+std::size_t smoothing_repairs(const std::vector<hmm::StateId>& observed,
+                              const std::vector<hmm::StateId>& smoothed) {
+  if (observed.size() != smoothed.size()) {
+    throw std::invalid_argument("smoothing_repairs: length mismatch");
+  }
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) n += observed[i] != smoothed[i];
+  return n;
+}
+
+}  // namespace sentinel::core

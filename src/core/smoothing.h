@@ -1,0 +1,35 @@
+// Viterbi smoothing of the correct-state sequence.
+//
+// The paper estimates the hidden environment state c_i per window by
+// majority clustering; a single window's majority can flip spuriously (a
+// burst of packet loss, a cluster boundary grazing). This extension repairs
+// such transient glitches offline: the learned M_C supplies the transition
+// structure, each window's majority vote is treated as a noisy observation
+// of the true state (correct with probability 1 - glitch_prob), and the
+// classical Viterbi decoder -- the same substrate the Warrender baseline
+// uses -- recovers the most likely true state sequence. Glitches that the
+// transition structure does not support get smoothed away; genuine
+// transitions (which M_C has seen and supports) survive.
+
+#pragma once
+
+#include <vector>
+
+#include "hmm/markov_chain.h"
+
+namespace sentinel::core {
+
+/// Decode the most likely true state sequence behind `observed` under the
+/// dynamics of `m_c`. glitch_prob in (0, 0.5): probability that a window's
+/// majority vote misreports the true state. Ids in `observed` that m_c has
+/// never seen are kept as their own states (self-loop dynamics), so novel
+/// regimes are not erased. Returns a sequence of the same length.
+std::vector<hmm::StateId> smooth_correct_sequence(const hmm::MarkovChain& m_c,
+                                                  const std::vector<hmm::StateId>& observed,
+                                                  double glitch_prob = 0.05);
+
+/// Count positions where smoothing changed the sequence (diagnostic).
+std::size_t smoothing_repairs(const std::vector<hmm::StateId>& observed,
+                              const std::vector<hmm::StateId>& smoothed);
+
+}  // namespace sentinel::core

@@ -1,0 +1,46 @@
+#include "core/state_ident.h"
+
+#include <stdexcept>
+
+namespace sentinel::core {
+
+WindowStates identify_states(const ObservationSet& window, const ModelStateSet& states) {
+  if (window.per_sensor.empty()) {
+    throw std::invalid_argument("identify_states: empty window");
+  }
+
+  WindowStates out;
+  out.sensors = window.per_sensor.size();
+
+  // eq. (2): o_i = argmin_k || s_k - mean(all observations) ||.
+  out.observable = states.map(window.overall_mean());
+
+  // eq. (3): l_j per sensor representative.
+  std::map<StateId, std::size_t> cluster_sizes;
+  for (const auto& [sensor, p] : window.per_sensor) {
+    const StateId l = states.map(p);
+    out.mapping[sensor] = l;
+    ++cluster_sizes[l];
+  }
+
+  // eq. (4): c_i = the state with the largest cluster of observations.
+  StateId best = out.mapping.begin()->second;
+  std::size_t best_size = 0;
+  for (const auto& [id, size] : cluster_sizes) {
+    const bool larger = size > best_size;
+    const bool tie = size == best_size;
+    // Deterministic tie-break: prefer the cluster that agrees with the
+    // network-level observable state, then the smaller id (std::map order
+    // guarantees ascending iteration, so the first seen is the smallest).
+    const bool prefer_on_tie = tie && id == out.observable && best != out.observable;
+    if (larger || prefer_on_tie) {
+      best = id;
+      best_size = size;
+    }
+  }
+  out.correct = best;
+  out.majority_size = cluster_sizes[best];
+  return out;
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,35 @@
+// Observable / Correct state identification (paper section 3.1, eqs. (2)-(4)).
+//
+// Given a window's observation set and the current model states:
+//  - the *observable* state o_i is the model state nearest the mean of all
+//    observations (eq. (2)) -- what the network as a whole reports,
+//  - each sensor representative maps to a model state l_j (eq. (3)),
+//  - the *correct* state c_i is the model state holding the largest group of
+//    observations (eq. (4)) -- valid under the paper's majority assumption:
+//    the largest cluster of observations contains a majority of correct
+//    sensors.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/model_states.h"
+#include "trace/windower.h"
+
+namespace sentinel::core {
+
+struct WindowStates {
+  StateId observable = 0;                 // o_i
+  StateId correct = 0;                    // c_i
+  std::map<SensorId, StateId> mapping;    // l_j per sensor
+  std::size_t majority_size = 0;          // |largest cluster|
+  std::size_t sensors = 0;                // representatives in the window
+};
+
+/// Identify o_i, c_i, and l_j for one window. Requires a nonempty window.
+/// Ties in eq. (4) break toward the cluster containing the observable state,
+/// then toward the smaller state id (deterministic).
+WindowStates identify_states(const ObservationSet& window, const ModelStateSet& states);
+
+}  // namespace sentinel::core

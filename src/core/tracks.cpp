@@ -1,0 +1,136 @@
+#include "core/tracks.h"
+
+#include "util/serialize.h"
+
+namespace sentinel::core {
+
+void TrackManager::open(SensorId sensor, std::size_t window) {
+  auto& list = tracks_[sensor];
+  if (!list.empty() && list.back().active()) return;
+  list.emplace_back(hmm_cfg_);
+  list.back().opened_window = window;
+}
+
+void TrackManager::close(SensorId sensor, std::size_t window) {
+  const auto it = tracks_.find(sensor);
+  if (it == tracks_.end() || it->second.empty()) return;
+  auto& last = it->second.back();
+  if (last.active()) last.closed_window = window;
+}
+
+bool TrackManager::has_active_track(SensorId sensor) const {
+  const auto it = tracks_.find(sensor);
+  return it != tracks_.end() && !it->second.empty() && it->second.back().active();
+}
+
+void TrackManager::observe(SensorId sensor, hmm::StateId correct, hmm::StateId error_state) {
+  const auto it = tracks_.find(sensor);
+  if (it == tracks_.end() || it->second.empty() || !it->second.back().active()) return;
+  auto& track = it->second.back();
+  track.m_ce.observe(correct, error_state);
+  ++track.observations;
+  auto agg = aggregates_.find(sensor);
+  if (agg == aggregates_.end()) agg = aggregates_.emplace(sensor, Aggregate(hmm_cfg_)).first;
+  agg->second.m_ce.observe(correct, error_state);
+  if (error_state != hmm::kBottomSymbol) {
+    ++track.anomalous_observations;
+    ++agg->second.anomalous;
+  }
+}
+
+const std::vector<Track>* TrackManager::tracks(SensorId sensor) const {
+  const auto it = tracks_.find(sensor);
+  return it == tracks_.end() ? nullptr : &it->second;
+}
+
+const Track* TrackManager::best_track(SensorId sensor) const {
+  const auto* list = tracks(sensor);
+  if (list == nullptr || list->empty()) return nullptr;
+  const Track* best = &list->front();
+  for (const auto& t : *list) {
+    if (t.anomalous_observations > best->anomalous_observations) best = &t;
+  }
+  return best;
+}
+
+const hmm::OnlineHmm* TrackManager::combined_m_ce(SensorId sensor) const {
+  const auto it = aggregates_.find(sensor);
+  return it == aggregates_.end() ? nullptr : &it->second.m_ce;
+}
+
+std::size_t TrackManager::total_anomalies(SensorId sensor) const {
+  const auto it = aggregates_.find(sensor);
+  return it == aggregates_.end() ? 0 : it->second.anomalous;
+}
+
+std::vector<SensorId> TrackManager::tracked_sensors() const {
+  std::vector<SensorId> out;
+  out.reserve(tracks_.size());
+  for (const auto& [id, list] : tracks_) {
+    if (!list.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t TrackManager::total_tracks() const {
+  std::size_t n = 0;
+  for (const auto& [id, list] : tracks_) n += list.size();
+  return n;
+}
+
+void TrackManager::save(std::ostream& os) const {
+  serialize::tag(os, "tracks");
+  serialize::put(os, tracks_.size());
+  for (const auto& [sensor, list] : tracks_) {
+    serialize::put(os, sensor);
+    serialize::put(os, list.size());
+    for (const auto& t : list) {
+      serialize::put(os, t.opened_window);
+      serialize::put(os, t.closed_window.has_value());
+      serialize::put(os, t.closed_window.value_or(0));
+      serialize::put(os, t.observations);
+      serialize::put(os, t.anomalous_observations);
+      t.m_ce.save(os);
+    }
+  }
+  serialize::put(os, aggregates_.size());
+  for (const auto& [sensor, agg] : aggregates_) {
+    serialize::put(os, sensor);
+    serialize::put(os, agg.anomalous);
+    agg.m_ce.save(os);
+  }
+  os << '\n';
+}
+
+TrackManager TrackManager::load(hmm::OnlineHmmConfig hmm_cfg, std::istream& is) {
+  serialize::expect(is, "tracks");
+  TrackManager tm(hmm_cfg);
+  const auto n_sensors = serialize::get<std::size_t>(is);
+  for (std::size_t i = 0; i < n_sensors; ++i) {
+    const auto sensor = serialize::get<SensorId>(is);
+    const auto n_tracks = serialize::get<std::size_t>(is);
+    auto& list = tm.tracks_[sensor];
+    for (std::size_t t = 0; t < n_tracks; ++t) {
+      Track track(hmm_cfg);
+      track.opened_window = serialize::get<std::size_t>(is);
+      const bool closed = serialize::get_bool(is);
+      const auto closed_at = serialize::get<std::size_t>(is);
+      if (closed) track.closed_window = closed_at;
+      track.observations = serialize::get<std::size_t>(is);
+      track.anomalous_observations = serialize::get<std::size_t>(is);
+      track.m_ce = hmm::OnlineHmm::load(hmm_cfg, is);
+      list.push_back(std::move(track));
+    }
+  }
+  const auto n_aggs = serialize::get<std::size_t>(is);
+  for (std::size_t i = 0; i < n_aggs; ++i) {
+    const auto sensor = serialize::get<SensorId>(is);
+    Aggregate agg(hmm_cfg);
+    agg.anomalous = serialize::get<std::size_t>(is);
+    agg.m_ce = hmm::OnlineHmm::load(hmm_cfg, is);
+    tm.aggregates_.emplace(sensor, std::move(agg));
+  }
+  return tm;
+}
+
+}  // namespace sentinel::core

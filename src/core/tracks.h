@@ -1,0 +1,88 @@
+// Error/Attack Track Management (paper section 3.1).
+//
+// One error/attack track per misbehaving sensor: a track opens when the
+// sensor's filtered alarm b^j is raised and closes when it clears. While a
+// track is active, each window contributes an error/attack state
+//   e_i = l_j           when the sensor disagrees with the correct state,
+//   e_i = bottom        when it (momentarily) agrees,
+// and the pair (c_i, e_i) feeds the track's online HMM M_CE, whose emission
+// matrix B^CE the classifier inspects for the error-type signatures.
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hmm/online_hmm.h"
+#include "trace/record.h"
+
+namespace sentinel::core {
+
+struct Track {
+  std::size_t opened_window = 0;
+  std::optional<std::size_t> closed_window;  // nullopt = still active
+  hmm::OnlineHmm m_ce;
+  std::size_t observations = 0;        // windows fed (incl. bottom)
+  std::size_t anomalous_observations = 0;  // windows with e != bottom
+
+  explicit Track(hmm::OnlineHmmConfig cfg) : m_ce(cfg) {}
+
+  bool active() const { return !closed_window.has_value(); }
+};
+
+class TrackManager {
+ public:
+  explicit TrackManager(hmm::OnlineHmmConfig hmm_cfg) : hmm_cfg_(hmm_cfg) {}
+
+  /// Open a track for `sensor` at `window` (no-op if one is already active).
+  void open(SensorId sensor, std::size_t window);
+
+  /// Close the active track, if any.
+  void close(SensorId sensor, std::size_t window);
+
+  bool has_active_track(SensorId sensor) const;
+
+  /// Feed one window's (c_i, e_i) to the sensor's active track.
+  /// e = hmm::kBottomSymbol when the sensor agrees with the correct state.
+  void observe(SensorId sensor, hmm::StateId correct, hmm::StateId error_state);
+
+  /// All tracks (closed and active) of a sensor, in open order.
+  const std::vector<Track>* tracks(SensorId sensor) const;
+
+  /// The most informative track of a sensor: the one with the most anomalous
+  /// observations (diagnosis wants the track that saw the fault longest).
+  const Track* best_track(SensorId sensor) const;
+
+  /// Per-sensor evidence aggregated across ALL of the sensor's tracks: an
+  /// intermittent fault (or a duty-cycled / state-gated attack) opens many
+  /// short tracks, and the B^CE signature only becomes readable once their
+  /// observations are pooled.
+  const hmm::OnlineHmm* combined_m_ce(SensorId sensor) const;
+  std::size_t total_anomalies(SensorId sensor) const;
+
+  /// Sensors that ever had a track.
+  std::vector<SensorId> tracked_sensors() const;
+
+  std::size_t total_tracks() const;
+
+  /// Checkpointing: every track (with its M_CE) and per-sensor aggregates.
+  /// load() requires the same OnlineHmmConfig the saved instance had.
+  void save(std::ostream& os) const;
+  static TrackManager load(hmm::OnlineHmmConfig hmm_cfg, std::istream& is);
+
+ private:
+  struct Aggregate {
+    hmm::OnlineHmm m_ce;
+    std::size_t anomalous = 0;
+
+    explicit Aggregate(hmm::OnlineHmmConfig cfg) : m_ce(cfg) {}
+  };
+
+  hmm::OnlineHmmConfig hmm_cfg_;
+  std::map<SensorId, std::vector<Track>> tracks_;
+  std::map<SensorId, Aggregate> aggregates_;
+};
+
+}  // namespace sentinel::core

@@ -1,0 +1,103 @@
+#include "faults/attack_models.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sentinel::faults {
+
+bool StateRegion::contains(const AttrVec& p) const {
+  if (center.empty()) return true;  // empty region = everywhere
+  return vecn::dist(center, p) <= radius;
+}
+
+AttrVec coalition_injection(const AttrVec& truth, const AttrVec& target, double fraction,
+                            const std::vector<ValueRange>& ranges) {
+  if (!(fraction > 0.0 && fraction <= 1.0)) {
+    throw std::invalid_argument("coalition_injection: fraction out of (0,1]");
+  }
+  vecn::check_same_size(truth, target);
+  AttrVec v(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    v[i] = (target[i] - (1.0 - fraction) * truth[i]) / fraction;
+    if (i < ranges.size()) v[i] = ranges[i].clamp(v[i]);
+  }
+  return v;
+}
+
+DynamicCreationAttack::DynamicCreationAttack(CreationAttackConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.created_state.empty()) {
+    throw std::invalid_argument("DynamicCreationAttack: empty created state");
+  }
+  if (!(cfg_.on_seconds > 0.0) || cfg_.off_seconds < 0.0) {
+    throw std::invalid_argument("DynamicCreationAttack: bad duty cycle");
+  }
+}
+
+bool DynamicCreationAttack::active_at(double t, const AttrVec& truth) const {
+  if (!cfg_.victim.contains(truth)) return false;
+  const double period = cfg_.on_seconds + cfg_.off_seconds;
+  if (period <= 0.0) return true;
+  const double phase = std::fmod(t, period);
+  return phase < cfg_.on_seconds;
+}
+
+std::optional<AttrVec> DynamicCreationAttack::apply(SensorId, double t, const AttrVec& measured,
+                                                    const AttrVec& truth) {
+  if (!active_at(t, truth)) return measured;
+  return coalition_injection(truth, cfg_.created_state, cfg_.fraction, cfg_.ranges);
+}
+
+DynamicDeletionAttack::DynamicDeletionAttack(DeletionAttackConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.deleted.center.empty() || cfg_.hold_state.empty()) {
+    throw std::invalid_argument("DynamicDeletionAttack: deleted/hold states required");
+  }
+}
+
+bool DynamicDeletionAttack::active_at(const AttrVec& truth) const {
+  return cfg_.deleted.contains(truth);
+}
+
+std::optional<AttrVec> DynamicDeletionAttack::apply(SensorId, double, const AttrVec& measured,
+                                                    const AttrVec& truth) {
+  if (!active_at(truth)) return measured;
+  return coalition_injection(truth, cfg_.hold_state, cfg_.fraction, cfg_.ranges);
+}
+
+DynamicChangeAttack::DynamicChangeAttack(ChangeAttackConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.victim.center.empty() || cfg_.observed_as.empty()) {
+    throw std::invalid_argument("DynamicChangeAttack: victim/target states required");
+  }
+}
+
+bool DynamicChangeAttack::active_at(const AttrVec& truth) const {
+  return cfg_.victim.contains(truth);
+}
+
+std::optional<AttrVec> DynamicChangeAttack::apply(SensorId, double, const AttrVec& measured,
+                                                  const AttrVec& truth) {
+  if (!active_at(truth)) return measured;
+  return coalition_injection(truth, cfg_.observed_as, cfg_.fraction, cfg_.ranges);
+}
+
+MixedAttack::MixedAttack(CreationAttackConfig creation, DeletionAttackConfig deletion)
+    : creation_(std::move(creation)), deletion_(std::move(deletion)) {}
+
+std::optional<AttrVec> MixedAttack::apply(SensorId sensor, double t, const AttrVec& measured,
+                                          const AttrVec& truth) {
+  if (deletion_.active_at(truth)) return deletion_.apply(sensor, t, measured, truth);
+  return creation_.apply(sensor, t, measured, truth);
+}
+
+BenignAttack::BenignAttack(double noise_sigma, std::uint64_t seed)
+    : noise_sigma_(noise_sigma), rng_(seed, "benign-attack") {
+  if (noise_sigma < 0.0) throw std::invalid_argument("BenignAttack: negative sigma");
+}
+
+std::optional<AttrVec> BenignAttack::apply(SensorId, double, const AttrVec&,
+                                           const AttrVec& truth) {
+  AttrVec out = truth;
+  for (double& x : out) x += rng_.gaussian(0.0, noise_sigma_);
+  return out;
+}
+
+}  // namespace sentinel::faults

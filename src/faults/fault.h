@@ -1,0 +1,50 @@
+// Fault/attack model interface.
+//
+// A FaultModel rewrites a single sensor's reading at the moment it leaves the
+// node -- the point where both a degrading transducer and an adversary who
+// has reprogrammed the mote act. Models receive the ground truth Theta(t)
+// because the paper's adversary "knows the underlying dynamics of the
+// environment and attempts to selectively change the view of the environment
+// sensed by the network" (section 3.4); accidental-error models ignore it.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "trace/record.h"
+
+namespace sentinel::faults {
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// Rewrite `measured` (truth + noise) at time t; nullopt suppresses the
+  /// packet (mute sensor).
+  virtual std::optional<AttrVec> apply(SensorId sensor, double t, const AttrVec& measured,
+                                       const AttrVec& truth) = 0;
+
+  /// Human-readable model name ("stuck-at", "dynamic-creation", ...).
+  virtual std::string name() const = 0;
+};
+
+using FaultModelPtr = std::unique_ptr<FaultModel>;
+
+/// Admissible range of a physical attribute; attack models clamp injected
+/// values to it because out-of-range values "could be easily detected with
+/// range checking" (paper section 4.2).
+struct ValueRange {
+  double lo = 0.0;
+  double hi = 100.0;
+
+  double clamp(double x) const { return x < lo ? lo : (x > hi ? hi : x); }
+};
+
+/// Per-attribute admissible ranges for the GDI (temperature, humidity) schema.
+inline std::vector<ValueRange> gdi_ranges() {
+  return {ValueRange{-40.0, 60.0}, ValueRange{0.0, 100.0}};
+}
+
+}  // namespace sentinel::faults

@@ -1,0 +1,66 @@
+#include "faults/fault_models.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sentinel::faults {
+
+StuckAtFault::StuckAtFault(AttrVec stuck_value) : stuck_value_(std::move(stuck_value)) {
+  if (stuck_value_.empty()) throw std::invalid_argument("StuckAtFault: empty value");
+}
+
+std::optional<AttrVec> StuckAtFault::apply(SensorId, double, const AttrVec&, const AttrVec&) {
+  return stuck_value_;
+}
+
+CalibrationFault::CalibrationFault(AttrVec gains) : gains_(std::move(gains)) {
+  if (gains_.empty()) throw std::invalid_argument("CalibrationFault: empty gains");
+}
+
+std::optional<AttrVec> CalibrationFault::apply(SensorId, double, const AttrVec& measured,
+                                               const AttrVec&) {
+  vecn::check_same_size(measured, gains_);
+  AttrVec out(measured.size());
+  for (std::size_t i = 0; i < measured.size(); ++i) out[i] = measured[i] * gains_[i];
+  return out;
+}
+
+AdditiveFault::AdditiveFault(AttrVec offsets) : offsets_(std::move(offsets)) {
+  if (offsets_.empty()) throw std::invalid_argument("AdditiveFault: empty offsets");
+}
+
+std::optional<AttrVec> AdditiveFault::apply(SensorId, double, const AttrVec& measured,
+                                            const AttrVec&) {
+  return vecn::add(measured, offsets_);
+}
+
+RandomNoiseFault::RandomNoiseFault(double sigma, std::uint64_t seed)
+    : sigma_(sigma), rng_(seed, "random-noise-fault") {
+  if (sigma < 0.0) throw std::invalid_argument("RandomNoiseFault: negative sigma");
+}
+
+std::optional<AttrVec> RandomNoiseFault::apply(SensorId, double, const AttrVec& measured,
+                                               const AttrVec&) {
+  AttrVec out = measured;
+  for (double& x : out) x += rng_.gaussian(0.0, sigma_);
+  return out;
+}
+
+DriftFault::DriftFault(int attr, double floor, double start_time, double drift_seconds)
+    : attr_(attr), floor_(floor), start_time_(start_time), drift_seconds_(drift_seconds) {
+  if (!(drift_seconds > 0.0)) throw std::invalid_argument("DriftFault: drift time must be positive");
+}
+
+std::optional<AttrVec> DriftFault::apply(SensorId, double t, const AttrVec& measured,
+                                         const AttrVec&) {
+  AttrVec out = measured;
+  if (t < start_time_) return out;
+  const double progress = std::min(1.0, (t - start_time_) / drift_seconds_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (attr_ >= 0 && static_cast<std::size_t>(attr_) != i) continue;
+    out[i] = out[i] + progress * (floor_ - out[i]);
+  }
+  return out;
+}
+
+}  // namespace sentinel::faults

@@ -1,0 +1,98 @@
+// Accidental-error models (paper section 3.3, "Model for Accidental Errors"):
+//   Stuck-at-Value -- the sensor constantly reports a fixed reading;
+//   Calibration   -- readings affected by a multiplicative error;
+//   Additive      -- readings affected by an additive error;
+//   Random-Noise  -- readings affected by zero-mean noise with high variance.
+// Plus DriftFault, modelling the paper's real faulty sensor 6, whose humidity
+// "starts reporting a continuously decreasing value ... eventually leading to
+// an almost-zero value" before sticking there (the field-study observation
+// that sensors degrade days before the electronics fail).
+
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault.h"
+#include "util/rng.h"
+
+namespace sentinel::faults {
+
+class StuckAtFault final : public FaultModel {
+ public:
+  explicit StuckAtFault(AttrVec stuck_value);
+  std::optional<AttrVec> apply(SensorId, double, const AttrVec&, const AttrVec&) override;
+  std::string name() const override { return "stuck-at"; }
+
+  const AttrVec& stuck_value() const { return stuck_value_; }
+
+ private:
+  AttrVec stuck_value_;
+};
+
+class CalibrationFault final : public FaultModel {
+ public:
+  /// gains: per-attribute multiplicative factor (x_e = gain * x_c).
+  explicit CalibrationFault(AttrVec gains);
+  std::optional<AttrVec> apply(SensorId, double, const AttrVec& measured,
+                               const AttrVec&) override;
+  std::string name() const override { return "calibration"; }
+
+  const AttrVec& gains() const { return gains_; }
+
+ private:
+  AttrVec gains_;
+};
+
+class AdditiveFault final : public FaultModel {
+ public:
+  /// offsets: per-attribute additive bias (x_e = x_c + offset).
+  explicit AdditiveFault(AttrVec offsets);
+  std::optional<AttrVec> apply(SensorId, double, const AttrVec& measured,
+                               const AttrVec&) override;
+  std::string name() const override { return "additive"; }
+
+  const AttrVec& offsets() const { return offsets_; }
+
+ private:
+  AttrVec offsets_;
+};
+
+class RandomNoiseFault final : public FaultModel {
+ public:
+  /// sigma: stddev of the extra zero-mean noise (per attribute, same value).
+  RandomNoiseFault(double sigma, std::uint64_t seed);
+  std::optional<AttrVec> apply(SensorId, double, const AttrVec& measured,
+                               const AttrVec&) override;
+  std::string name() const override { return "random-noise"; }
+
+ private:
+  double sigma_;
+  Rng rng_;
+};
+
+/// Linear degradation of selected attributes toward a floor value over
+/// `drift_seconds`, then stuck at the floor. attr < 0 drifts all attributes.
+class DriftFault final : public FaultModel {
+ public:
+  DriftFault(int attr, double floor, double start_time, double drift_seconds);
+  std::optional<AttrVec> apply(SensorId, double t, const AttrVec& measured,
+                               const AttrVec&) override;
+  std::string name() const override { return "drift-to-floor"; }
+
+ private:
+  int attr_;
+  double floor_;
+  double start_time_;
+  double drift_seconds_;
+};
+
+/// Packet-suppressing fault: the node goes mute (crash / battery death).
+class MuteFault final : public FaultModel {
+ public:
+  std::optional<AttrVec> apply(SensorId, double, const AttrVec&, const AttrVec&) override {
+    return std::nullopt;
+  }
+  std::string name() const override { return "mute"; }
+};
+
+}  // namespace sentinel::faults

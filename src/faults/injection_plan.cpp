@@ -1,0 +1,55 @@
+#include "faults/injection_plan.h"
+
+#include <stdexcept>
+
+namespace sentinel::faults {
+
+void InjectionPlan::add(SensorId sensor, FaultModelPtr model, double start_time,
+                        double end_time) {
+  if (!model) throw std::invalid_argument("InjectionPlan::add: null model");
+  entries_[sensor].push_back(Entry{std::move(model), start_time, end_time});
+}
+
+std::optional<AttrVec> InjectionPlan::apply(SensorId sensor, double t, const AttrVec& measured,
+                                            const AttrVec& truth) const {
+  const auto it = entries_.find(sensor);
+  if (it == entries_.end()) return measured;
+  AttrVec current = measured;
+  for (const auto& entry : it->second) {
+    if (!entry.active(t)) continue;
+    auto next = entry.model->apply(sensor, t, current, truth);
+    if (!next) return std::nullopt;  // packet suppressed
+    current = std::move(*next);
+  }
+  return current;
+}
+
+std::vector<SensorId> InjectionPlan::injected_sensors() const {
+  std::vector<SensorId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, v] : entries_) {
+    if (!v.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+bool InjectionPlan::has_entries_for(SensorId sensor) const {
+  const auto it = entries_.find(sensor);
+  return it != entries_.end() && !it->second.empty();
+}
+
+std::size_t InjectionPlan::size() const {
+  std::size_t n = 0;
+  for (const auto& [id, v] : entries_) n += v.size();
+  return n;
+}
+
+sim::RecordTransform make_transform(std::shared_ptr<InjectionPlan> plan) {
+  if (!plan) throw std::invalid_argument("make_transform: null plan");
+  return [plan = std::move(plan)](SensorId sensor, double t, const AttrVec& measured,
+                                  const AttrVec& truth) {
+    return plan->apply(sensor, t, measured, truth);
+  };
+}
+
+}  // namespace sentinel::faults

@@ -1,0 +1,53 @@
+// Injection schedule: which fault/attack model afflicts which sensor, and
+// when. The plan composes into the simulator through sim::RecordTransform.
+//
+// Multiple entries may target the same sensor (e.g. a drift fault followed by
+// stuck-at); entries are evaluated in insertion order and chained -- each
+// active entry transforms the output of the previous one.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "faults/fault.h"
+#include "sim/network.h"
+
+namespace sentinel::faults {
+
+class InjectionPlan {
+ public:
+  /// Attach `model` to `sensor`, active on [start_time, end_time).
+  /// end_time <= 0 means "until the end of the simulation".
+  void add(SensorId sensor, FaultModelPtr model, double start_time = 0.0,
+           double end_time = -1.0);
+
+  /// Apply all active entries for this sensor at time t.
+  std::optional<AttrVec> apply(SensorId sensor, double t, const AttrVec& measured,
+                               const AttrVec& truth) const;
+
+  /// Sensors with at least one entry (the injected set, for ground truth in
+  /// accuracy experiments).
+  std::vector<SensorId> injected_sensors() const;
+
+  bool has_entries_for(SensorId sensor) const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    FaultModelPtr model;
+    double start;
+    double end;  // < 0 = open-ended
+
+    bool active(double t) const { return t >= start && (end < 0.0 || t < end); }
+  };
+
+  std::map<SensorId, std::vector<Entry>> entries_;
+};
+
+/// Bind a plan into a simulator transform. The returned closure shares
+/// ownership of the plan, so the plan outlives the simulation.
+sim::RecordTransform make_transform(std::shared_ptr<InjectionPlan> plan);
+
+}  // namespace sentinel::faults

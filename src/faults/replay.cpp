@@ -1,0 +1,72 @@
+#include "faults/replay.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/windower.h"
+#include "util/stats.h"
+
+namespace sentinel::faults {
+
+TraceEnvironment::TraceEnvironment(const std::vector<SensorRecord>& records,
+                                   TraceEnvironmentConfig cfg) {
+  if (!(cfg.window_seconds > 0.0)) {
+    throw std::invalid_argument("TraceEnvironment: window must be positive");
+  }
+  for (const auto& w : window_trace(records, cfg.window_seconds)) {
+    if (w.empty()) continue;
+    if (dims_ == 0) dims_ = w.raw.front().size();
+    // Per-attribute median across every reading in the window.
+    AttrVec med(dims_);
+    std::vector<double> xs;
+    xs.reserve(w.raw.size());
+    for (std::size_t a = 0; a < dims_; ++a) {
+      xs.clear();
+      for (const auto& p : w.raw) {
+        if (p.size() == dims_) xs.push_back(p[a]);
+      }
+      med[a] = median(xs);
+    }
+    times_.push_back(0.5 * (w.window_start + w.window_end));
+    centers_.push_back(std::move(med));
+  }
+  if (centers_.empty()) {
+    throw std::invalid_argument("TraceEnvironment: trace has no nonempty window");
+  }
+}
+
+AttrVec TraceEnvironment::truth(double t) const {
+  if (t <= times_.front()) return centers_.front();
+  if (t >= times_.back()) return centers_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  const double frac = span > 0.0 ? (t - times_[lo]) / span : 0.0;
+  AttrVec out(dims_);
+  for (std::size_t a = 0; a < dims_; ++a) {
+    out[a] = centers_[lo][a] * (1.0 - frac) + centers_[hi][a] * frac;
+  }
+  return out;
+}
+
+std::vector<SensorRecord> inject_into_trace(const std::vector<SensorRecord>& records,
+                                            const faults::InjectionPlan& plan,
+                                            const sim::Environment& truth_env) {
+  std::vector<SensorRecord> out;
+  out.reserve(records.size());
+  for (const auto& rec : records) {
+    if (!plan.has_entries_for(rec.sensor)) {
+      out.push_back(rec);
+      continue;
+    }
+    auto rewritten = plan.apply(rec.sensor, rec.time, rec.attrs, truth_env.truth(rec.time));
+    if (!rewritten) continue;  // suppressed packet
+    SensorRecord r = rec;
+    r.attrs = std::move(*rewritten);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace sentinel::faults

@@ -1,0 +1,334 @@
+#include "hmm/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace sentinel::hmm {
+
+namespace {
+
+void check_distribution(const std::vector<double>& p, const char* what) {
+  double s = 0.0;
+  for (const double x : p) {
+    if (x < -1e-12 || x > 1.0 + 1e-12) throw std::invalid_argument(std::string(what) + ": entry out of [0,1]");
+    s += x;
+  }
+  if (std::abs(s - 1.0) > 1e-6) throw std::invalid_argument(std::string(what) + ": does not sum to 1");
+}
+
+}  // namespace
+
+Hmm::Hmm(Matrix a, Matrix b, std::vector<double> pi)
+    : a_(std::move(a)), b_(std::move(b)), pi_(std::move(pi)) {
+  validate();
+}
+
+void Hmm::validate() const {
+  if (a_.rows() == 0 || a_.rows() != a_.cols()) throw std::invalid_argument("Hmm: A must be square, nonempty");
+  if (b_.rows() != a_.rows() || b_.cols() == 0) throw std::invalid_argument("Hmm: B shape mismatch");
+  if (pi_.size() != a_.rows()) throw std::invalid_argument("Hmm: pi length mismatch");
+  if (!a_.is_row_stochastic(1e-6)) throw std::invalid_argument("Hmm: A not row-stochastic");
+  if (!b_.is_row_stochastic(1e-6)) throw std::invalid_argument("Hmm: B not row-stochastic");
+  check_distribution(pi_, "Hmm: pi");
+}
+
+Hmm Hmm::uniform(std::size_t num_states, std::size_t num_symbols) {
+  if (num_states == 0 || num_symbols == 0) throw std::invalid_argument("Hmm::uniform: zero size");
+  Matrix a(num_states, num_states, 1.0 / static_cast<double>(num_states));
+  Matrix b(num_states, num_symbols, 1.0 / static_cast<double>(num_symbols));
+  std::vector<double> pi(num_states, 1.0 / static_cast<double>(num_states));
+  return Hmm(std::move(a), std::move(b), std::move(pi));
+}
+
+Hmm Hmm::random(std::size_t num_states, std::size_t num_symbols, Rng& rng) {
+  if (num_states == 0 || num_symbols == 0) throw std::invalid_argument("Hmm::random: zero size");
+  Matrix a(num_states, num_states);
+  Matrix b(num_states, num_symbols);
+  for (std::size_t i = 0; i < num_states; ++i) {
+    for (std::size_t j = 0; j < num_states; ++j) a(i, j) = rng.uniform(0.1, 1.0);
+    for (std::size_t k = 0; k < num_symbols; ++k) b(i, k) = rng.uniform(0.1, 1.0);
+  }
+  a.normalize_rows();
+  b.normalize_rows();
+  std::vector<double> pi(num_states);
+  double s = 0.0;
+  for (double& x : pi) {
+    x = rng.uniform(0.1, 1.0);
+    s += x;
+  }
+  for (double& x : pi) x /= s;
+  return Hmm(std::move(a), std::move(b), std::move(pi));
+}
+
+ForwardResult Hmm::forward(const Sequence& obs) const {
+  if (obs.empty()) throw std::invalid_argument("Hmm::forward: empty sequence");
+  const std::size_t t_len = obs.size();
+  const std::size_t m = num_states();
+
+  ForwardResult r;
+  r.scaled_alpha = Matrix(t_len, m);
+  r.scales.resize(t_len);
+
+  for (const std::size_t o : obs) {
+    if (o >= num_symbols()) throw std::out_of_range("Hmm::forward: symbol out of range");
+  }
+
+  // t = 0
+  double c0 = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double v = pi_[i] * b_(i, obs[0]);
+    r.scaled_alpha(0, i) = v;
+    c0 += v;
+  }
+  if (c0 <= 0.0) c0 = std::numeric_limits<double>::min();
+  r.scales[0] = 1.0 / c0;
+  for (std::size_t i = 0; i < m; ++i) r.scaled_alpha(0, i) *= r.scales[0];
+
+  for (std::size_t t = 1; t < t_len; ++t) {
+    double ct = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) s += r.scaled_alpha(t - 1, i) * a_(i, j);
+      const double v = s * b_(j, obs[t]);
+      r.scaled_alpha(t, j) = v;
+      ct += v;
+    }
+    if (ct <= 0.0) ct = std::numeric_limits<double>::min();
+    r.scales[t] = 1.0 / ct;
+    for (std::size_t j = 0; j < m; ++j) r.scaled_alpha(t, j) *= r.scales[t];
+  }
+
+  double ll = 0.0;
+  for (const double c : r.scales) ll -= std::log(c);
+  r.log_likelihood = ll;
+  return r;
+}
+
+Matrix Hmm::backward(const Sequence& obs, const std::vector<double>& scales) const {
+  if (obs.empty()) throw std::invalid_argument("Hmm::backward: empty sequence");
+  if (scales.size() != obs.size()) throw std::invalid_argument("Hmm::backward: scales mismatch");
+  const std::size_t t_len = obs.size();
+  const std::size_t m = num_states();
+
+  Matrix beta(t_len, m);
+  for (std::size_t i = 0; i < m; ++i) beta(t_len - 1, i) = scales[t_len - 1];
+
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        s += a_(i, j) * b_(j, obs[t + 1]) * beta(t + 1, j);
+      }
+      beta(t, i) = s * scales[t];
+    }
+  }
+  return beta;
+}
+
+double Hmm::log_likelihood(const Sequence& obs) const { return forward(obs).log_likelihood; }
+
+double Hmm::normalized_log_likelihood(const Sequence& obs) const {
+  return log_likelihood(obs) / static_cast<double>(obs.size());
+}
+
+ViterbiResult Hmm::viterbi(const Sequence& obs) const {
+  if (obs.empty()) throw std::invalid_argument("Hmm::viterbi: empty sequence");
+  const std::size_t t_len = obs.size();
+  const std::size_t m = num_states();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const auto safe_log = [](double x) { return x > 0.0 ? std::log(x) : kNegInf; };
+
+  Matrix delta(t_len, m, kNegInf);
+  std::vector<std::vector<std::size_t>> psi(t_len, std::vector<std::size_t>(m, 0));
+
+  for (std::size_t i = 0; i < m; ++i) {
+    delta(0, i) = safe_log(pi_[i]) + safe_log(b_(i, obs[0]));
+  }
+  for (std::size_t t = 1; t < t_len; ++t) {
+    if (obs[t] >= num_symbols()) throw std::out_of_range("Hmm::viterbi: symbol out of range");
+    for (std::size_t j = 0; j < m; ++j) {
+      double best = kNegInf;
+      std::size_t arg = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const double v = delta(t - 1, i) + safe_log(a_(i, j));
+        if (v > best) {
+          best = v;
+          arg = i;
+        }
+      }
+      delta(t, j) = best + safe_log(b_(j, obs[t]));
+      psi[t][j] = arg;
+    }
+  }
+
+  ViterbiResult r;
+  r.path.resize(t_len);
+  double best = kNegInf;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (delta(t_len - 1, i) > best) {
+      best = delta(t_len - 1, i);
+      r.path[t_len - 1] = i;
+    }
+  }
+  r.log_probability = best;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    r.path[t] = psi[t + 1][r.path[t + 1]];
+  }
+  return r;
+}
+
+Matrix Hmm::posterior(const Sequence& obs) const {
+  const auto fwd = forward(obs);
+  const Matrix beta = backward(obs, fwd.scales);
+  Matrix gamma(obs.size(), num_states());
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < num_states(); ++i) {
+      gamma(t, i) = fwd.scaled_alpha(t, i) * beta(t, i) / fwd.scales[t];
+      norm += gamma(t, i);
+    }
+    if (norm > 0.0) {
+      for (std::size_t i = 0; i < num_states(); ++i) gamma(t, i) /= norm;
+    }
+  }
+  return gamma;
+}
+
+BaumWelchResult Hmm::baum_welch(const std::vector<Sequence>& sequences,
+                                const BaumWelchOptions& opts) {
+  if (sequences.empty()) throw std::invalid_argument("Hmm::baum_welch: no sequences");
+  for (const auto& s : sequences) {
+    if (s.empty()) throw std::invalid_argument("Hmm::baum_welch: empty sequence");
+  }
+  const std::size_t m = num_states();
+  const std::size_t n = num_symbols();
+
+  BaumWelchResult result;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    Matrix a_num(m, m, 0.0);
+    std::vector<double> a_den(m, 0.0);
+    Matrix b_num(m, n, 0.0);
+    std::vector<double> b_den(m, 0.0);
+    std::vector<double> pi_acc(m, 0.0);
+    double total_ll = 0.0;
+
+    for (const auto& obs : sequences) {
+      const auto fwd = forward(obs);
+      const auto beta = backward(obs, fwd.scales);
+      total_ll += fwd.log_likelihood;
+      const std::size_t t_len = obs.size();
+
+      // gamma(t,i) proportional to alpha_hat(t,i) * beta_hat(t,i) / c_t;
+      // with this scaling it is already normalized per t after dividing by
+      // the row sum (numerically safer than relying on exact cancellation).
+      for (std::size_t t = 0; t < t_len; ++t) {
+        double norm = 0.0;
+        std::vector<double> g(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          g[i] = fwd.scaled_alpha(t, i) * beta(t, i) / fwd.scales[t];
+          norm += g[i];
+        }
+        if (norm <= 0.0) continue;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double gi = g[i] / norm;
+          if (t == 0) pi_acc[i] += gi;
+          b_num(i, obs[t]) += gi;
+          b_den[i] += gi;
+          if (t + 1 < t_len) a_den[i] += gi;
+        }
+      }
+
+      // xi(t,i,j) proportional to alpha_hat(t,i) a_ij b_j(o_{t+1}) beta_hat(t+1,j).
+      for (std::size_t t = 0; t + 1 < t_len; ++t) {
+        double norm = 0.0;
+        Matrix xi(m, m);
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < m; ++j) {
+            const double v =
+                fwd.scaled_alpha(t, i) * a_(i, j) * b_(j, obs[t + 1]) * beta(t + 1, j);
+            xi(i, j) = v;
+            norm += v;
+          }
+        }
+        if (norm <= 0.0) continue;
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < m; ++j) a_num(i, j) += xi(i, j) / norm;
+        }
+      }
+    }
+
+    result.log_likelihood_per_iter.push_back(total_ll);
+    result.iterations = iter + 1;
+
+    // M-step.
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        a_(i, j) = a_den[i] > 0.0 ? a_num(i, j) / a_den[i] : a_(i, j);
+        a_(i, j) = std::max(a_(i, j), opts.floor);
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        b_(i, k) = b_den[i] > 0.0 ? b_num(i, k) / b_den[i] : b_(i, k);
+        b_(i, k) = std::max(b_(i, k), opts.floor);
+      }
+    }
+    a_.normalize_rows();
+    b_.normalize_rows();
+    double pi_sum = 0.0;
+    for (const double x : pi_acc) pi_sum += x;
+    if (pi_sum > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) pi_[i] = std::max(pi_acc[i] / pi_sum, opts.floor);
+      double s = 0.0;
+      for (const double x : pi_) s += x;
+      for (double& x : pi_) x /= s;
+    }
+
+    if (iter > 0 && total_ll - prev_ll < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_ll = total_ll;
+  }
+  return result;
+}
+
+void Hmm::save(std::ostream& os) const {
+  serialize::tag(os, "hmm");
+  serialize::put_matrix(os, a_);
+  serialize::put_matrix(os, b_);
+  serialize::put_vector(os, pi_);
+  os << '\n';
+}
+
+Hmm Hmm::load(std::istream& is) {
+  serialize::expect(is, "hmm");
+  Matrix a = serialize::get_matrix(is);
+  Matrix b = serialize::get_matrix(is);
+  auto pi = serialize::get_vector<double>(is);
+  return Hmm(std::move(a), std::move(b), std::move(pi));
+}
+
+Hmm::Sample Hmm::sample(std::size_t length, Rng& rng) const {
+  if (length == 0) throw std::invalid_argument("Hmm::sample: zero length");
+  Sample s;
+  s.states.resize(length);
+  s.symbols.resize(length);
+
+  s.states[0] = rng.categorical(pi_);
+  for (std::size_t t = 0; t < length; ++t) {
+    if (t > 0) {
+      const auto row = a_.row(s.states[t - 1]);
+      s.states[t] = rng.categorical(std::vector<double>(row.begin(), row.end()));
+    }
+    const auto row = b_.row(s.states[t]);
+    s.symbols[t] = rng.categorical(std::vector<double>(row.begin(), row.end()));
+  }
+  return s;
+}
+
+}  // namespace sentinel::hmm

@@ -1,0 +1,181 @@
+#include "hmm/online_hmm.h"
+
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace sentinel::hmm {
+
+OnlineHmm::OnlineHmm(OnlineHmmConfig cfg) : cfg_(cfg) {
+  if (!(cfg_.beta > 0.0 && cfg_.beta < 1.0)) {
+    throw std::invalid_argument("OnlineHmm: beta must be in (0,1)");
+  }
+  if (!(cfg_.gamma > 0.0 && cfg_.gamma < 1.0)) {
+    throw std::invalid_argument("OnlineHmm: gamma must be in (0,1)");
+  }
+}
+
+std::size_t OnlineHmm::intern_symbol(StateId id) {
+  const auto [it, inserted] = symbol_index_.try_emplace(id, symbol_ids_.size());
+  if (inserted) {
+    symbol_ids_.push_back(id);
+    b_.grow(b_.rows(), symbol_ids_.size(), 0.0);
+    b_avg_.grow(b_avg_.rows(), symbol_ids_.size(), 0.0);
+    symbol_totals_.push_back(0.0);
+  }
+  return it->second;
+}
+
+std::size_t OnlineHmm::intern_hidden(StateId id, StateId first_symbol) {
+  const auto [it, inserted] = hidden_index_.try_emplace(id, hidden_ids_.size());
+  if (inserted) {
+    hidden_ids_.push_back(id);
+    // Grow A with a fresh identity row (self-loop) and zero column entries
+    // for the existing rows.
+    a_.grow(hidden_ids_.size(), hidden_ids_.size(), 0.0);
+    a_(hidden_ids_.size() - 1, hidden_ids_.size() - 1) = 1.0;
+    a_avg_.grow(hidden_ids_.size(), hidden_ids_.size(), 0.0);
+    a_row_counts_.push_back(0.0);
+    // Grow B with a delta row on the state's first observed symbol -- the
+    // dynamic-state analogue of identity initialization.
+    const std::size_t sym = intern_symbol(first_symbol);
+    b_.grow(hidden_ids_.size(), symbol_ids_.size(), 0.0);
+    b_(hidden_ids_.size() - 1, sym) = 1.0;
+    b_avg_.grow(hidden_ids_.size(), symbol_ids_.size(), 0.0);
+    b_row_counts_.push_back(0.0);
+  }
+  return it->second;
+}
+
+void OnlineHmm::observe(StateId hidden, StateId symbol) {
+  const std::size_t j = intern_hidden(hidden, symbol);
+  const std::size_t l = intern_symbol(symbol);
+
+  if (last_hidden_ && *last_hidden_ != hidden) {
+    // Transition update on the previous state's row.
+    const std::size_t i = hidden_index_.at(*last_hidden_);
+    auto row = a_.row(i);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      row[k] = (1.0 - cfg_.beta) * row[k] + (k == j ? cfg_.beta : 0.0);
+    }
+    a_avg_(i, j) += 1.0;
+    a_row_counts_[i] += 1.0;
+  }
+
+  // Emission update. Row j (current) by default; row i (previous) under the
+  // literal reading -- identical whenever the state did not change.
+  std::size_t emit_row = j;
+  if (cfg_.update_previous_row && last_hidden_) emit_row = hidden_index_.at(*last_hidden_);
+  auto brow = b_.row(emit_row);
+  for (std::size_t k = 0; k < brow.size(); ++k) {
+    brow[k] = (1.0 - cfg_.gamma) * brow[k] + (k == l ? cfg_.gamma : 0.0);
+  }
+  b_avg_(emit_row, l) += 1.0;
+  b_row_counts_[emit_row] += 1.0;
+  symbol_totals_[l] += 1.0;
+
+  last_hidden_ = hidden;
+  ++steps_;
+}
+
+Matrix OnlineHmm::transition_matrix_avg() const {
+  Matrix out = a_avg_;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    if (a_row_counts_[r] <= 0.0) {
+      out(r, r) = 1.0;  // never left: identity row, like the EMA init
+      continue;
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= a_row_counts_[r];
+  }
+  return out;
+}
+
+Matrix OnlineHmm::emission_matrix_avg() const {
+  Matrix out = b_avg_;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    if (b_row_counts_[r] <= 0.0) {
+      // Never updated: mirror the EMA initialization (delta on the first
+      // symbol), which is exactly what b_ still holds for this row.
+      for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) = b_(r, c);
+      continue;
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= b_row_counts_[r];
+  }
+  return out;
+}
+
+std::optional<std::size_t> OnlineHmm::hidden_index(StateId id) const {
+  const auto it = hidden_index_.find(id);
+  if (it == hidden_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> OnlineHmm::symbol_index(StateId id) const {
+  const auto it = symbol_index_.find(id);
+  if (it == symbol_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+double OnlineHmm::transition(StateId from, StateId to) const {
+  const auto fi = hidden_index(from);
+  const auto ti = hidden_index(to);
+  if (!fi || !ti) return 0.0;
+  return a_(*fi, *ti);
+}
+
+double OnlineHmm::emission(StateId hidden, StateId symbol) const {
+  const auto hi = hidden_index(hidden);
+  const auto si = symbol_index(symbol);
+  if (!hi || !si) return 0.0;
+  return b_(*hi, *si);
+}
+
+
+void OnlineHmm::save(std::ostream& os) const {
+  serialize::tag(os, "online-hmm");
+  serialize::put_vector(os, hidden_ids_);
+  serialize::put_vector(os, symbol_ids_);
+  serialize::put_matrix(os, a_);
+  serialize::put_matrix(os, b_);
+  serialize::put_matrix(os, a_avg_);
+  serialize::put_matrix(os, b_avg_);
+  serialize::put_vector(os, a_row_counts_);
+  serialize::put_vector(os, b_row_counts_);
+  serialize::put_vector(os, symbol_totals_);
+  serialize::put(os, last_hidden_.has_value());
+  serialize::put(os, last_hidden_.value_or(0));
+  serialize::put(os, steps_);
+  os << '\n';
+}
+
+OnlineHmm OnlineHmm::load(OnlineHmmConfig cfg, std::istream& is) {
+  serialize::expect(is, "online-hmm");
+  OnlineHmm m(cfg);
+  m.hidden_ids_ = serialize::get_vector<StateId>(is);
+  m.symbol_ids_ = serialize::get_vector<StateId>(is);
+  for (std::size_t i = 0; i < m.hidden_ids_.size(); ++i) m.hidden_index_[m.hidden_ids_[i]] = i;
+  for (std::size_t i = 0; i < m.symbol_ids_.size(); ++i) m.symbol_index_[m.symbol_ids_[i]] = i;
+  m.a_ = serialize::get_matrix(is);
+  m.b_ = serialize::get_matrix(is);
+  m.a_avg_ = serialize::get_matrix(is);
+  m.b_avg_ = serialize::get_matrix(is);
+  m.a_row_counts_ = serialize::get_vector<double>(is);
+  m.b_row_counts_ = serialize::get_vector<double>(is);
+  m.symbol_totals_ = serialize::get_vector<double>(is);
+  const bool has_last = serialize::get_bool(is);
+  const auto last = serialize::get<StateId>(is);
+  if (has_last) m.last_hidden_ = last;
+  m.steps_ = serialize::get<std::size_t>(is);
+
+  const std::size_t h = m.hidden_ids_.size();
+  const std::size_t sy = m.symbol_ids_.size();
+  const bool shapes_ok = m.a_.rows() == h && m.a_.cols() == h && m.b_.rows() == h &&
+                         m.b_.cols() == sy && m.a_avg_.rows() == h && m.b_avg_.rows() == h &&
+                         m.a_row_counts_.size() == h && m.b_row_counts_.size() == h &&
+                         m.symbol_totals_.size() == sy &&
+                         m.hidden_index_.size() == h && m.symbol_index_.size() == sy;
+  if (!shapes_ok) throw std::runtime_error("checkpoint: inconsistent online-hmm shapes");
+  return m;
+}
+
+}  // namespace sentinel::hmm

@@ -1,0 +1,102 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sentinel::sim {
+
+ScriptedEnvironment::ScriptedEnvironment(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) throw std::invalid_argument("ScriptedEnvironment: no segments");
+  for (std::size_t i = 1; i < segments_.size(); ++i) {
+    if (segments_[i].until <= segments_[i - 1].until) {
+      throw std::invalid_argument("ScriptedEnvironment: segments not strictly increasing");
+    }
+    if (segments_[i].value.size() != segments_.front().value.size()) {
+      throw std::invalid_argument("ScriptedEnvironment: inconsistent dimensions");
+    }
+  }
+}
+
+std::size_t ScriptedEnvironment::dims() const { return segments_.front().value.size(); }
+
+AttrVec ScriptedEnvironment::truth(double t) const {
+  for (const auto& seg : segments_) {
+    if (t < seg.until) return seg.value;
+  }
+  return segments_.back().value;
+}
+
+GdiEnvironment::GdiEnvironment(GdiEnvironmentConfig cfg) : cfg_(cfg), grid_step_(kSecondsPerHour) {
+  if (!(cfg_.duration_seconds > 0.0)) {
+    throw std::invalid_argument("GdiEnvironment: duration must be positive");
+  }
+  // Precompute OU paths on an hourly grid (+ slack for interpolation at the
+  // end of the deployment).
+  const auto steps = static_cast<std::size_t>(cfg_.duration_seconds / grid_step_) + 2;
+  temp_weather_.resize(steps);
+  hum_ripple_.resize(steps);
+
+  Rng temp_rng(cfg_.seed, "gdi-weather-temp");
+  Rng hum_rng(cfg_.seed, "gdi-weather-hum");
+
+  // Exact OU discretization: x_{k+1} = x_k * e^{-dt/tau} + sigma*sqrt(1-e^{-2dt/tau}) * N(0,1),
+  // stationary stddev sigma.
+  const double decay = std::exp(-grid_step_ / cfg_.weather_tau);
+  const double diffusion = std::sqrt(std::max(0.0, 1.0 - decay * decay));
+
+  temp_weather_[0] = temp_rng.gaussian(0.0, cfg_.weather_sigma);
+  hum_ripple_[0] = hum_rng.gaussian(0.0, cfg_.humidity_ripple);
+  for (std::size_t k = 1; k < steps; ++k) {
+    temp_weather_[k] = temp_weather_[k - 1] * decay +
+                       cfg_.weather_sigma * diffusion * temp_rng.gaussian(0.0, 1.0);
+    hum_ripple_[k] = hum_ripple_[k - 1] * decay +
+                     cfg_.humidity_ripple * diffusion * hum_rng.gaussian(0.0, 1.0);
+  }
+
+  if (cfg_.include_pressure) {
+    Rng pressure_rng(cfg_.seed, "gdi-weather-pressure");
+    pressure_weather_.resize(steps);
+    pressure_weather_[0] = pressure_rng.gaussian(0.0, cfg_.pressure_weather_sigma);
+    for (std::size_t k = 1; k < steps; ++k) {
+      pressure_weather_[k] =
+          pressure_weather_[k - 1] * decay +
+          cfg_.pressure_weather_sigma * diffusion * pressure_rng.gaussian(0.0, 1.0);
+    }
+  }
+}
+
+double GdiEnvironment::weather_at(double t, const std::vector<double>& path) const {
+  const double pos = std::clamp(t / grid_step_, 0.0, static_cast<double>(path.size() - 1));
+  const auto k = static_cast<std::size_t>(pos);
+  const std::size_t k1 = std::min(k + 1, path.size() - 1);
+  const double frac = pos - static_cast<double>(k);
+  return path[k] * (1.0 - frac) + path[k1] * frac;
+}
+
+AttrVec GdiEnvironment::truth(double t) const {
+  using std::numbers::pi;
+  // Diurnal carrier: -1 at the coldest hour, +1 at the warmest. A tanh
+  // sharpening flattens day/night plateaus so the environment *dwells* in a
+  // handful of regimes (the paper's M_C has 4 key states), instead of gliding
+  // uniformly along the temperature line.
+  const double hours = t / kSecondsPerHour;
+  const double phase = 2.0 * pi * (hours - cfg_.peak_hour) / 24.0;
+  const double carrier = std::cos(phase);
+  const double sharp = std::tanh(cfg_.diurnal_sharpness * carrier) /
+                       std::tanh(cfg_.diurnal_sharpness);
+
+  const double temp = cfg_.temp_mean + cfg_.temp_amplitude * sharp + weather_at(t, temp_weather_);
+  double hum = cfg_.humidity_intercept + cfg_.humidity_slope * temp + weather_at(t, hum_ripple_);
+  hum = std::clamp(hum, 0.0, 100.0);
+  if (!cfg_.include_pressure) return {temp, hum};
+
+  // Barometric pressure: twice-daily atmospheric tide plus weather fronts.
+  const double tide = cfg_.pressure_semidiurnal * std::cos(2.0 * phase);
+  const double pressure = cfg_.pressure_mean + tide + weather_at(t, pressure_weather_);
+  return {temp, hum, pressure};
+}
+
+}  // namespace sentinel::sim

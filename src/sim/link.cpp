@@ -1,0 +1,39 @@
+#include "sim/link.h"
+
+#include <stdexcept>
+
+namespace sentinel::sim {
+
+BernoulliLoss::BernoulliLoss(double loss_prob, std::uint64_t seed)
+    : loss_prob_(loss_prob), rng_(seed, "bernoulli-loss") {
+  if (loss_prob < 0.0 || loss_prob > 1.0) {
+    throw std::invalid_argument("BernoulliLoss: probability out of [0,1]");
+  }
+}
+
+bool BernoulliLoss::deliver(double) { return !rng_.bernoulli(loss_prob_); }
+
+GilbertElliottLoss::GilbertElliottLoss(Config cfg) : cfg_(cfg), rng_(cfg.seed, "ge-loss") {
+  for (const double p : {cfg.p_good_to_bad, cfg.p_bad_to_good, cfg.loss_good, cfg.loss_bad}) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("GilbertElliottLoss: prob out of [0,1]");
+  }
+}
+
+bool GilbertElliottLoss::deliver(double) {
+  // Evolve the channel state once per packet, then sample loss in-state.
+  if (bad_) {
+    if (rng_.bernoulli(cfg_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(cfg_.p_good_to_bad)) bad_ = true;
+  }
+  const double loss = bad_ ? cfg_.loss_bad : cfg_.loss_good;
+  return !rng_.bernoulli(loss);
+}
+
+double GilbertElliottLoss::stationary_bad() const {
+  const double denom = cfg_.p_good_to_bad + cfg_.p_bad_to_good;
+  if (denom <= 0.0) return 0.0;
+  return cfg_.p_good_to_bad / denom;
+}
+
+}  // namespace sentinel::sim

@@ -1,0 +1,67 @@
+// Radio link loss models.
+//
+// The GDI deployment the paper uses had substantial packet loss ("not all
+// sensor data can be used due to missed or corrupted packets", section 4.1).
+// Two standard models: independent Bernoulli loss, and a Gilbert-Elliott
+// two-state Markov channel that produces the bursty losses real radios show.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/rng.h"
+
+namespace sentinel::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// True if the packet transmitted at time t is delivered.
+  virtual bool deliver(double t) = 0;
+};
+
+/// Independent loss with probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  BernoulliLoss(double loss_prob, std::uint64_t seed);
+  bool deliver(double t) override;
+
+ private:
+  double loss_prob_;
+  Rng rng_;
+};
+
+/// Gilbert-Elliott channel: GOOD and BAD states with per-state loss
+/// probabilities and geometric sojourn times (transition probabilities
+/// p_gb = GOOD->BAD, p_bg = BAD->GOOD evaluated per packet).
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Config {
+    double p_good_to_bad = 0.02;
+    double p_bad_to_good = 0.25;
+    double loss_good = 0.01;
+    double loss_bad = 0.6;
+    std::uint64_t seed = 7;
+  };
+
+  explicit GilbertElliottLoss(Config cfg);
+  bool deliver(double t) override;
+
+  bool in_bad_state() const { return bad_; }
+  /// Stationary probability of the BAD state.
+  double stationary_bad() const;
+
+ private:
+  Config cfg_;
+  Rng rng_;
+  bool bad_ = false;
+};
+
+/// Lossless link, for tests.
+class PerfectLink final : public LossModel {
+ public:
+  bool deliver(double) override { return true; }
+};
+
+}  // namespace sentinel::sim

@@ -1,0 +1,13 @@
+#include "sim/network.h"
+
+namespace sentinel::sim {
+
+void Collector::receive(SensorRecord rec, bool malformed) {
+  if (malformed) {
+    ++malformed_;
+    return;
+  }
+  records_.push_back(std::move(rec));
+}
+
+}  // namespace sentinel::sim

@@ -1,0 +1,61 @@
+// Collector node and the record-transform hook.
+//
+// The paper's procedure "executes on a single data collector node (e.g., a
+// base station or a cluster head)". The Collector accumulates delivered
+// records and delivery statistics. RecordTransform is the seam where the
+// faults/attacks library rewrites a mote's reading before it leaves the node
+// -- an adversary reprogramming a mote, or a degrading transducer, both act
+// at this point.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace sentinel::sim {
+
+/// Rewrites (or suppresses) a measured reading.
+///   sensor:   the mote the reading came from
+///   t:        sample time, seconds
+///   measured: the honest reading (truth + noise)
+///   truth:    ground truth Theta(t) -- attack models use it (the paper's
+///             adversary "knows the underlying dynamics of the environment")
+/// Returns the possibly-corrupted reading, or nullopt to suppress the packet.
+using RecordTransform = std::function<std::optional<AttrVec>(
+    SensorId sensor, double t, const AttrVec& measured, const AttrVec& truth)>;
+
+/// Identity transform.
+inline RecordTransform identity_transform() {
+  return [](SensorId, double, const AttrVec& measured, const AttrVec&) {
+    return std::optional<AttrVec>(measured);
+  };
+}
+
+struct DeliveryStats {
+  std::size_t sampled = 0;      // sensor readings taken
+  std::size_t suppressed = 0;   // suppressed by the transform (node mute)
+  std::size_t lost = 0;         // lost on the radio
+  std::size_t malformed = 0;    // delivered but unparseable
+  std::size_t delivered = 0;    // clean records the collector accepted
+};
+
+/// Base-station record sink.
+class Collector {
+ public:
+  /// Accept a delivered record; malformed packets are counted and dropped.
+  void receive(SensorRecord rec, bool malformed);
+
+  const std::vector<SensorRecord>& records() const { return records_; }
+  std::vector<SensorRecord> take_records() { return std::move(records_); }
+  std::size_t malformed_count() const { return malformed_; }
+
+ private:
+  std::vector<SensorRecord> records_;
+  std::size_t malformed_ = 0;
+};
+
+}  // namespace sentinel::sim

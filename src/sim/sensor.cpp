@@ -1,0 +1,30 @@
+#include "sim/sensor.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sentinel::sim {
+
+Mote::Mote(MoteConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed, "mote-" + std::to_string(cfg.id)),
+      next_time_(0.0) {
+  if (!(cfg_.sample_period > 0.0)) throw std::invalid_argument("Mote: period must be positive");
+  if (cfg_.noise_sigma < 0.0) throw std::invalid_argument("Mote: negative noise sigma");
+}
+
+MoteSample Mote::sample(const Environment& env) {
+  double t = next_time_;
+  if (cfg_.phase_jitter > 0.0) t += rng_.uniform(0.0, cfg_.phase_jitter);
+  next_time_ += cfg_.sample_period;
+
+  MoteSample out;
+  out.record.sensor = cfg_.id;
+  out.record.time = t;
+  out.record.attrs = env.truth(t);
+  for (double& x : out.record.attrs) x += rng_.gaussian(0.0, cfg_.noise_sigma);
+  out.malformed = cfg_.malform_prob > 0.0 && rng_.bernoulli(cfg_.malform_prob);
+  return out;
+}
+
+}  // namespace sentinel::sim

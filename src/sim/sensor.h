@@ -1,0 +1,57 @@
+// Mote (sensor node) model.
+//
+// Paper assumptions (section 3.1): sensors are multimodal, sample the
+// environment periodically (GDI: every 5 minutes), and a correct sensor j
+// reports p_j = Theta(t) + N_j where N_j is zero-mean measurement noise.
+// Real deployments lose and corrupt packets; the mote model exposes both.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/environment.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace sentinel::sim {
+
+struct MoteConfig {
+  SensorId id = 0;
+  double sample_period = 5.0 * kSecondsPerMinute;  // GDI sampling interval
+  double noise_sigma = 0.4;       // stddev of N_j per attribute
+  double phase_jitter = 0.0;      // uniform jitter on each sample time, seconds
+  double malform_prob = 0.0;      // packet arrives but is unparseable
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one sampling instant at a mote.
+struct MoteSample {
+  SensorRecord record;
+  bool malformed = false;  // packet emitted but corrupted in framing
+};
+
+/// A sensor node: samples the environment with additive Gaussian noise.
+/// Fault/attack transformation and radio loss are applied by later stages
+/// (faults::InjectionPlan and sim::LossyLink) so that a mote composes with
+/// any fault model.
+class Mote {
+ public:
+  explicit Mote(MoteConfig cfg);
+
+  const MoteConfig& config() const { return cfg_; }
+
+  /// Next scheduled sample time (seconds).
+  double next_sample_time() const { return next_time_; }
+
+  /// Take the sample scheduled at next_sample_time() and advance the
+  /// schedule. The record's attrs are truth + Gaussian noise.
+  MoteSample sample(const Environment& env);
+
+ private:
+  MoteConfig cfg_;
+  Rng rng_;
+  double next_time_;
+};
+
+}  // namespace sentinel::sim

@@ -1,0 +1,99 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <string>
+
+namespace sentinel::sim {
+
+Simulator::Simulator(const Environment& env) : env_(env) {}
+
+void Simulator::add_mote(MoteConfig cfg, std::unique_ptr<LossModel> link) {
+  motes_.emplace_back(cfg);
+  links_.push_back(link ? std::move(link) : std::make_unique<PerfectLink>());
+}
+
+void Simulator::set_transform(RecordTransform transform) {
+  if (!transform) throw std::invalid_argument("Simulator: null transform");
+  transform_ = std::move(transform);
+}
+
+SimulationResult Simulator::run(double duration_seconds) {
+  if (motes_.empty()) throw std::logic_error("Simulator::run with no motes");
+
+  SimulationResult result;
+  Collector collector;
+
+  // Min-heap of (next sample time, mote index).
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < motes_.size(); ++i) {
+    heap.emplace(motes_[i].next_sample_time(), i);
+  }
+
+  while (!heap.empty()) {
+    const auto [t, i] = heap.top();
+    heap.pop();
+    if (t >= duration_seconds) continue;  // this mote is done
+
+    MoteSample s = motes_[i].sample(env_);
+    heap.emplace(motes_[i].next_sample_time(), i);
+    ++result.stats.sampled;
+
+    const AttrVec truth = env_.truth(s.record.time);
+    auto corrupted = transform_(s.record.sensor, s.record.time, s.record.attrs, truth);
+    if (!corrupted) {
+      ++result.stats.suppressed;
+      continue;
+    }
+    s.record.attrs = std::move(*corrupted);
+
+    if (!links_[i]->deliver(s.record.time)) {
+      ++result.stats.lost;
+      continue;
+    }
+    if (s.malformed) {
+      ++result.stats.malformed;
+    } else {
+      ++result.stats.delivered;
+    }
+    collector.receive(std::move(s.record), s.malformed);
+  }
+
+  result.trace = collector.take_records();
+  return result;
+}
+
+Simulator make_gdi_deployment(const Environment& env, const GdiDeploymentConfig& cfg) {
+  Simulator sim(env);
+  for (std::size_t i = 0; i < cfg.num_sensors; ++i) {
+    MoteConfig mc;
+    mc.id = static_cast<SensorId>(i);
+    mc.sample_period = cfg.sample_period;
+    mc.noise_sigma = cfg.noise_sigma;
+    mc.malform_prob = cfg.malform_prob;
+    mc.seed = cfg.seed;
+    const std::uint64_t link_seed = Rng::derive(cfg.seed, "link-" + std::to_string(i));
+    std::unique_ptr<LossModel> link;
+    if (cfg.bursty_loss) {
+      // Gilbert-Elliott sized so the stationary loss matches cfg.packet_loss:
+      // long-run loss = P(bad) * loss_bad + P(good) * loss_good with
+      // loss_good ~ 0; choose P(bad) = packet_loss / loss_bad.
+      GilbertElliottLoss::Config ge;
+      ge.loss_good = 0.005;
+      ge.loss_bad = 0.7;
+      ge.p_bad_to_good = 0.2;  // mean burst ~5 packets (~25 min at 5-min sampling)
+      const double p_bad = std::clamp(cfg.packet_loss / ge.loss_bad, 0.0, 0.9);
+      ge.p_good_to_bad = ge.p_bad_to_good * p_bad / std::max(1e-9, 1.0 - p_bad);
+      ge.seed = link_seed;
+      link = std::make_unique<GilbertElliottLoss>(ge);
+    } else {
+      link = std::make_unique<BernoulliLoss>(cfg.packet_loss, link_seed);
+    }
+    sim.add_mote(mc, std::move(link));
+  }
+  return sim;
+}
+
+}  // namespace sentinel::sim

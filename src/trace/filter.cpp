@@ -1,0 +1,38 @@
+#include "trace/filter.h"
+
+#include <algorithm>
+
+namespace sentinel {
+
+std::vector<SensorRecord> exclude_sensors(const std::vector<SensorRecord>& records,
+                                          const std::set<SensorId>& excluded) {
+  std::vector<SensorRecord> out;
+  out.reserve(records.size());
+  std::copy_if(records.begin(), records.end(), std::back_inserter(out),
+               [&](const SensorRecord& r) { return excluded.find(r.sensor) == excluded.end(); });
+  return out;
+}
+
+std::vector<SensorRecord> select_sensors(const std::vector<SensorRecord>& records,
+                                         const std::set<SensorId>& included) {
+  std::vector<SensorRecord> out;
+  std::copy_if(records.begin(), records.end(), std::back_inserter(out),
+               [&](const SensorRecord& r) { return included.find(r.sensor) != included.end(); });
+  return out;
+}
+
+std::vector<SensorRecord> select_time_range(const std::vector<SensorRecord>& records,
+                                            double t_begin, double t_end) {
+  std::vector<SensorRecord> out;
+  std::copy_if(records.begin(), records.end(), std::back_inserter(out),
+               [&](const SensorRecord& r) { return r.time >= t_begin && r.time < t_end; });
+  return out;
+}
+
+std::vector<SensorId> sensors_in(const std::vector<SensorRecord>& records) {
+  std::set<SensorId> ids;
+  for (const auto& r : records) ids.insert(r.sensor);
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace sentinel

@@ -1,0 +1,29 @@
+// Trace filtering helpers -- the recovery-action side of the paper's story:
+// once sensors are diagnosed as compromised, downstream consumers re-derive
+// the environment model from the survivors.
+
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace sentinel {
+
+/// Records from sensors NOT in `excluded` (quarantine).
+std::vector<SensorRecord> exclude_sensors(const std::vector<SensorRecord>& records,
+                                          const std::set<SensorId>& excluded);
+
+/// Records from sensors in `included` only.
+std::vector<SensorRecord> select_sensors(const std::vector<SensorRecord>& records,
+                                         const std::set<SensorId>& included);
+
+/// Records with time in [t_begin, t_end).
+std::vector<SensorRecord> select_time_range(const std::vector<SensorRecord>& records,
+                                            double t_begin, double t_end);
+
+/// Distinct sensor ids present in a trace, ascending.
+std::vector<SensorId> sensors_in(const std::vector<SensorRecord>& records);
+
+}  // namespace sentinel

@@ -1,0 +1,83 @@
+#include "trace/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace sentinel {
+
+std::vector<SensorHealth> analyze_health(std::vector<SensorRecord> records,
+                                         double nominal_period) {
+  if (!(nominal_period > 0.0)) {
+    throw std::invalid_argument("analyze_health: nominal_period must be positive");
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const SensorRecord& a, const SensorRecord& b) { return a.time < b.time; });
+
+  std::map<SensorId, std::vector<const SensorRecord*>> by_sensor;
+  for (const auto& r : records) by_sensor[r.sensor].push_back(&r);
+
+  std::vector<SensorHealth> out;
+  for (const auto& [sensor, recs] : by_sensor) {
+    SensorHealth h;
+    h.sensor = sensor;
+    h.records = recs.size();
+    h.first_time = recs.front()->time;
+    h.last_time = recs.back()->time;
+
+    const double span = h.last_time - h.first_time;
+    const double expected = span / nominal_period + 1.0;
+    h.completeness = std::min(1.0, static_cast<double>(recs.size()) / expected);
+
+    const std::size_t dims = recs.front()->attrs.size();
+    std::vector<RunningStats> attr_stats(dims);
+    std::vector<RunningStats> diff_stats(dims);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i]->attrs.size() != dims) continue;  // ragged record: skip
+      for (std::size_t a = 0; a < dims; ++a) attr_stats[a].add(recs[i]->attrs[a]);
+      if (i > 0) {
+        h.max_gap = std::max(h.max_gap, recs[i]->time - recs[i - 1]->time);
+        if (recs[i - 1]->attrs.size() == dims) {
+          // Only adjacent samples: longer gaps would fold environment drift
+          // into the noise estimate.
+          if (recs[i]->time - recs[i - 1]->time <= 1.5 * nominal_period) {
+            for (std::size_t a = 0; a < dims; ++a) {
+              diff_stats[a].add(recs[i]->attrs[a] - recs[i - 1]->attrs[a]);
+            }
+          }
+        }
+      }
+    }
+    h.mean.resize(dims);
+    h.stddev.resize(dims);
+    h.noise_sigma.resize(dims);
+    for (std::size_t a = 0; a < dims; ++a) {
+      h.mean[a] = attr_stats[a].mean();
+      h.stddev[a] = attr_stats[a].stddev();
+      h.noise_sigma[a] = diff_stats[a].stddev() / std::sqrt(2.0);
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+std::string to_string(const SensorHealth& h) {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "sensor %u: %zu records, completeness %.1f%%, max gap %.0fs",
+                h.sensor, h.records, 100.0 * h.completeness, h.max_gap);
+  os << buf;
+  for (std::size_t a = 0; a < h.mean.size(); ++a) {
+    std::snprintf(buf, sizeof buf, ", attr%zu mean %.1f sd %.1f noise %.2f", a, h.mean[a],
+                  h.stddev[a], h.noise_sigma[a]);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace sentinel

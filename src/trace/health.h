@@ -1,0 +1,44 @@
+// Per-sensor health analytics over a raw trace -- the operations-side view
+// the GDI field study [1] motivates ("errors originating in degraded sensor
+// devices are a major cause of unreliability ... likely to manifest days
+// before the sensor electronics actually fail"). Complements the pipeline:
+// these are trace-level statistics (completeness, gaps, noise), not
+// semantic anomaly detection.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace sentinel {
+
+struct SensorHealth {
+  SensorId sensor = 0;
+  std::size_t records = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+  /// Delivered fraction of the records expected at `nominal_period` between
+  /// first_time and last_time (1.0 = nothing missing).
+  double completeness = 0.0;
+  /// Largest gap between consecutive records, seconds.
+  double max_gap = 0.0;
+  /// Per-attribute mean and standard deviation over the whole trace.
+  AttrVec mean;
+  AttrVec stddev;
+  /// Per-attribute high-frequency noise estimate: stddev of consecutive
+  /// first differences divided by sqrt(2). Insensitive to slow environment
+  /// drift; tracks the sensor's own measurement noise.
+  AttrVec noise_sigma;
+};
+
+/// Compute health statistics per sensor. `nominal_period` is the expected
+/// sampling interval in seconds (GDI: 300). Records need not be sorted.
+std::vector<SensorHealth> analyze_health(std::vector<SensorRecord> records,
+                                         double nominal_period);
+
+/// One-line summary, suitable for an operations report.
+std::string to_string(const SensorHealth& h);
+
+}  // namespace sentinel

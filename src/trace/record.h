@@ -1,0 +1,48 @@
+// Core trace types.
+//
+// The paper's data model (section 3.1): each sensor j periodically sends a
+// message <t, p> to a single collector node, where p = <x_1, ..., x_n> is the
+// vector of n environment attributes sampled at time t. SensorRecord is that
+// message. Time is in seconds from the start of the deployment.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/vecn.h"
+
+namespace sentinel {
+
+using SensorId = std::uint32_t;
+
+struct SensorRecord {
+  SensorId sensor = 0;
+  double time = 0.0;  // seconds since deployment start
+  AttrVec attrs;      // <x_1, ..., x_n>
+
+  bool operator==(const SensorRecord&) const = default;
+};
+
+/// Names of the attribute dimensions (e.g. {"temperature", "humidity"}).
+/// Purely descriptive; algorithms operate on indices.
+struct AttrSchema {
+  std::vector<std::string> names;
+
+  std::size_t dims() const { return names.size(); }
+};
+
+/// The (temperature, humidity) schema used throughout the paper's evaluation.
+inline AttrSchema gdi_schema() { return AttrSchema{{"temperature", "humidity"}}; }
+
+/// Full multimodal mote schema (paper section 3.1 lists pressure too).
+inline AttrSchema gdi_schema3() {
+  return AttrSchema{{"temperature", "humidity", "pressure"}};
+}
+
+constexpr double kSecondsPerMinute = 60.0;
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace sentinel

@@ -1,0 +1,90 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace sentinel {
+
+TraceReadResult read_trace(std::istream& in, std::size_t expected_dims) {
+  TraceReadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      ++result.comment_lines;
+      continue;
+    }
+    const auto fields = csv::split(line);
+    if (fields.size() < 3) {
+      ++result.malformed_lines;
+      continue;
+    }
+    const std::size_t dims = fields.size() - 2;
+    if (expected_dims == 0) {
+      expected_dims = dims;
+    }
+    if (dims != expected_dims) {
+      ++result.malformed_lines;
+      continue;
+    }
+    const auto id = csv::parse_double(fields[0]);
+    const auto t = csv::parse_double(fields[1]);
+    if (!id || !t || *id < 0.0 || *id != static_cast<double>(static_cast<SensorId>(*id))) {
+      ++result.malformed_lines;
+      continue;
+    }
+    SensorRecord rec;
+    rec.sensor = static_cast<SensorId>(*id);
+    rec.time = *t;
+    rec.attrs.reserve(dims);
+    bool ok = true;
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const auto v = csv::parse_double(fields[i]);
+      if (!v) {
+        ok = false;
+        break;
+      }
+      rec.attrs.push_back(*v);
+    }
+    if (!ok) {
+      ++result.malformed_lines;
+      continue;
+    }
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+TraceReadResult read_trace_file(const std::string& path, std::size_t expected_dims) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace_file: cannot open " + path);
+  return read_trace(in, expected_dims);
+}
+
+void write_trace(std::ostream& out, const std::vector<SensorRecord>& records,
+                 const AttrSchema* schema) {
+  if (schema != nullptr) {
+    out << "# sensor,time";
+    for (const auto& n : schema->names) out << ',' << n;
+    out << '\n';
+  }
+  for (const auto& rec : records) {
+    out << rec.sensor << ',' << csv::format(rec.time, 3);
+    for (const double x : rec.attrs) out << ',' << csv::format(x, 6);
+    out << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const std::vector<SensorRecord>& records,
+                      const AttrSchema* schema) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace_file: cannot open " + path);
+  write_trace(out, records, schema);
+  if (!out) throw std::runtime_error("write_trace_file: write failed for " + path);
+}
+
+}  // namespace sentinel

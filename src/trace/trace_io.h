@@ -1,0 +1,43 @@
+// CSV trace reading/writing.
+//
+// Format (one record per line):   sensor_id,time_seconds,x_1,...,x_n
+// '#'-prefixed lines are comments; blank lines are ignored. A malformed line
+// (wrong field count, non-numeric field) is *counted*, not fatal: the GDI
+// deployment the paper evaluates on had missing and malformed packets, and
+// the methodology is expected to tolerate them.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace sentinel {
+
+struct TraceReadResult {
+  std::vector<SensorRecord> records;
+  std::size_t malformed_lines = 0;
+  std::size_t comment_lines = 0;
+};
+
+/// Parse records from a stream. `expected_dims` = 0 accepts any width >= 1
+/// (first data line fixes it); otherwise rows with a different width count as
+/// malformed.
+TraceReadResult read_trace(std::istream& in, std::size_t expected_dims = 0);
+
+/// Convenience: read from a file path. Throws std::runtime_error if the file
+/// cannot be opened.
+TraceReadResult read_trace_file(const std::string& path, std::size_t expected_dims = 0);
+
+/// Write records to a stream, with an optional schema comment header.
+void write_trace(std::ostream& out, const std::vector<SensorRecord>& records,
+                 const AttrSchema* schema = nullptr);
+
+/// Convenience: write to a file path. Throws std::runtime_error on failure.
+void write_trace_file(const std::string& path, const std::vector<SensorRecord>& records,
+                      const AttrSchema* schema = nullptr);
+
+}  // namespace sentinel

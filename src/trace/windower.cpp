@@ -1,0 +1,98 @@
+#include "trace/windower.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sentinel {
+
+AttrVec ObservationSet::overall_mean() const {
+  if (raw.empty()) throw std::logic_error("ObservationSet::overall_mean on empty window");
+  return vecn::mean(raw);
+}
+
+std::vector<std::pair<SensorId, AttrVec>> ObservationSet::representatives() const {
+  std::vector<std::pair<SensorId, AttrVec>> out;
+  out.reserve(per_sensor.size());
+  for (const auto& [id, v] : per_sensor) out.emplace_back(id, v);
+  return out;
+}
+
+Windower::Windower(double window_seconds) : window_seconds_(window_seconds) {
+  if (!(window_seconds > 0.0)) throw std::invalid_argument("Windower: window must be positive");
+}
+
+void Windower::open_window(std::size_t index) {
+  current_index_ = index;
+  pending_.clear();
+}
+
+ObservationSet Windower::finalize_current() {
+  ObservationSet set;
+  set.window_index = current_index_;
+  set.window_start = window_seconds_ * static_cast<double>(current_index_ - 1);
+  set.window_end = window_seconds_ * static_cast<double>(current_index_);
+
+  // Group pending records per sensor and compute representatives.
+  std::map<SensorId, std::vector<AttrVec>> by_sensor;
+  for (auto& rec : pending_) {
+    set.raw.push_back(rec.attrs);
+    by_sensor[rec.sensor].push_back(std::move(rec.attrs));
+  }
+  for (auto& [id, samples] : by_sensor) {
+    set.per_sensor.emplace(id, vecn::mean(samples));
+  }
+  return set;
+}
+
+std::vector<ObservationSet> Windower::add(const SensorRecord& rec) {
+  std::vector<ObservationSet> completed;
+  // Window i (1-based) covers [w*(i-1), w*i); the paper's eq. (1) is
+  // inclusive on both ends, but half-open intervals avoid double counting.
+  const auto idx =
+      static_cast<std::size_t>(std::floor(rec.time / window_seconds_)) + 1;
+
+  if (current_index_ == 0) {
+    open_window(idx);
+  } else if (idx < current_index_) {
+    ++late_records_;
+    return completed;
+  } else if (idx > current_index_) {
+    completed.push_back(finalize_current());
+    // Emit empty windows for any gap so downstream sees time holes.
+    for (std::size_t i = current_index_ + 1; i < idx; ++i) {
+      ObservationSet empty;
+      empty.window_index = i;
+      empty.window_start = window_seconds_ * static_cast<double>(i - 1);
+      empty.window_end = window_seconds_ * static_cast<double>(i);
+      completed.push_back(std::move(empty));
+    }
+    open_window(idx);
+  }
+  pending_.push_back(rec);
+  return completed;
+}
+
+std::optional<ObservationSet> Windower::flush() {
+  if (current_index_ == 0 || pending_.empty()) return std::nullopt;
+  auto set = finalize_current();
+  open_window(current_index_);  // stay on the same window, now empty
+  return set;
+}
+
+std::vector<ObservationSet> window_trace(std::vector<SensorRecord> records,
+                                         double window_seconds) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const SensorRecord& a, const SensorRecord& b) { return a.time < b.time; });
+  Windower w(window_seconds);
+  std::vector<ObservationSet> out;
+  for (const auto& rec : records) {
+    auto done = w.add(rec);
+    out.insert(out.end(), std::make_move_iterator(done.begin()),
+               std::make_move_iterator(done.end()));
+  }
+  if (auto last = w.flush()) out.push_back(std::move(*last));
+  return out;
+}
+
+}  // namespace sentinel

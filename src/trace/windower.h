@@ -1,0 +1,78 @@
+// Time windowing (paper section 3.1, eq. (1)).
+//
+// The collector node partitions incoming observations into windows of
+// duration w: O_i = { p | <t,p> in O  and  w*(i-1) <= t <= w*i }.
+//
+// An ObservationSet carries both the raw observations of the window and the
+// per-sensor *representatives* (the mean of a sensor's samples within the
+// window). The pipeline maps each sensor's representative to a model state
+// (eq. (3)), so a sensor contributes one vote per window regardless of how
+// many of its packets survived the radio.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace sentinel {
+
+struct ObservationSet {
+  std::size_t window_index = 0;  // i, 1-based as in the paper
+  double window_start = 0.0;     // seconds
+  double window_end = 0.0;       // seconds
+
+  /// All raw attribute vectors received in this window.
+  std::vector<AttrVec> raw;
+
+  /// Per-sensor representative: mean of that sensor's samples in the window.
+  /// Sensors with no surviving packets this window are absent.
+  std::map<SensorId, AttrVec> per_sensor;
+
+  bool empty() const { return raw.empty(); }
+
+  /// Mean over all raw observations (the input to observable-state
+  /// identification, eq. (2)). Throws if the window is empty.
+  AttrVec overall_mean() const;
+
+  /// Representatives as a flat (sensor, value) list in sensor order.
+  std::vector<std::pair<SensorId, AttrVec>> representatives() const;
+};
+
+/// Streaming windower: feed records in nondecreasing-ish time order, pop
+/// completed windows. Records may arrive slightly out of order within a
+/// window; a record older than an already-emitted window is dropped and
+/// counted as late.
+class Windower {
+ public:
+  /// window_seconds: the paper's w (they use 12 samples x 5 min = 1 hour).
+  explicit Windower(double window_seconds);
+
+  /// Add a record. Returns any windows completed by this record's arrival
+  /// (possibly more than one if time jumped; empty windows are emitted so the
+  /// caller sees gaps explicitly -- the pipeline skips them).
+  std::vector<ObservationSet> add(const SensorRecord& rec);
+
+  /// Flush the final partial window (if any).
+  std::optional<ObservationSet> flush();
+
+  std::size_t late_records() const { return late_records_; }
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  ObservationSet finalize_current();
+  void open_window(std::size_t index);
+
+  double window_seconds_;
+  std::size_t current_index_ = 0;  // 0 = no window open yet
+  std::vector<SensorRecord> pending_;
+  std::size_t late_records_ = 0;
+};
+
+/// Batch convenience: window a whole trace (records need not be sorted).
+std::vector<ObservationSet> window_trace(std::vector<SensorRecord> records, double window_seconds);
+
+}  // namespace sentinel

@@ -1,0 +1,63 @@
+#include "util/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sentinel::csv {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> split(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      out.emplace_back(trim(line.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<double> parse_double(std::string_view field) {
+  field = trim(field);
+  if (field.empty()) return std::nullopt;
+  // strtod needs a NUL-terminated buffer.
+  std::string buf(field);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::string join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out += fields[i];
+    if (i + 1 < fields.size()) out += ',';
+  }
+  return out;
+}
+
+std::string format(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  // Trim trailing zeros (but keep at least one digit after the point).
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.push_back('0');
+  }
+  return s;
+}
+
+}  // namespace sentinel::csv

@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for sensor traces and bench output.
+// Deliberately simple: comma-separated, no quoting (trace fields are numeric),
+// '#' comment lines, tolerant of blank lines. Malformed rows are surfaced to
+// the caller rather than silently dropped — the GDI data's missing/malformed
+// packets are part of the paper's evaluation.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sentinel::csv {
+
+/// Split a line on commas; fields are trimmed of surrounding whitespace.
+std::vector<std::string> split(std::string_view line);
+
+/// Parse a field to double; nullopt on malformed content (empty, non-numeric,
+/// trailing junk).
+std::optional<double> parse_double(std::string_view field);
+
+/// Join fields with commas.
+std::string join(const std::vector<std::string>& fields);
+
+/// Format a double with `precision` significant decimal digits after the
+/// point, trimming to a compact form.
+std::string format(double value, int precision = 6);
+
+}  // namespace sentinel::csv

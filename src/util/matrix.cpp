@@ -1,0 +1,158 @@
+#include "util/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sentinel {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    std::copy(rows[r].begin(), rows[r].end(), m.data_.begin() + static_cast<std::ptrdiff_t>(r * m.cols_));
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col");
+  std::vector<double> v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::grow(std::size_t rows, std::size_t cols, double fill) {
+  rows = std::max(rows, rows_);
+  cols = std::max(cols, cols_);
+  if (rows == rows_ && cols == cols_) return;
+  std::vector<double> nd(rows * cols, fill);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) nd[r * cols + c] = (*this)(r, c);
+  }
+  data_ = std::move(nd);
+  rows_ = rows;
+  cols_ = cols;
+}
+
+void Matrix::normalize_rows() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto rw = row(r);
+    double s = 0.0;
+    for (const double x : rw) s += x;
+    if (s <= 1e-300) {
+      const double u = 1.0 / static_cast<double>(cols_);
+      for (double& x : rw) x = u;
+    } else {
+      for (double& x : rw) x /= s;
+    }
+  }
+}
+
+bool Matrix::is_row_stochastic(double tol) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (const double x : row(r)) {
+      if (x < -tol || x > 1.0 + tol) return false;
+      s += x;
+    }
+    if (std::abs(s - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+double Matrix::row_dot(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= rows_) throw std::out_of_range("Matrix::row_dot");
+  double s = 0.0;
+  const auto ri = row(i);
+  const auto rj = row(j);
+  for (std::size_t k = 0; k < cols_; ++k) s += ri[k] * rj[k];
+  return s;
+}
+
+double Matrix::col_dot(std::size_t i, std::size_t j) const {
+  if (i >= cols_ || j >= cols_) throw std::out_of_range("Matrix::col_dot");
+  double s = 0.0;
+  for (std::size_t k = 0; k < rows_; ++k) s += (*this)(k, i) * (*this)(k, j);
+  return s;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) out(i, j) += a * other(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix::max_abs_diff: shape mismatch");
+  }
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof buf, "%8.*f", precision, (*this)(r, c));
+      out += buf;
+      if (c + 1 < cols_) out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,76 @@
+// Dense row-major matrix with the small set of operations the HMM machinery
+// needs: row access, row normalization, stochasticity checks, and the
+// row/column inner products the paper's structural classifier (section 3.4)
+// is built on.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sentinel {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Identity matrix; the paper initializes A and B to identity (section 3.2).
+  static Matrix identity(std::size_t n);
+
+  /// Build from nested initializer data; rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  std::vector<double> col(std::size_t c) const;
+
+  /// Grow to at least (rows, cols), preserving existing entries; new entries
+  /// are `fill`. Used by the online HMM when the clusterer spawns new states.
+  void grow(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Normalize each row to sum to one. Rows that sum to ~0 become uniform.
+  void normalize_rows();
+
+  /// True if every row is a probability distribution within `tol`.
+  bool is_row_stochastic(double tol = 1e-9) const;
+
+  /// <row i, row j> inner product: sum_k m[i][k] * m[j][k].
+  double row_dot(std::size_t i, std::size_t j) const;
+  /// <col i, col j> inner product: sum_k m[k][i] * m[k][j].
+  double col_dot(std::size_t i, std::size_t j) const;
+
+  /// Matrix product (this * other).
+  Matrix multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Max |a-b| over entries; matrices must have equal shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  /// Fixed-precision dump, one row per line — used by the bench harnesses to
+  /// print the paper's tables.
+  std::string to_string(int precision = 3) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sentinel

@@ -1,0 +1,79 @@
+// Deterministic, stream-splittable randomness.
+//
+// Every stochastic component (environment weather, sensor noise, link loss,
+// fault/attack models, workload generators) takes an Rng constructed from a
+// master seed plus a purpose tag, so experiments are reproducible and
+// components never share a stream (adding a sensor does not perturb the
+// weather).
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace sentinel {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent stream: hash(seed, tag) seeds the child.
+  /// FNV-1a over the tag, mixed with the parent seed via splitmix64.
+  Rng(std::uint64_t seed, std::string_view tag) : engine_(derive(seed, tag)) {}
+
+  static std::uint64_t derive(std::uint64_t seed, std::string_view tag) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : tag) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ull;
+    }
+    // splitmix64 finalizer over seed ^ tag-hash.
+    std::uint64_t z = seed ^ h;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Sample an index from an unnormalized non-negative weight vector.
+  template <typename Container>
+  std::size_t categorical(const Container& weights) {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    double u = uniform() * total;
+    std::size_t i = 0;
+    for (const double w : weights) {
+      if (u < w) return i;
+      u -= w;
+      ++i;
+    }
+    return weights.size() ? weights.size() - 1 : 0;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sentinel

@@ -1,0 +1,82 @@
+// Tiny text (de)serialization helpers shared by the checkpoint code: tagged,
+// whitespace-separated tokens with full-precision doubles, readable with a
+// text editor and diffable across checkpoints. Readers throw
+// std::runtime_error on tag mismatches so format drift fails loudly.
+
+#pragma once
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace sentinel::serialize {
+
+/// Write a double with round-trip precision.
+inline void put(std::ostream& os, double v) { os << std::setprecision(17) << v << ' '; }
+inline void put(std::ostream& os, std::uint64_t v) { os << v << ' '; }
+inline void put(std::ostream& os, std::uint32_t v) { os << v << ' '; }
+inline void put(std::ostream& os, bool v) { os << (v ? 1 : 0) << ' '; }
+
+/// Write a section tag.
+inline void tag(std::ostream& os, const std::string& name) { os << name << '\n'; }
+
+/// Read and verify a section tag.
+inline void expect(std::istream& is, const std::string& name) {
+  std::string got;
+  if (!(is >> got) || got != name) {
+    throw std::runtime_error("checkpoint: expected tag '" + name + "', got '" + got + "'");
+  }
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  if (!(is >> v)) throw std::runtime_error("checkpoint: truncated stream");
+  return v;
+}
+
+inline bool get_bool(std::istream& is) { return get<int>(is) != 0; }
+
+template <typename T>
+void put_vector(std::ostream& os, const std::vector<T>& v) {
+  put(os, v.size());
+  for (const T& x : v) put(os, x);
+}
+
+template <typename T>
+std::vector<T> get_vector(std::istream& is) {
+  const auto n = get<std::size_t>(is);
+  if (n > (1u << 26)) throw std::runtime_error("checkpoint: implausible vector size");
+  std::vector<T> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(get<T>(is));
+  return v;
+}
+
+inline void put_matrix(std::ostream& os, const Matrix& m) {
+  put(os, m.rows());
+  put(os, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) put(os, m(r, c));
+  }
+}
+
+inline Matrix get_matrix(std::istream& is) {
+  const auto rows = get<std::size_t>(is);
+  const auto cols = get<std::size_t>(is);
+  if (rows > (1u << 16) || cols > (1u << 16)) {
+    throw std::runtime_error("checkpoint: implausible matrix size");
+  }
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = get<double>(is);
+  }
+  return m;
+}
+
+}  // namespace sentinel::serialize

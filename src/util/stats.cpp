@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sentinel {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Ema::Ema(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    throw std::invalid_argument("Ema: alpha must be in (0,1)");
+  }
+}
+
+void Ema::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = (1.0 - alpha_) * value_ + alpha_ * x;
+  }
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) throw std::invalid_argument("Histogram: bad range/bins");
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto b = static_cast<std::ptrdiff_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1); }
+
+double Histogram::quantile(double p) const {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::size_t>(p * static_cast<double>(total_));
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cum += counts_[b];
+    if (cum > target) return 0.5 * (bin_lo(b) + bin_hi(b));
+  }
+  return hi_;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument("quantile: p out of [0,1]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace sentinel

@@ -1,0 +1,81 @@
+// Running statistics used across the library:
+//  - RunningStats: Welford mean/variance (classifier's ratio/difference test,
+//    false-alarm accounting, workload calibration),
+//  - Ema: scalar exponential moving average,
+//  - Histogram: fixed-bin histogram for the bench harnesses,
+//  - quantile/median helpers for the median-deviation baseline.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sentinel {
+
+/// Numerically stable (Welford) running mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Scalar exponential moving average with learning factor alpha in (0,1).
+class Ema {
+ public:
+  explicit Ema(double alpha);
+
+  void add(double x);
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins. Used by benches to summarize alarm/latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count(std::size_t b) const { return counts_.at(b); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  /// Approximate p-quantile (0..1) by linear scan of bins.
+  double quantile(double p) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact median of a sample (copies + nth_element). Empty input -> 0.
+double median(std::span<const double> xs);
+
+/// Exact p-quantile (0 <= p <= 1) by sorting a copy. Empty input -> 0.
+double quantile(std::span<const double> xs, double p);
+
+}  // namespace sentinel

@@ -1,0 +1,131 @@
+// Attribute-vector math.
+//
+// The paper models the environment as a multidimensional parameter
+// Theta(t) = <x_1, ..., x_n> (temperature, humidity, pressure, ...).
+// AttrVec is that vector; every module that manipulates sensor readings or
+// model-state centroids uses the small helpers here.
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sentinel {
+
+using AttrVec = std::vector<double>;
+
+namespace vecn {
+
+inline void check_same_size(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("AttrVec dimension mismatch: " + std::to_string(a.size()) +
+                                " vs " + std::to_string(b.size()));
+  }
+}
+
+/// Euclidean distance ||a - b||.
+inline double dist(std::span<const double> a, std::span<const double> b) {
+  check_same_size(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+/// Squared Euclidean distance; cheaper when only comparisons are needed.
+inline double dist2(std::span<const double> a, std::span<const double> b) {
+  check_same_size(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Euclidean norm ||a||.
+inline double norm(std::span<const double> a) {
+  double s = 0.0;
+  for (const double x : a) s += x * x;
+  return std::sqrt(s);
+}
+
+inline AttrVec add(std::span<const double> a, std::span<const double> b) {
+  check_same_size(a, b);
+  AttrVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+inline AttrVec sub(std::span<const double> a, std::span<const double> b) {
+  check_same_size(a, b);
+  AttrVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+inline AttrVec scale(std::span<const double> a, double k) {
+  AttrVec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] * k;
+  return r;
+}
+
+/// In-place exponential moving average: a = (1 - alpha) * a + alpha * b.
+/// This is the centroid update of the paper's eq. (6) and the A/B updates
+/// of section 3.2.
+inline void ema_update(AttrVec& a, std::span<const double> b, double alpha) {
+  check_same_size(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = (1.0 - alpha) * a[i] + alpha * b[i];
+}
+
+/// Element-wise mean of a set of vectors. Throws if the set is empty or
+/// dimensions disagree.
+inline AttrVec mean(std::span<const AttrVec> points) {
+  if (points.empty()) throw std::invalid_argument("vecn::mean of empty set");
+  AttrVec m(points.front().size(), 0.0);
+  for (const AttrVec& p : points) {
+    check_same_size(m, p);
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] += p[i];
+  }
+  const double inv = 1.0 / static_cast<double>(points.size());
+  for (double& x : m) x *= inv;
+  return m;
+}
+
+/// Index of the nearest vector in `centers` to `p`; this is the paper's
+/// argmin_k ||s_k - p|| used by eqs. (2) and (3). Throws if `centers` is empty.
+inline std::size_t nearest(std::span<const AttrVec> centers, std::span<const double> p) {
+  if (centers.empty()) throw std::invalid_argument("vecn::nearest with no centers");
+  std::size_t best = 0;
+  double best_d = dist2(centers[0], p);
+  for (std::size_t k = 1; k < centers.size(); ++k) {
+    const double d = dist2(centers[k], p);
+    if (d < best_d) {
+      best_d = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+/// Pretty "(24,70)"-style rendering used throughout the paper's tables.
+inline std::string to_string(std::span<const double> a, int precision = 0) {
+  std::string s = "(";
+  char buf[64];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, a[i]);
+    s += buf;
+    if (i + 1 < a.size()) s += ",";
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace vecn
+}  // namespace sentinel

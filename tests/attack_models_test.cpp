@@ -1,0 +1,137 @@
+// Unit tests: malicious-attack models (paper section 3.3) -- coalition
+// steering math, region gating, duty cycles, clamping to admissible ranges.
+
+#include <gtest/gtest.h>
+
+#include "faults/attack_models.h"
+#include "util/stats.h"
+
+namespace sentinel::faults {
+namespace {
+
+TEST(StateRegionTest, ContainsBall) {
+  const StateRegion r{{10.0, 10.0}, 5.0};
+  EXPECT_TRUE(r.contains({12.0, 13.0}));
+  EXPECT_FALSE(r.contains({20.0, 10.0}));
+  const StateRegion everywhere{{}, 1.0};
+  EXPECT_TRUE(everywhere.contains({1000.0, -1000.0}));
+}
+
+TEST(CoalitionInjection, SteersNetworkMeanExactly) {
+  const AttrVec truth{12.0, 94.0};
+  const AttrVec target{25.0, 69.0};
+  const double f = 0.3;
+  const AttrVec v = coalition_injection(truth, target, f, {});
+  // (1-f)*truth + f*v == target.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR((1.0 - f) * truth[i] + f * v[i], target[i], 1e-12);
+  }
+}
+
+TEST(CoalitionInjection, ClampsToAdmissibleRange) {
+  const AttrVec truth{20.0, 56.0};
+  const AttrVec target{20.0, 70.0};
+  // Needed humidity injection is (70 - 0.7*56)/0.3 = 102.7 > 100 -> clamp.
+  const AttrVec v = coalition_injection(truth, target, 0.3, gdi_ranges());
+  EXPECT_DOUBLE_EQ(v[1], 100.0);
+  EXPECT_THROW(coalition_injection(truth, target, 0.0, {}), std::invalid_argument);
+  EXPECT_THROW(coalition_injection(truth, target, 1.5, {}), std::invalid_argument);
+}
+
+TEST(CreationAttack, ActiveOnlyInVictimStateAndOnPhase) {
+  CreationAttackConfig cfg;
+  cfg.victim = StateRegion{{12.0, 94.0}, 5.0};
+  cfg.created_state = {25.0, 69.0};
+  cfg.fraction = 0.3;
+  cfg.on_seconds = 100.0;
+  cfg.off_seconds = 100.0;
+  DynamicCreationAttack attack(cfg);
+
+  const AttrVec in_victim{12.5, 93.5};
+  const AttrVec elsewhere{30.0, 58.0};
+  EXPECT_TRUE(attack.active_at(50.0, in_victim));
+  EXPECT_FALSE(attack.active_at(150.0, in_victim));  // off phase
+  EXPECT_FALSE(attack.active_at(50.0, elsewhere));   // wrong state
+
+  // During the on phase the injected value steers the mean.
+  const auto v = attack.apply(0, 50.0, in_victim, in_victim);
+  EXPECT_NEAR(0.7 * in_victim[0] + 0.3 * (*v)[0], 25.0, 1e-9);
+  // During the off phase the measurement passes through.
+  EXPECT_EQ(*attack.apply(0, 150.0, in_victim, in_victim), in_victim);
+}
+
+TEST(CreationAttack, Validation) {
+  CreationAttackConfig cfg;
+  cfg.created_state = {};
+  EXPECT_THROW(DynamicCreationAttack{cfg}, std::invalid_argument);
+}
+
+TEST(DeletionAttack, HoldsObservationWhileTruthMoves) {
+  DeletionAttackConfig cfg;
+  cfg.deleted = StateRegion{{31.0, 56.0}, 6.0};
+  cfg.hold_state = {24.0, 70.0};
+  cfg.fraction = 0.3;
+  DynamicDeletionAttack attack(cfg);
+
+  const AttrVec deleted_truth{30.0, 57.0};
+  EXPECT_TRUE(attack.active_at(deleted_truth));
+  const auto v = attack.apply(0, 0.0, deleted_truth, deleted_truth);
+  EXPECT_NEAR(0.7 * deleted_truth[0] + 0.3 * (*v)[0], 24.0, 1e-9);
+
+  const AttrVec other{17.0, 84.0};
+  EXPECT_FALSE(attack.active_at(other));
+  EXPECT_EQ(*attack.apply(0, 0.0, other, other), other);
+}
+
+TEST(DeletionAttack, Validation) {
+  DeletionAttackConfig cfg;  // empty states
+  EXPECT_THROW(DynamicDeletionAttack{cfg}, std::invalid_argument);
+}
+
+TEST(ChangeAttack, RemapsVictimStateAttributes) {
+  ChangeAttackConfig cfg;
+  cfg.victim = StateRegion{{12.0, 94.0}, 5.0};
+  cfg.observed_as = {18.0, 60.0};
+  cfg.fraction = 0.4;
+  DynamicChangeAttack attack(cfg);
+
+  const AttrVec truth{12.0, 94.0};
+  const auto v = attack.apply(0, 0.0, truth, truth);
+  EXPECT_NEAR(0.6 * truth[0] + 0.4 * (*v)[0], 18.0, 1e-9);
+  EXPECT_NEAR(0.6 * truth[1] + 0.4 * (*v)[1], 60.0, 1e-9);
+}
+
+TEST(MixedAttackTest, DeletionTakesPrecedence) {
+  CreationAttackConfig cc;
+  cc.victim = StateRegion{{12.0, 94.0}, 5.0};
+  cc.created_state = {25.0, 69.0};
+  cc.fraction = 0.3;
+  DeletionAttackConfig dc;
+  dc.deleted = StateRegion{{31.0, 56.0}, 6.0};
+  dc.hold_state = {24.0, 70.0};
+  dc.fraction = 0.3;
+  MixedAttack attack(cc, dc);
+
+  // Truth in the deletion region -> deletion behavior.
+  const AttrVec warm{31.0, 56.0};
+  const auto v1 = attack.apply(0, 0.0, warm, warm);
+  EXPECT_NEAR(0.7 * warm[0] + 0.3 * (*v1)[0], 24.0, 1e-9);
+  // Truth in the creation victim during on phase -> creation behavior.
+  const AttrVec cold{12.0, 94.0};
+  const auto v2 = attack.apply(0, 0.0, cold, cold);
+  EXPECT_NEAR(0.7 * cold[0] + 0.3 * (*v2)[0], 25.0, 1e-9);
+}
+
+TEST(BenignAttackTest, MimicsCorrectSensor) {
+  BenignAttack attack(0.3, 7);
+  const AttrVec truth{20.0, 70.0};
+  RunningStats dev;
+  for (int i = 0; i < 2000; ++i) {
+    dev.add((*attack.apply(0, 0.0, AttrVec{99.0, 99.0}, truth))[0] - truth[0]);
+  }
+  EXPECT_NEAR(dev.mean(), 0.0, 0.05);
+  EXPECT_NEAR(dev.stddev(), 0.3, 0.05);
+}
+
+}  // namespace
+}  // namespace sentinel::faults

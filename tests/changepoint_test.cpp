@@ -1,0 +1,149 @@
+// Unit tests: alarm filters -- k-of-n, SPRT, CUSUM (paper section 3.1's
+// alarm filtering module).
+
+#include <gtest/gtest.h>
+
+#include "changepoint/cusum.h"
+#include "changepoint/kofn.h"
+#include "changepoint/sprt.h"
+#include "util/rng.h"
+
+namespace sentinel::changepoint {
+namespace {
+
+TEST(KofN, RaisesAtKOfN) {
+  KofNFilter f(3, 5);
+  EXPECT_FALSE(f.update(true));
+  EXPECT_FALSE(f.update(true));
+  EXPECT_TRUE(f.update(true));  // 3 in last 5
+  EXPECT_TRUE(f.active());
+}
+
+TEST(KofN, ClearsWhenCountDrops) {
+  KofNFilter f(2, 3);
+  f.update(true);
+  f.update(true);
+  EXPECT_TRUE(f.active());
+  f.update(false);
+  EXPECT_TRUE(f.active());  // window {T,T,F}: count 2
+  f.update(false);
+  EXPECT_FALSE(f.active());  // window {T,F,F}: count 1
+}
+
+TEST(KofN, IsolatedAlarmsSuppressed) {
+  KofNFilter f(3, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(f.update(i % 7 == 0));  // sparse raw alarms never reach 3/5
+  }
+}
+
+TEST(KofN, ResetAndValidation) {
+  KofNFilter f(1, 1);
+  f.update(true);
+  EXPECT_TRUE(f.active());
+  f.reset();
+  EXPECT_FALSE(f.active());
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_THROW(KofNFilter(0, 5), std::invalid_argument);
+  EXPECT_THROW(KofNFilter(6, 5), std::invalid_argument);
+}
+
+TEST(Sprt, DecidesH1UnderSustainedAlarms) {
+  SprtFilter f(SprtConfig{});
+  int steps = 0;
+  while (!f.active() && steps < 100) {
+    f.update(true);
+    ++steps;
+  }
+  EXPECT_TRUE(f.active());
+  EXPECT_LT(steps, 10);  // strong evidence accumulates fast
+}
+
+TEST(Sprt, DecidesH0UnderQuiet) {
+  SprtFilter f(SprtConfig{});
+  // Drive to H1 first, then let quiet data clear it.
+  for (int i = 0; i < 20; ++i) f.update(true);
+  EXPECT_TRUE(f.active());
+  int steps = 0;
+  while (f.active() && steps < 2000) {
+    f.update(false);
+    ++steps;
+  }
+  EXPECT_FALSE(f.active());
+}
+
+TEST(Sprt, FalseAlarmRateNearDesign) {
+  SprtConfig cfg;
+  cfg.p0 = 0.05;
+  cfg.p1 = 0.5;
+  cfg.alpha = 0.01;
+  cfg.beta = 0.01;
+  SprtFilter f(cfg);
+  Rng rng(3, "sprt-test");
+  int active_steps = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    active_steps += f.update(rng.bernoulli(cfg.p0));
+  }
+  // Under H0 the filter should be active only a small fraction of the time.
+  EXPECT_LT(static_cast<double>(active_steps) / n, 0.05);
+}
+
+TEST(Sprt, Validation) {
+  SprtConfig bad;
+  bad.p1 = bad.p0;  // p1 must exceed p0
+  EXPECT_THROW(SprtFilter{bad}, std::invalid_argument);
+}
+
+TEST(Cusum, DetectsOnsetQuicklyAndClears) {
+  CusumFilter f(CusumConfig{});
+  Rng rng(5, "cusum-test");
+  // Quiet phase: stays clear.
+  for (int i = 0; i < 300; ++i) f.update(rng.bernoulli(0.02));
+  EXPECT_FALSE(f.active());
+  // Fault onset: raw alarms at 60%.
+  int latency = 0;
+  while (!f.active() && latency < 100) {
+    f.update(rng.bernoulli(0.6));
+    ++latency;
+  }
+  EXPECT_TRUE(f.active());
+  EXPECT_LT(latency, 15);
+  // Recovery: alarm clears under quiet data.
+  int clear = 0;
+  while (f.active() && clear < 200) {
+    f.update(false);
+    ++clear;
+  }
+  EXPECT_FALSE(f.active());
+}
+
+TEST(Cusum, StatisticNonNegative) {
+  CusumFilter f(CusumConfig{});
+  Rng rng(7, "cusum-stat");
+  for (int i = 0; i < 1000; ++i) {
+    f.update(rng.bernoulli(0.3));
+    EXPECT_GE(f.statistic(), 0.0);
+  }
+}
+
+TEST(Cusum, Validation) {
+  CusumConfig bad;
+  bad.threshold = 0.0;
+  EXPECT_THROW(CusumFilter{bad}, std::invalid_argument);
+}
+
+TEST(Factories, ProduceIndependentFilters) {
+  auto factory = make_kofn_factory(1, 2);
+  auto a = factory();
+  auto b = factory();
+  a->update(true);
+  EXPECT_TRUE(a->active());
+  EXPECT_FALSE(b->active());
+  EXPECT_EQ(a->name(), "kofn(1/2)");
+  EXPECT_EQ(make_sprt_factory(SprtConfig{})()->name(), "sprt");
+  EXPECT_EQ(make_cusum_factory(CusumConfig{})()->name(), "cusum");
+}
+
+}  // namespace
+}  // namespace sentinel::changepoint

@@ -1,0 +1,290 @@
+// Unit tests: the structural classifier (paper section 3.4, Fig. 5).
+// Each test drives an OnlineHmm with a synthetic (hidden, symbol) stream
+// shaped like one error/attack signature and checks the verdict.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/classifier.h"
+
+namespace sentinel::core {
+namespace {
+
+using hmm::kBottomSymbol;
+using hmm::OnlineHmm;
+using hmm::StateId;
+
+// Environment states on the paper's (temp, humidity) line, plus error states.
+const std::map<StateId, AttrVec> kCentroids = {
+    {0, {12.0, 94.0}}, {1, {17.0, 84.0}}, {2, {24.0, 70.0}}, {3, {31.0, 56.0}},
+    {7, {15.0, 1.0}},                        // stuck regime
+    {9, {25.0, 40.0}},                       // fabricated / remapped state
+    {10, {9.6, 75.2}},  {11, {13.6, 67.2}},  // 0.8x calibration images of 0..3
+    {12, {19.2, 56.0}}, {13, {24.8, 44.8}},
+    {20, {18.0, 82.0}}, {21, {23.0, 72.0}},  // +(6,-12) additive images
+    {22, {30.0, 58.0}}, {23, {37.0, 44.0}},
+    {30, {10.0, 90.0}}, {31, {14.0, 97.0}},  // scatter states near state 0
+    {32, {15.0, 80.0}}, {33, {20.0, 88.0}},  // scatter states near state 1
+};
+
+CentroidLookup lookup() {
+  return [](StateId id) -> std::optional<AttrVec> {
+    const auto it = kCentroids.find(id);
+    if (it == kCentroids.end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+/// Feed `reps` rounds of the given (hidden, symbol) pattern.
+void feed(OnlineHmm& m, const std::vector<std::pair<StateId, StateId>>& pattern,
+          int reps = 50) {
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& [h, s] : pattern) m.observe(h, s);
+  }
+}
+
+ClassifierConfig cfg() { return {}; }
+
+// --- filter_emission ---------------------------------------------------------
+
+TEST(FilterEmission, DropsBottomAndWeakRows) {
+  OnlineHmm m;
+  // Hidden 0: 90% bottom, 10% symbol 7 -> dropped after bottom removal.
+  // Hidden 1: always symbol 7 -> kept.
+  feed(m, {{0, kBottomSymbol}, {0, kBottomSymbol}, {0, kBottomSymbol}, {0, kBottomSymbol},
+           {0, kBottomSymbol}, {0, kBottomSymbol}, {0, kBottomSymbol}, {0, kBottomSymbol},
+           {0, kBottomSymbol}, {0, 7}, {1, 7}});
+  const auto f = filter_emission(m, {}, /*drop_bottom=*/true, cfg());
+  ASSERT_EQ(f.hidden.size(), 1u);
+  EXPECT_EQ(f.hidden[0], 1u);
+  ASSERT_EQ(f.symbols.size(), 1u);
+  EXPECT_EQ(f.symbols[0], 7u);
+  EXPECT_DOUBLE_EQ(f.b(0, 0), 1.0);
+}
+
+TEST(FilterEmission, HiddenKeepRestrictsRows) {
+  OnlineHmm m;
+  feed(m, {{0, 0}, {1, 1}, {2, 2}});
+  const auto f = filter_emission(m, {0, 2}, false, cfg());
+  EXPECT_EQ(f.hidden, (std::vector<StateId>{0, 2}));
+  // Column 1 loses all mass once row 1 is gone and is dropped as spurious.
+  EXPECT_EQ(f.symbols, (std::vector<StateId>{0, 2}));
+}
+
+TEST(FilterEmission, EmptyModel) {
+  OnlineHmm m;
+  EXPECT_TRUE(filter_emission(m, {}, false, cfg()).empty());
+}
+
+// --- orthogonality -----------------------------------------------------------
+
+TEST(Orthogonality, IdentityIsOrthogonal) {
+  OnlineHmm m;
+  feed(m, {{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  const auto f = filter_emission(m, {}, false, cfg());
+  const auto rep = orthogonality(f, cfg());
+  EXPECT_TRUE(rep.rows_orthogonal);
+  EXPECT_TRUE(rep.cols_orthogonal);
+  EXPECT_GT(rep.min_row_self, 0.99);
+  EXPECT_LT(rep.max_row_cross, 0.01);
+  EXPECT_TRUE(rep.row_violations.empty());
+}
+
+TEST(Orthogonality, DetectsRowOverlap) {
+  OnlineHmm m;
+  feed(m, {{0, 1}, {1, 1}, {2, 2}});
+  const auto f = filter_emission(m, {}, false, cfg());
+  const auto rep = orthogonality(f, cfg());
+  EXPECT_FALSE(rep.rows_orthogonal);
+  ASSERT_EQ(rep.row_violations.size(), 1u);
+  EXPECT_EQ(rep.row_violations[0], (std::pair<StateId, StateId>{0, 1}));
+  EXPECT_TRUE(rep.cols_orthogonal);
+}
+
+// --- network-level classification ---------------------------------------------
+
+TEST(ClassifyNetwork, CleanIdentityIsNormal) {
+  OnlineHmm m;
+  feed(m, {{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  const auto d = classify_network(m, {}, lookup(), cfg(), 3);
+  EXPECT_EQ(d.verdict, Verdict::kNormal);
+  EXPECT_EQ(d.kind, AnomalyKind::kNone);
+}
+
+TEST(ClassifyNetwork, CreationSplitsAColumnPair) {
+  OnlineHmm m;
+  // Hidden 0 emits its own symbol and the fabricated state 9 alternately
+  // (the duty-cycled attack); everyone else is clean.
+  feed(m, {{0, 0}, {0, 9}, {1, 1}, {2, 2}, {3, 3}});
+  const auto d = classify_network(m, {}, lookup(), cfg(), 3);
+  EXPECT_EQ(d.verdict, Verdict::kAttack);
+  EXPECT_EQ(d.kind, AnomalyKind::kDynamicCreation);
+  EXPECT_FALSE(d.co.cols_orthogonal);
+  EXPECT_TRUE(d.co.rows_orthogonal);
+}
+
+TEST(ClassifyNetwork, DeletionMergesTwoRows) {
+  OnlineHmm m;
+  // Hidden 3 (the deleted state) observed as state 2, which also maps to
+  // itself.
+  feed(m, {{0, 0}, {1, 1}, {2, 2}, {3, 2}});
+  const auto d = classify_network(m, {}, lookup(), cfg(), 3);
+  EXPECT_EQ(d.verdict, Verdict::kAttack);
+  EXPECT_EQ(d.kind, AnomalyKind::kDynamicDeletion);
+  EXPECT_FALSE(d.co.rows_orthogonal);
+  EXPECT_TRUE(d.co.cols_orthogonal);
+}
+
+TEST(ClassifyNetwork, MixedViolatesBoth) {
+  OnlineHmm m;
+  feed(m, {{0, 0}, {0, 9}, {1, 1}, {2, 2}, {3, 2}});
+  const auto d = classify_network(m, {}, lookup(), cfg(), 3);
+  EXPECT_EQ(d.verdict, Verdict::kAttack);
+  EXPECT_EQ(d.kind, AnomalyKind::kMixedAttack);
+}
+
+TEST(ClassifyNetwork, ChangeRemapsAttributes) {
+  OnlineHmm m;
+  // One-to-one, but hidden 0 is always observed as state 9 whose attributes
+  // differ by far more than the tolerance.
+  feed(m, {{0, 9}, {1, 1}, {2, 2}, {3, 3}});
+  const auto d = classify_network(m, {}, lookup(), cfg(), 3);
+  EXPECT_EQ(d.verdict, Verdict::kAttack);
+  EXPECT_EQ(d.kind, AnomalyKind::kDynamicChange);
+  ASSERT_EQ(d.changed_states.size(), 1u);
+  EXPECT_EQ(d.changed_states[0], (std::pair<StateId, StateId>{0, 9}));
+}
+
+TEST(ClassifyNetwork, SignificantFilterHidesSpuriousStates) {
+  OnlineHmm m;
+  feed(m, {{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  // A single spurious observation that would look like deletion.
+  m.observe(9, 0);
+  const auto all = classify_network(m, {}, lookup(), cfg(), 3);
+  EXPECT_EQ(all.verdict, Verdict::kAttack);  // spurious state misleads
+  const auto significant = classify_network(m, {0, 1, 2, 3}, lookup(), cfg(), 3);
+  EXPECT_EQ(significant.verdict, Verdict::kNormal);  // the paper's pruning
+}
+
+TEST(ClassifyNetwork, CoalitionGateSuppressesSingleSensorDistortion) {
+  OnlineHmm m;
+  // A deletion-shaped B^CO, but only one sensor is implicated: a lone
+  // faulty sensor biasing the mean, not a coalition attack.
+  feed(m, {{0, 0}, {1, 1}, {2, 2}, {3, 2}});
+  const auto gated = classify_network(m, {}, lookup(), cfg(), 1);
+  EXPECT_EQ(gated.verdict, Verdict::kNormal);
+  EXPECT_EQ(gated.kind, AnomalyKind::kNone);
+  // The distortion is still visible in the report for operators.
+  EXPECT_FALSE(gated.co.rows_orthogonal);
+  // With a coalition the same structure is an attack.
+  const auto attack = classify_network(m, {}, lookup(), cfg(), 2);
+  EXPECT_EQ(attack.verdict, Verdict::kAttack);
+}
+
+// --- sensor-level classification -----------------------------------------------
+
+Diagnosis normal_network() {
+  Diagnosis d;
+  d.verdict = Verdict::kNormal;
+  return d;
+}
+
+TEST(ClassifySensor, StuckAtSharedColumn) {
+  OnlineHmm m;
+  feed(m, {{0, 7}, {1, 7}, {2, 7}, {3, 7}, {2, kBottomSymbol}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kError);
+  EXPECT_EQ(d.kind, AnomalyKind::kStuckAt);
+  ASSERT_TRUE(d.stuck_state.has_value());
+  EXPECT_EQ(*d.stuck_state, 7u);
+  EXPECT_EQ(d.stuck_value, (AttrVec{15.0, 1.0}));
+}
+
+TEST(ClassifySensor, CalibrationConstantRatio) {
+  OnlineHmm m;
+  feed(m, {{0, 10}, {1, 11}, {2, 12}, {3, 13}, {1, kBottomSymbol}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kError);
+  EXPECT_EQ(d.kind, AnomalyKind::kCalibration);
+  ASSERT_EQ(d.gain.size(), 2u);
+  EXPECT_NEAR(d.gain[0], 0.8, 0.02);
+  EXPECT_NEAR(d.gain[1], 0.8, 0.02);
+  EXPECT_LT(d.evidence_var, 0.1);
+}
+
+TEST(ClassifySensor, AdditiveConstantDifference) {
+  OnlineHmm m;
+  feed(m, {{0, 20}, {1, 21}, {2, 22}, {3, 23}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kError);
+  EXPECT_EQ(d.kind, AnomalyKind::kAdditive);
+  ASSERT_EQ(d.offset.size(), 2u);
+  EXPECT_NEAR(d.offset[0], 6.0, 0.1);
+  EXPECT_NEAR(d.offset[1], -12.0, 0.1);
+}
+
+TEST(ClassifySensor, RandomNoiseDiffuseRows) {
+  OnlineHmm m;
+  // Each correct state scatters over its own pair of nearby states: rows
+  // are diffuse (low self product) but do not overlap.
+  feed(m, {{0, 30}, {0, 31}, {1, 32}, {1, 33}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kError);
+  EXPECT_EQ(d.kind, AnomalyKind::kRandomNoise);
+}
+
+TEST(ClassifySensor, OverlappingScatterIsUnknown) {
+  OnlineHmm m;
+  // Two correct states scatter over the SAME symbols: rows overlap, no
+  // known signature.
+  feed(m, {{0, 30}, {0, 31}, {1, 30}, {1, 31}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kError);
+  EXPECT_EQ(d.kind, AnomalyKind::kUnknownError);
+}
+
+TEST(ClassifySensor, InheritsNetworkAttack) {
+  OnlineHmm m;
+  feed(m, {{0, 9}});
+  Diagnosis network;
+  network.verdict = Verdict::kAttack;
+  network.kind = AnomalyKind::kDynamicDeletion;
+  const auto d = classify_sensor(m, network, true, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kAttack);
+  EXPECT_EQ(d.kind, AnomalyKind::kDynamicDeletion);
+}
+
+TEST(ClassifySensor, NonCoalitionSensorKeepsOwnDiagnosisDuringAttack) {
+  // An attack is in progress, but this sensor is not part of the coalition:
+  // its own B^CE (a textbook stuck-at) must still decide its diagnosis.
+  OnlineHmm m;
+  feed(m, {{0, 7}, {1, 7}, {2, 7}, {3, 7}});
+  Diagnosis network;
+  network.verdict = Verdict::kAttack;
+  network.kind = AnomalyKind::kDynamicDeletion;
+  const auto d = classify_sensor(m, network, /*coalition_member=*/false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kError);
+  EXPECT_EQ(d.kind, AnomalyKind::kStuckAt);
+}
+
+TEST(ClassifySensor, AllBottomTrackIsNormal) {
+  OnlineHmm m;
+  feed(m, {{0, kBottomSymbol}, {1, kBottomSymbol}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_EQ(d.verdict, Verdict::kNormal);
+  EXPECT_EQ(d.kind, AnomalyKind::kNone);
+}
+
+TEST(ClassifySensor, SinglePairIsNotCalibration) {
+  // Only one (correct, error) pair: "constant ratio" is vacuous, so the
+  // classifier must not claim calibration/additive (min_pairs = 2).
+  OnlineHmm m;
+  feed(m, {{0, 9}});
+  const auto d = classify_sensor(m, normal_network(), false, {}, lookup(), cfg());
+  EXPECT_NE(d.kind, AnomalyKind::kCalibration);
+  EXPECT_NE(d.kind, AnomalyKind::kAdditive);
+}
+
+}  // namespace
+}  // namespace sentinel::core

@@ -1,0 +1,200 @@
+// Pipeline-level tests of the coalition semantics (DESIGN.md decisions 4,
+// 10, 11): independent faults never form a coalition, coordinated attackers
+// do, per-sensor evidence pools across short tracks, and attack verdicts
+// only propagate to coalition members. Also an end-to-end multimodal
+// (3-attribute) run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "faults/attack_models.h"
+#include "faults/fault_models.h"
+#include "faults/injection_plan.h"
+#include "sim/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+// Two-state cycling environment, far-apart states.
+class CycleEnvironment final : public sim::Environment {
+ public:
+  std::size_t dims() const override { return 2; }
+  AttrVec truth(double t) const override {
+    const auto phase = static_cast<long>(t / (3.0 * kSecondsPerHour));
+    return (phase % 2 == 0) ? AttrVec{10.0, 60.0} : AttrVec{30.0, 40.0};
+  }
+};
+
+PipelineConfig test_config() {
+  PipelineConfig cfg;
+  cfg.window_seconds = kSecondsPerHour;
+  cfg.initial_states = {{10.0, 60.0}, {30.0, 40.0}};
+  return cfg;
+}
+
+std::vector<SensorRecord> simulate(const sim::Environment& env, double duration,
+                                   std::shared_ptr<faults::InjectionPlan> plan,
+                                   std::size_t sensors = 9) {
+  sim::Simulator s(env);
+  for (std::size_t i = 0; i < sensors; ++i) {
+    sim::MoteConfig mc;
+    mc.id = static_cast<SensorId>(i);
+    mc.noise_sigma = 0.3;
+    mc.seed = 5;
+    s.add_mote(mc);
+  }
+  if (plan) s.set_transform(faults::make_transform(plan));
+  return s.run(duration).trace;
+}
+
+TEST(Coalition, IndependentFaultsDoNotFormACoalition) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  // Two *independent* faults with different error regimes.
+  plan->add(2, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}),
+            0.5 * kSecondsPerDay);
+  plan->add(5, std::make_unique<faults::AdditiveFault>(AttrVec{15.0, 14.0}),
+            0.5 * kSecondsPerDay);
+
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 4.0 * kSecondsPerDay, plan));
+
+  const auto coal = p.coalition();
+  EXPECT_LT(coal.size, 2u) << "independent faults must not look coordinated";
+
+  const auto report = p.diagnose();
+  EXPECT_EQ(report.network.verdict, Verdict::kNormal);
+  ASSERT_TRUE(report.sensors.count(2));
+  ASSERT_TRUE(report.sensors.count(5));
+  EXPECT_EQ(report.sensors.at(2).kind, AnomalyKind::kStuckAt);
+  EXPECT_EQ(report.sensors.at(5).kind, AnomalyKind::kAdditive);
+}
+
+TEST(Coalition, CoordinatedAttackersShareDominantErrorState) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  // 3 of 9 sensors delete state B by holding the observation at state A.
+  for (const SensorId s : {6u, 7u, 8u}) {
+    faults::DeletionAttackConfig ac;
+    // Holding (10,60) from truth (30,40) needs v = 3A - 2B = (-30, 100):
+    // within the admissible ranges, so the steering actually lands.
+    ac.deleted = faults::StateRegion{{30.0, 40.0}, 8.0};
+    ac.hold_state = {10.0, 60.0};
+    ac.fraction = 1.0 / 3.0;
+    plan->add(s, std::make_unique<faults::DynamicDeletionAttack>(ac), 0.5 * kSecondsPerDay);
+  }
+
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 4.0 * kSecondsPerDay, plan));
+
+  const auto coal = p.coalition();
+  EXPECT_EQ(coal.size, 3u);
+  EXPECT_EQ(coal.members, (std::set<SensorId>{6, 7, 8}));
+  ASSERT_TRUE(coal.dominant_error_state.has_value());
+
+  const auto report = p.diagnose();
+  EXPECT_EQ(report.network.verdict, Verdict::kAttack);
+  EXPECT_EQ(report.network.kind, AnomalyKind::kDynamicDeletion);
+  for (const SensorId s : {6u, 7u, 8u}) {
+    ASSERT_TRUE(report.sensors.count(s)) << s;
+    EXPECT_EQ(report.sensors.at(s).verdict, Verdict::kAttack);
+  }
+}
+
+TEST(Coalition, IndependentFaultDiagnosedDuringAttack) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  for (const SensorId s : {6u, 7u, 8u}) {
+    faults::DeletionAttackConfig ac;
+    // Holding (10,60) from truth (30,40) needs v = 3A - 2B = (-30, 100):
+    // within the admissible ranges, so the steering actually lands.
+    ac.deleted = faults::StateRegion{{30.0, 40.0}, 8.0};
+    ac.hold_state = {10.0, 60.0};
+    ac.fraction = 1.0 / 3.0;
+    plan->add(s, std::make_unique<faults::DynamicDeletionAttack>(ac), 0.5 * kSecondsPerDay);
+  }
+  // Sensor 2 independently gets stuck while the attack runs.
+  plan->add(2, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}),
+            0.5 * kSecondsPerDay);
+
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 6.0 * kSecondsPerDay, plan));
+
+  const auto report = p.diagnose();
+  EXPECT_EQ(report.network.verdict, Verdict::kAttack);
+  ASSERT_TRUE(report.sensors.count(2));
+  EXPECT_EQ(report.sensors.at(2).verdict, Verdict::kError);
+  EXPECT_EQ(report.sensors.at(2).kind, AnomalyKind::kStuckAt)
+      << "the non-member's own B^CE must decide its diagnosis";
+}
+
+TEST(Coalition, CombinedMcePoolsShortTracks) {
+  // A fault active only in state B (a few windows per cycle) opens many
+  // short tracks; the combined M_CE must accumulate them all.
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  // Stuck only while the environment is in state B: implemented as a change
+  // attack with fraction 1 against sensor 2's own readings.
+  faults::ChangeAttackConfig ac;
+  ac.victim = faults::StateRegion{{30.0, 40.0}, 8.0};
+  ac.observed_as = {20.0, 5.0};
+  ac.fraction = 1.0;
+  plan->add(2, std::make_unique<faults::DynamicChangeAttack>(ac), 0.0);
+
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 4.0 * kSecondsPerDay, plan));
+
+  const auto* tracks = p.tracks().tracks(2);
+  ASSERT_NE(tracks, nullptr);
+  EXPECT_GT(tracks->size(), 3u) << "intermittent fault should open several tracks";
+  EXPECT_GE(p.tracks().total_anomalies(2), 10u);
+  ASSERT_NE(p.m_ce(2), nullptr);
+  // The combined model has seen far more than any single track.
+  std::size_t best_single = 0;
+  for (const auto& t : *tracks) best_single = std::max(best_single, t.observations);
+  EXPECT_GT(p.m_ce(2)->steps(), best_single);
+}
+
+TEST(Coalition, MultimodalThreeAttributePipeline) {
+  // End-to-end with (temperature, humidity, pressure): dimension-agnostic
+  // pipeline, stuck-at classified from 3-attribute data.
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = 10.0 * kSecondsPerDay;
+  ec.include_pressure = true;
+  const sim::GdiEnvironment env(ec);
+
+  sim::Simulator s(env);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sim::MoteConfig mc;
+    mc.id = static_cast<SensorId>(i);
+    mc.noise_sigma = 0.4;
+    mc.seed = 12;
+    s.add_mote(mc);
+  }
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  plan->add(3, std::make_unique<faults::StuckAtFault>(AttrVec{15.0, 1.0, 990.0}),
+            2.0 * kSecondsPerDay);
+  s.set_transform(faults::make_transform(plan));
+  const auto trace = s.run(ec.duration_seconds).trace;
+
+  PipelineConfig cfg;
+  for (double t = 0.0; t < 2.0 * kSecondsPerDay; t += kSecondsPerHour) {
+    cfg.initial_states.push_back(env.truth(t));
+  }
+  // Thin the history to 6 states via the first 6 distinct hours.
+  cfg.initial_states.resize(6);
+  DetectionPipeline p(cfg);
+  p.process_trace(trace);
+
+  const auto report = p.diagnose();
+  ASSERT_TRUE(report.sensors.count(3));
+  EXPECT_EQ(report.sensors.at(3).verdict, Verdict::kError);
+  EXPECT_EQ(report.sensors.at(3).kind, AnomalyKind::kStuckAt);
+  ASSERT_EQ(report.sensors.at(3).stuck_value.size(), 3u);
+  EXPECT_NEAR(report.sensors.at(3).stuck_value[2], 990.0, 3.0);
+}
+
+}  // namespace
+}  // namespace sentinel::core

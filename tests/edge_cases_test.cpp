@@ -1,0 +1,200 @@
+// Additional edge-case and semantics tests collected across modules:
+// posterior decoding, the decreasing-gain estimates' duty-cycle behavior,
+// the scale-aware calibration fit, fabricated-symbol creation rule, ARL
+// properties of the sequential filters, mote jitter, and printing helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "changepoint/cusum.h"
+#include "changepoint/sprt.h"
+#include "core/classifier.h"
+#include "hmm/hmm.h"
+#include "hmm/online_hmm.h"
+#include "sim/sensor.h"
+#include "util/rng.h"
+
+namespace sentinel {
+namespace {
+
+// --- posterior decoding --------------------------------------------------------
+
+TEST(Posterior, RowsAreDistributionsAndAgreeWithViterbiWhenCrisp) {
+  // Near-deterministic model: posterior argmax should match Viterbi.
+  const hmm::Hmm model(Matrix::from_rows({{0.95, 0.05}, {0.05, 0.95}}),
+                       Matrix::from_rows({{0.9, 0.1}, {0.1, 0.9}}), {0.5, 0.5});
+  const hmm::Sequence obs{0, 0, 0, 1, 1, 1, 0, 0};
+  const Matrix gamma = model.posterior(obs);
+  ASSERT_EQ(gamma.rows(), obs.size());
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    EXPECT_NEAR(gamma(t, 0) + gamma(t, 1), 1.0, 1e-9);
+  }
+  const auto v = model.viterbi(obs);
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    const std::size_t post_argmax = gamma(t, 0) > gamma(t, 1) ? 0 : 1;
+    EXPECT_EQ(post_argmax, v.path[t]) << "t=" << t;
+  }
+}
+
+TEST(Posterior, UniformModelGivesUniformPosterior) {
+  const auto model = hmm::Hmm::uniform(3, 4);
+  const Matrix gamma = model.posterior({0, 1, 2, 3});
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(gamma(t, i), 1.0 / 3.0, 1e-9);
+  }
+}
+
+// --- decreasing-gain estimates ---------------------------------------------------
+
+TEST(OnlineHmmAvg, DutyCycleSplitsRowEvenly) {
+  // Alternate two symbols from the same hidden state: the fixed-gain row
+  // swings with the last observation, the decreasing-gain row converges to
+  // the true 50/50 emission frequency.
+  hmm::OnlineHmm m;
+  for (int i = 0; i < 200; ++i) m.observe(1, i % 2 ? 10 : 11);
+
+  const Matrix ema = m.emission_matrix();
+  const Matrix avg = m.emission_matrix_avg();
+  const auto row = *m.hidden_index(1);
+  const auto c10 = *m.symbol_index(10);
+  const auto c11 = *m.symbol_index(11);
+  // Fixed gain: heavily tilted toward whichever symbol came last.
+  EXPECT_GT(std::max(ema(row, c10), ema(row, c11)), 0.85);
+  // Decreasing gain: the long-run 50/50 (up to the first-sample asymmetry).
+  EXPECT_NEAR(avg(row, c10), 0.5, 0.02);
+  EXPECT_NEAR(avg(row, c11), 0.5, 0.02);
+}
+
+TEST(OnlineHmmAvg, TransitionAveragesMatchFrequencies) {
+  // From state 0: go to 1 twice as often as to 2.
+  hmm::OnlineHmm m;
+  for (int i = 0; i < 90; ++i) {
+    m.observe(0, 0);
+    m.observe(i % 3 == 0 ? 2 : 1, 5);
+  }
+  const Matrix avg = m.transition_matrix_avg();
+  const auto r0 = *m.hidden_index(0);
+  EXPECT_NEAR(avg(r0, *m.hidden_index(1)), 2.0 / 3.0, 0.05);
+  EXPECT_NEAR(avg(r0, *m.hidden_index(2)), 1.0 / 3.0, 0.05);
+}
+
+// --- classifier: scale-aware fit and creation rule ------------------------------
+
+core::CentroidLookup big_scale_lookup() {
+  // Cluster-monitor scale: latency in the hundreds; exact gain 2 on attr 1
+  // but with +-3-unit centroid estimation error.
+  static const std::map<hmm::StateId, AttrVec> k = {
+      {0, {25.0, 80.0}},  {1, {55.0, 120.0}}, {2, {70.0, 150.0}},
+      {10, {25.0, 163.0}}, {11, {55.0, 237.0}}, {12, {70.0, 303.0}},
+  };
+  return [](hmm::StateId id) -> std::optional<AttrVec> {
+    const auto it = k.find(id);
+    if (it == k.end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+TEST(ClassifierScale, CalibrationAcceptedAtLatencyScale) {
+  hmm::OnlineHmm m;
+  for (int i = 0; i < 50; ++i) {
+    m.observe(0, 10);
+    m.observe(1, 11);
+    m.observe(2, 12);
+  }
+  core::Diagnosis network;
+  network.verdict = core::Verdict::kNormal;
+  const auto d =
+      core::classify_sensor(m, network, false, {}, big_scale_lookup(), core::ClassifierConfig{});
+  EXPECT_EQ(d.kind, core::AnomalyKind::kCalibration);
+  ASSERT_EQ(d.gain.size(), 2u);
+  EXPECT_NEAR(d.gain[1], 2.0, 0.1);
+}
+
+TEST(ClassifierCreationRule, TwoHiddenColumnsDoNotWitnessCreation) {
+  // Hidden 0 splits between symbol 0 (its own) and symbol 1 (another hidden
+  // state's symbol): a deletion-boundary residue, not a fabricated state.
+  hmm::OnlineHmm m;
+  for (int i = 0; i < 60; ++i) {
+    m.observe(0, i % 3 == 0 ? 0 : 1);
+    m.observe(1, 1);
+    m.observe(2, 2);
+  }
+  const core::CentroidLookup lookup = [](hmm::StateId id) -> std::optional<AttrVec> {
+    static const std::map<hmm::StateId, AttrVec> k = {
+        {0, {10.0, 60.0}}, {1, {30.0, 40.0}}, {2, {50.0, 20.0}}};
+    const auto it = k.find(id);
+    if (it == k.end()) return std::nullopt;
+    return it->second;
+  };
+  const auto d = core::classify_network(m, {}, lookup, core::ClassifierConfig{}, 3);
+  EXPECT_EQ(d.verdict, core::Verdict::kAttack);
+  EXPECT_EQ(d.kind, core::AnomalyKind::kDynamicDeletion)
+      << "hidden-hidden column coupling must read as deletion residue";
+}
+
+// --- sequential filters: average run length --------------------------------------
+
+TEST(SequentialFilters, CusumArlMuchLongerUnderH0) {
+  // Average windows to a (false) alarm under H0 must dwarf the detection
+  // delay under H1.
+  Rng rng(31, "arl");
+  const auto arl = [&](double p) {
+    double total = 0.0;
+    for (int trial = 0; trial < 30; ++trial) {
+      changepoint::CusumFilter f(changepoint::CusumConfig{});
+      int n = 0;
+      while (!f.update(rng.bernoulli(p)) && n < 20000) ++n;
+      total += n;
+    }
+    return total / 30.0;
+  };
+  const double arl0 = arl(0.02);  // healthy
+  const double arl1 = arl(0.6);   // faulty
+  EXPECT_GT(arl0, 50.0 * arl1);
+  EXPECT_LT(arl1, 15.0);
+}
+
+TEST(SequentialFilters, SprtDecisionCountGrowsWithData) {
+  changepoint::SprtFilter f(changepoint::SprtConfig{});
+  Rng rng(33, "sprt-arl");
+  for (int i = 0; i < 5000; ++i) f.update(rng.bernoulli(0.02));
+  EXPECT_GT(f.decisions(), 10u);  // keeps re-accepting H0
+}
+
+// --- mote jitter ------------------------------------------------------------------
+
+TEST(MoteJitter, SampleTimesStayWithinJitterWindow) {
+  const sim::ConstantEnvironment env(AttrVec{0.0});
+  sim::MoteConfig cfg;
+  cfg.sample_period = 300.0;
+  cfg.phase_jitter = 30.0;
+  sim::Mote mote(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const double nominal = 300.0 * i;
+    const auto s = mote.sample(env);
+    EXPECT_GE(s.record.time, nominal);
+    EXPECT_LT(s.record.time, nominal + 30.0);
+  }
+}
+
+// --- printing helpers --------------------------------------------------------------
+
+TEST(Printing, MatrixToStringRowsAndPrecision) {
+  const Matrix m = Matrix::from_rows({{0.5, 0.25}, {1.0, 0.0}});
+  const auto s = m.to_string(2);
+  EXPECT_NE(s.find("0.50"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(Printing, MarkovChainToStringListsStates) {
+  hmm::MarkovChain mc;
+  mc.add_sequence({3, 5, 3});
+  const auto s = mc.to_string();
+  EXPECT_NE(s.find("states: 3 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,121 @@
+// Unit tests: environment models (constant, scripted, GDI substitute).
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.h"
+#include "util/stats.h"
+
+namespace sentinel::sim {
+namespace {
+
+TEST(ConstantEnvironment, AlwaysSameValue) {
+  const ConstantEnvironment env(AttrVec{20.0, 70.0});
+  EXPECT_EQ(env.dims(), 2u);
+  EXPECT_EQ(env.truth(0.0), env.truth(1e6));
+}
+
+TEST(ScriptedEnvironment, FollowsSchedule) {
+  const ScriptedEnvironment env({{100.0, {1.0}}, {200.0, {2.0}}, {300.0, {3.0}}});
+  EXPECT_EQ(env.truth(50.0), (AttrVec{1.0}));
+  EXPECT_EQ(env.truth(150.0), (AttrVec{2.0}));
+  EXPECT_EQ(env.truth(299.9), (AttrVec{3.0}));
+  EXPECT_EQ(env.truth(1000.0), (AttrVec{3.0}));  // clamps to last
+}
+
+TEST(ScriptedEnvironment, ValidatesInput) {
+  EXPECT_THROW(ScriptedEnvironment({}), std::invalid_argument);
+  EXPECT_THROW(ScriptedEnvironment({{100.0, {1.0}}, {50.0, {2.0}}}), std::invalid_argument);
+  EXPECT_THROW(ScriptedEnvironment({{100.0, {1.0}}, {200.0, {1.0, 2.0}}}),
+               std::invalid_argument);
+}
+
+TEST(GdiEnvironment, Deterministic) {
+  GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = 2.0 * kSecondsPerDay;
+  const GdiEnvironment a(cfg);
+  const GdiEnvironment b(cfg);
+  for (double t = 0.0; t < cfg.duration_seconds; t += 7777.0) {
+    EXPECT_EQ(a.truth(t), b.truth(t)) << "t=" << t;
+  }
+}
+
+TEST(GdiEnvironment, DifferentSeedsDiffer) {
+  GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = kSecondsPerDay;
+  GdiEnvironmentConfig cfg2 = cfg;
+  cfg2.seed = cfg.seed + 1;
+  const GdiEnvironment a(cfg);
+  const GdiEnvironment b(cfg2);
+  EXPECT_NE(a.truth(3600.0), b.truth(3600.0));
+}
+
+TEST(GdiEnvironment, PaperEnvelope) {
+  // The month must sweep roughly the paper's temp [12,32] / hum [56,96]
+  // range (Fig. 6 / Fig. 7 key states).
+  GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = 31.0 * kSecondsPerDay;
+  const GdiEnvironment env(cfg);
+  RunningStats temp, hum;
+  for (double t = 0.0; t < cfg.duration_seconds; t += kSecondsPerHour) {
+    const auto v = env.truth(t);
+    temp.add(v[0]);
+    hum.add(v[1]);
+  }
+  EXPECT_GT(temp.min(), 0.0);
+  EXPECT_LT(temp.min(), 16.0);
+  EXPECT_GT(temp.max(), 27.0);
+  EXPECT_LT(temp.max(), 45.0);
+  EXPECT_GT(hum.min(), 35.0);
+  EXPECT_LT(hum.min(), 65.0);
+  EXPECT_GT(hum.max(), 85.0);
+  EXPECT_LE(hum.max(), 100.0);
+}
+
+TEST(GdiEnvironment, TempHumidityAntiCorrelated) {
+  GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = 7.0 * kSecondsPerDay;
+  const GdiEnvironment env(cfg);
+  // Pearson correlation over hourly samples must be strongly negative.
+  RunningStats t_stats, h_stats;
+  std::vector<double> ts, hs;
+  for (double t = 0.0; t < cfg.duration_seconds; t += kSecondsPerHour) {
+    const auto v = env.truth(t);
+    ts.push_back(v[0]);
+    hs.push_back(v[1]);
+    t_stats.add(v[0]);
+    h_stats.add(v[1]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    cov += (ts[i] - t_stats.mean()) * (hs[i] - h_stats.mean());
+  }
+  cov /= static_cast<double>(ts.size() - 1);
+  const double corr = cov / (t_stats.stddev() * h_stats.stddev());
+  EXPECT_LT(corr, -0.9);
+}
+
+TEST(GdiEnvironment, DiurnalPeakNearConfiguredHour) {
+  GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = kSecondsPerDay;
+  cfg.weather_sigma = 0.01;  // suppress weather so the carrier dominates
+  cfg.peak_hour = 14.0;
+  const GdiEnvironment env(cfg);
+  double best_t = 0.0, best_v = -1e9;
+  for (double t = 0.0; t < kSecondsPerDay; t += 300.0) {
+    const double v = env.truth(t)[0];
+    if (v > best_v) {
+      best_v = v;
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(best_t / kSecondsPerHour, 14.0, 1.5);
+}
+
+TEST(GdiEnvironment, RejectsNonPositiveDuration) {
+  GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = 0.0;
+  EXPECT_THROW(GdiEnvironment{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sentinel::sim

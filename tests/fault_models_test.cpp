@@ -1,0 +1,126 @@
+// Unit tests: accidental-error models (paper section 3.3) and the injection
+// plan composition.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "faults/fault_models.h"
+#include "faults/injection_plan.h"
+#include "util/stats.h"
+
+namespace sentinel::faults {
+namespace {
+
+const AttrVec kMeasured{20.0, 70.0};
+const AttrVec kTruth{20.0, 70.0};
+
+TEST(StuckAt, AlwaysReportsFixedValue) {
+  StuckAtFault f(AttrVec{15.0, 1.0});
+  EXPECT_EQ(f.apply(0, 0.0, kMeasured, kTruth), (AttrVec{15.0, 1.0}));
+  EXPECT_EQ(f.apply(0, 999.0, AttrVec{-5.0, 30.0}, kTruth), (AttrVec{15.0, 1.0}));
+  EXPECT_EQ(f.name(), "stuck-at");
+  EXPECT_THROW(StuckAtFault(AttrVec{}), std::invalid_argument);
+}
+
+TEST(Calibration, MultiplicativePerAttribute) {
+  CalibrationFault f(AttrVec{1.1, 0.5});
+  const auto out = f.apply(0, 0.0, kMeasured, kTruth);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ((*out)[0], 22.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 35.0);
+  EXPECT_THROW(f.apply(0, 0.0, AttrVec{1.0}, kTruth), std::invalid_argument);
+}
+
+TEST(Additive, OffsetPerAttribute) {
+  AdditiveFault f(AttrVec{5.0, -10.0});
+  const auto out = f.apply(0, 0.0, kMeasured, kTruth);
+  EXPECT_EQ(*out, (AttrVec{25.0, 60.0}));
+}
+
+TEST(RandomNoise, ZeroMeanHighVariance) {
+  RandomNoiseFault f(8.0, 42);
+  RunningStats stats;
+  for (int i = 0; i < 4000; ++i) {
+    stats.add((*f.apply(0, 0.0, kMeasured, kTruth))[0] - kMeasured[0]);
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.5);
+  EXPECT_NEAR(stats.stddev(), 8.0, 0.5);
+  EXPECT_THROW(RandomNoiseFault(-1.0, 1), std::invalid_argument);
+}
+
+TEST(Drift, LinearDecayThenFloor) {
+  DriftFault f(/*attr=*/1, /*floor=*/0.0, /*start=*/100.0, /*drift_seconds=*/100.0);
+  // Before start: untouched.
+  EXPECT_EQ(*f.apply(0, 50.0, kMeasured, kTruth), kMeasured);
+  // Midway: halfway to the floor on attr 1 only.
+  const auto mid = *f.apply(0, 150.0, kMeasured, kTruth);
+  EXPECT_DOUBLE_EQ(mid[0], 20.0);
+  EXPECT_DOUBLE_EQ(mid[1], 35.0);
+  // Long after: at the floor.
+  const auto late = *f.apply(0, 1000.0, kMeasured, kTruth);
+  EXPECT_DOUBLE_EQ(late[1], 0.0);
+}
+
+TEST(Drift, AllAttributesWhenNegativeIndex) {
+  DriftFault f(-1, 0.0, 0.0, 100.0);
+  const auto end = *f.apply(0, 100.0, kMeasured, kTruth);
+  EXPECT_DOUBLE_EQ(end[0], 0.0);
+  EXPECT_DOUBLE_EQ(end[1], 0.0);
+}
+
+TEST(Mute, SuppressesPackets) {
+  MuteFault f;
+  EXPECT_FALSE(f.apply(0, 0.0, kMeasured, kTruth).has_value());
+}
+
+TEST(InjectionPlanTest, OnlyTargetedSensorAffected) {
+  InjectionPlan plan;
+  plan.add(3, std::make_unique<StuckAtFault>(AttrVec{1.0, 2.0}));
+  EXPECT_EQ(*plan.apply(0, 0.0, kMeasured, kTruth), kMeasured);
+  EXPECT_EQ(*plan.apply(3, 0.0, kMeasured, kTruth), (AttrVec{1.0, 2.0}));
+  EXPECT_TRUE(plan.has_entries_for(3));
+  EXPECT_FALSE(plan.has_entries_for(0));
+  EXPECT_EQ(plan.injected_sensors(), std::vector<SensorId>{3});
+}
+
+TEST(InjectionPlanTest, ActivationWindowRespected) {
+  InjectionPlan plan;
+  plan.add(0, std::make_unique<AdditiveFault>(AttrVec{100.0, 0.0}), 10.0, 20.0);
+  EXPECT_EQ(*plan.apply(0, 5.0, kMeasured, kTruth), kMeasured);
+  EXPECT_DOUBLE_EQ((*plan.apply(0, 15.0, kMeasured, kTruth))[0], 120.0);
+  EXPECT_EQ(*plan.apply(0, 25.0, kMeasured, kTruth), kMeasured);
+}
+
+TEST(InjectionPlanTest, ChainsEntriesInOrder) {
+  InjectionPlan plan;
+  plan.add(0, std::make_unique<AdditiveFault>(AttrVec{10.0, 0.0}));
+  plan.add(0, std::make_unique<CalibrationFault>(AttrVec{2.0, 1.0}));
+  // (20 + 10) * 2 = 60.
+  EXPECT_DOUBLE_EQ((*plan.apply(0, 0.0, kMeasured, kTruth))[0], 60.0);
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(InjectionPlanTest, SuppressionShortCircuits) {
+  InjectionPlan plan;
+  plan.add(0, std::make_unique<MuteFault>());
+  plan.add(0, std::make_unique<AdditiveFault>(AttrVec{1.0, 1.0}));
+  EXPECT_FALSE(plan.apply(0, 0.0, kMeasured, kTruth).has_value());
+}
+
+TEST(InjectionPlanTest, NullModelRejected) {
+  InjectionPlan plan;
+  EXPECT_THROW(plan.add(0, nullptr), std::invalid_argument);
+  EXPECT_THROW(make_transform(nullptr), std::invalid_argument);
+}
+
+TEST(InjectionPlanTest, TransformSharesOwnership) {
+  auto plan = std::make_shared<InjectionPlan>();
+  plan->add(1, std::make_unique<StuckAtFault>(AttrVec{9.0, 9.0}));
+  auto transform = make_transform(plan);
+  plan.reset();  // transform keeps the plan alive
+  EXPECT_EQ(*transform(1, 0.0, kMeasured, kTruth), (AttrVec{9.0, 9.0}));
+}
+
+}  // namespace
+}  // namespace sentinel::faults

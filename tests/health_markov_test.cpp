@@ -1,0 +1,151 @@
+// Unit tests: per-sensor health analytics and the Markov-chain baseline
+// detector (related work [11]).
+
+#include <gtest/gtest.h>
+
+#include "baseline/markov_detector.h"
+#include "trace/health.h"
+#include "util/rng.h"
+
+namespace sentinel {
+namespace {
+
+// --- health -------------------------------------------------------------------
+
+std::vector<SensorRecord> healthy_trace(SensorId id, double period, std::size_t n,
+                                        double noise, std::uint64_t seed) {
+  Rng rng(seed, "health-test");
+  std::vector<SensorRecord> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * period;
+    out.push_back({id, t, {20.0 + rng.gaussian(0.0, noise), 70.0 + rng.gaussian(0.0, noise)}});
+  }
+  return out;
+}
+
+TEST(Health, CompleteTraceScoresFullCompleteness) {
+  const auto trace = healthy_trace(3, 300.0, 200, 0.3, 1);
+  const auto report = analyze_health(trace, 300.0);
+  ASSERT_EQ(report.size(), 1u);
+  const auto& h = report.front();
+  EXPECT_EQ(h.sensor, 3u);
+  EXPECT_EQ(h.records, 200u);
+  EXPECT_NEAR(h.completeness, 1.0, 0.01);
+  EXPECT_NEAR(h.max_gap, 300.0, 1e-9);
+  EXPECT_NEAR(h.mean[0], 20.0, 0.1);
+  EXPECT_NEAR(h.noise_sigma[0], 0.3, 0.08);
+}
+
+TEST(Health, DetectsMissingPacketsAndGaps) {
+  auto trace = healthy_trace(0, 300.0, 200, 0.3, 2);
+  // Drop a contiguous hour (12 records) and every 4th record elsewhere.
+  std::vector<SensorRecord> lossy;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i >= 50 && i < 62) continue;
+    if (i % 4 == 3) continue;
+    lossy.push_back(trace[i]);
+  }
+  const auto report = analyze_health(lossy, 300.0);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_LT(report[0].completeness, 0.80);
+  EXPECT_NEAR(report[0].max_gap, 13.0 * 300.0, 301.0);
+}
+
+TEST(Health, NoiseEstimateIgnoresSlowDrift) {
+  // Strong linear drift, small noise: stddev is large but noise_sigma stays
+  // near the injected measurement noise.
+  Rng rng(5, "health-drift");
+  std::vector<SensorRecord> trace;
+  for (std::size_t i = 0; i < 500; ++i) {
+    trace.push_back({1, i * 300.0, {static_cast<double>(i) * 0.1 + rng.gaussian(0.0, 0.4)}});
+  }
+  const auto report = analyze_health(trace, 300.0);
+  EXPECT_GT(report[0].stddev[0], 5.0);
+  EXPECT_NEAR(report[0].noise_sigma[0], 0.4, 0.15);
+}
+
+TEST(Health, MultipleSensorsSorted) {
+  auto a = healthy_trace(2, 300.0, 50, 0.1, 7);
+  const auto b = healthy_trace(0, 300.0, 80, 0.1, 8);
+  a.insert(a.end(), b.begin(), b.end());
+  const auto report = analyze_health(a, 300.0);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].sensor, 0u);
+  EXPECT_EQ(report[1].sensor, 2u);
+  EXPECT_EQ(report[0].records, 80u);
+}
+
+TEST(Health, Validation) {
+  EXPECT_THROW(analyze_health({}, 0.0), std::invalid_argument);
+  EXPECT_TRUE(analyze_health({}, 300.0).empty());
+}
+
+TEST(Health, ToStringMentionsEverything) {
+  const auto report = analyze_health(healthy_trace(9, 300.0, 20, 0.2, 3), 300.0);
+  const auto s = to_string(report.front());
+  EXPECT_NE(s.find("sensor 9"), std::string::npos);
+  EXPECT_NE(s.find("completeness"), std::string::npos);
+  EXPECT_NE(s.find("noise"), std::string::npos);
+}
+
+// --- Markov-chain detector -----------------------------------------------------
+
+std::vector<hmm::StateId> cycle_sequence(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, "markov-det");
+  std::vector<hmm::StateId> seq;
+  hmm::StateId cur = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seq.push_back(cur);
+    if (rng.bernoulli(0.6)) cur = (cur + 1) % 4;
+  }
+  return seq;
+}
+
+TEST(MarkovDetector, CleanDataMostlyBelowThresholdRate) {
+  baseline::MarkovChainDetector det((baseline::MarkovDetectorConfig()));
+  const auto stats = det.train(cycle_sequence(800, 1));
+  EXPECT_EQ(stats.states, 4u);
+  EXPECT_GT(stats.transitions, 700u);
+
+  const auto flags = det.detect(cycle_sequence(400, 2));
+  std::size_t flagged = 0;
+  for (const bool f : flags) flagged += f;
+  EXPECT_LT(static_cast<double>(flagged) / static_cast<double>(flags.size()), 0.1);
+}
+
+TEST(MarkovDetector, FlagsForeignStructure) {
+  baseline::MarkovChainDetector det((baseline::MarkovDetectorConfig()));
+  det.train(cycle_sequence(800, 1));
+  // Backwards cycle: transitions the chain never saw.
+  std::vector<hmm::StateId> weird;
+  hmm::StateId cur = 3;
+  for (int i = 0; i < 200; ++i) {
+    weird.push_back(cur);
+    cur = (cur + 3) % 4;
+  }
+  const auto flags = det.detect(weird);
+  std::size_t flagged = 0;
+  for (const bool f : flags) flagged += f;
+  EXPECT_GT(static_cast<double>(flagged) / static_cast<double>(flags.size()), 0.8);
+}
+
+TEST(MarkovDetector, ScoreOrdersSequencesSensibly) {
+  baseline::MarkovChainDetector det((baseline::MarkovDetectorConfig()));
+  det.train(cycle_sequence(800, 1));
+  const std::vector<hmm::StateId> in_dist{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3};
+  const std::vector<hmm::StateId> out_dist{3, 2, 1, 0, 3, 2, 1, 0, 3, 2, 1, 0};
+  EXPECT_GT(det.score(in_dist), det.score(out_dist));
+}
+
+TEST(MarkovDetector, Validation) {
+  baseline::MarkovDetectorConfig bad;
+  bad.window = 1;
+  EXPECT_THROW(baseline::MarkovChainDetector{bad}, std::invalid_argument);
+  baseline::MarkovChainDetector det((baseline::MarkovDetectorConfig()));
+  EXPECT_THROW(det.score({1, 2}), std::logic_error);
+  EXPECT_THROW(det.detect({1, 2}), std::logic_error);
+  EXPECT_THROW(det.train({1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sentinel

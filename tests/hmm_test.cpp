@@ -1,0 +1,153 @@
+// Unit tests: classical HMM -- forward/backward, Viterbi, Baum-Welch,
+// sampling -- verified against hand-computed values and known invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmm/hmm.h"
+
+namespace sentinel::hmm {
+namespace {
+
+Hmm weather_model() {
+  // Classic two-state example: states {rainy, sunny}, symbols {walk, shop,
+  // clean}.
+  return Hmm(Matrix::from_rows({{0.7, 0.3}, {0.4, 0.6}}),
+             Matrix::from_rows({{0.1, 0.4, 0.5}, {0.6, 0.3, 0.1}}),
+             {0.6, 0.4});
+}
+
+TEST(HmmTest, ValidatesInputs) {
+  EXPECT_THROW(Hmm(Matrix::from_rows({{0.5, 0.6}, {0.5, 0.5}}),
+                   Matrix::from_rows({{1.0}, {1.0}}), {0.5, 0.5}),
+               std::invalid_argument);  // A not stochastic
+  EXPECT_THROW(Hmm(Matrix::identity(2), Matrix::identity(2), {0.9, 0.3}),
+               std::invalid_argument);  // pi does not sum to 1
+  EXPECT_THROW(Hmm(Matrix::identity(2), Matrix::identity(3), {0.5, 0.5}),
+               std::invalid_argument);  // B shape
+}
+
+TEST(HmmTest, ForwardMatchesBruteForce) {
+  const Hmm model = weather_model();
+  const Sequence obs{0, 1, 2};
+  // Brute force: sum over all 2^3 state paths.
+  double p = 0.0;
+  for (int s0 = 0; s0 < 2; ++s0) {
+    for (int s1 = 0; s1 < 2; ++s1) {
+      for (int s2 = 0; s2 < 2; ++s2) {
+        p += model.initial()[s0] * model.emission()(s0, obs[0]) *
+             model.transition()(s0, s1) * model.emission()(s1, obs[1]) *
+             model.transition()(s1, s2) * model.emission()(s2, obs[2]);
+      }
+    }
+  }
+  EXPECT_NEAR(model.log_likelihood(obs), std::log(p), 1e-10);
+}
+
+TEST(HmmTest, ForwardBackwardConsistency) {
+  // sum_i alpha_hat(t,i) * beta_hat(t,i) / c_t == 1 for every t under the
+  // standard scaling.
+  const Hmm model = weather_model();
+  const Sequence obs{0, 2, 1, 0, 0, 2, 1, 1};
+  const auto fwd = model.forward(obs);
+  const auto beta = model.backward(obs, fwd.scales);
+  for (std::size_t t = 0; t < obs.size(); ++t) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < model.num_states(); ++i) {
+      s += fwd.scaled_alpha(t, i) * beta(t, i) / fwd.scales[t];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-9) << "t=" << t;
+  }
+}
+
+TEST(HmmTest, ViterbiOnDeterministicModel) {
+  // Deterministic cycle 0 -> 1 -> 0 with identity emissions: the decoded
+  // path must equal the observations.
+  const Hmm model(Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}}), Matrix::identity(2),
+                  {1.0, 0.0});
+  const Sequence obs{0, 1, 0, 1, 0};
+  const auto v = model.viterbi(obs);
+  EXPECT_EQ(v.path, (std::vector<std::size_t>{0, 1, 0, 1, 0}));
+  EXPECT_NEAR(v.log_probability, 0.0, 1e-12);
+}
+
+TEST(HmmTest, ViterbiPathIsPlausible) {
+  const Hmm model = weather_model();
+  const Sequence obs{0, 0, 2, 2};  // walk walk clean clean
+  const auto v = model.viterbi(obs);
+  ASSERT_EQ(v.path.size(), 4u);
+  // "walk" is much likelier when sunny (state 1); "clean" when rainy (0).
+  EXPECT_EQ(v.path[0], 1u);
+  EXPECT_EQ(v.path[3], 0u);
+}
+
+TEST(HmmTest, BaumWelchMonotoneLikelihood) {
+  Rng rng(3, "bw-test");
+  const Hmm truth = weather_model();
+  const auto sample = truth.sample(400, rng);
+
+  Hmm learner = Hmm::random(2, 3, rng);
+  BaumWelchOptions opts;
+  opts.max_iterations = 30;
+  const auto result = learner.baum_welch({sample.symbols}, opts);
+  ASSERT_GE(result.log_likelihood_per_iter.size(), 2u);
+  for (std::size_t i = 1; i < result.log_likelihood_per_iter.size(); ++i) {
+    EXPECT_GE(result.log_likelihood_per_iter[i],
+              result.log_likelihood_per_iter[i - 1] - 1e-6)
+        << "iteration " << i;
+  }
+  // The learned model explains the data at least as well as random init.
+  EXPECT_GT(learner.log_likelihood(sample.symbols),
+            result.log_likelihood_per_iter.front());
+}
+
+TEST(HmmTest, BaumWelchKeepsStochasticity) {
+  Rng rng(11, "bw-stoch");
+  const Hmm truth = weather_model();
+  const auto s1 = truth.sample(150, rng);
+  const auto s2 = truth.sample(150, rng);
+  Hmm learner = Hmm::random(3, 3, rng);
+  learner.baum_welch({s1.symbols, s2.symbols});
+  EXPECT_TRUE(learner.transition().is_row_stochastic(1e-6));
+  EXPECT_TRUE(learner.emission().is_row_stochastic(1e-6));
+}
+
+TEST(HmmTest, SampleSymbolFrequenciesMatchModel) {
+  // Single state, fixed emissions.
+  const Hmm model(Matrix::identity(1), Matrix::from_rows({{0.2, 0.8}}), {1.0});
+  Rng rng(5, "sample");
+  const auto s = model.sample(20000, rng);
+  std::size_t ones = 0;
+  for (const auto v : s.symbols) ones += v == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / 20000.0, 0.8, 0.02);
+}
+
+TEST(HmmTest, NormalizedLogLikelihoodPerSymbol) {
+  const Hmm model = weather_model();
+  const Sequence obs{0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(model.normalized_log_likelihood(obs),
+              model.log_likelihood(obs) / 6.0, 1e-12);
+}
+
+TEST(HmmTest, ErrorsOnBadInput) {
+  const Hmm model = weather_model();
+  EXPECT_THROW(model.forward({}), std::invalid_argument);
+  EXPECT_THROW(model.forward({7}), std::out_of_range);
+  EXPECT_THROW(model.viterbi({}), std::invalid_argument);
+  Hmm copy = model;
+  EXPECT_THROW(copy.baum_welch({}), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW(model.sample(0, rng), std::invalid_argument);
+}
+
+TEST(HmmTest, UniformFactory) {
+  const Hmm u = Hmm::uniform(4, 6);
+  EXPECT_EQ(u.num_states(), 4u);
+  EXPECT_EQ(u.num_symbols(), 6u);
+  EXPECT_TRUE(u.transition().is_row_stochastic());
+  EXPECT_DOUBLE_EQ(u.emission()(0, 0), 1.0 / 6.0);
+}
+
+}  // namespace
+}  // namespace sentinel::hmm

@@ -1,0 +1,137 @@
+// End-to-end integration tests on the GDI-like deployment: every fault and
+// attack type of section 3.3 must be detected AND classified from a full
+// simulated run, under packet loss and malformed packets. Uses the same
+// scenario harness as the reproduction benches.
+
+#include <gtest/gtest.h>
+
+#include "common/scenario.h"
+#include "faults/fault_models.h"
+#include "util/vecn.h"
+
+namespace sentinel {
+namespace {
+
+bench::ScenarioResult run(bench::InjectionKind kind, std::uint64_t seed = 2024,
+                          double days = 14.0) {
+  bench::ScenarioConfig sc;
+  sc.duration_days = days;
+  sc.seed = seed;
+  return bench::run_scenario({}, sc, bench::make_injection(kind, seed));
+}
+
+class InjectionClassification : public ::testing::TestWithParam<bench::InjectionKind> {};
+
+TEST_P(InjectionClassification, DetectedAndClassified) {
+  const auto kind = GetParam();
+  const auto result = run(kind);
+  const auto report = result.pipeline->diagnose();
+  const auto score = bench::score_report(report, kind);
+  EXPECT_TRUE(score.detected) << "verdict " << core::to_string(score.verdict) << "/"
+                              << core::to_string(score.kind) << "\n"
+                              << core::to_string(report);
+  EXPECT_TRUE(score.exact) << "classified as " << core::to_string(score.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, InjectionClassification,
+    ::testing::Values(bench::InjectionKind::kClean, bench::InjectionKind::kStuckAt,
+                      bench::InjectionKind::kCalibration, bench::InjectionKind::kAdditive,
+                      bench::InjectionKind::kCreation, bench::InjectionKind::kDeletion,
+                      bench::InjectionKind::kChange, bench::InjectionKind::kMixed,
+                      bench::InjectionKind::kBenign),
+    [](const auto& info) {
+      std::string name = bench::to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Integration, RandomNoiseAtLeastRaisesAlarms) {
+  // The paper concedes random noise may be misclassified; we require that it
+  // is at least *noticed* (track opened, raw alarms well above the healthy
+  // baseline) and never mistaken for an attack.
+  const auto result = run(bench::InjectionKind::kRandomNoise);
+  const auto& p = *result.pipeline;
+  EXPECT_NE(p.m_ce(6), nullptr) << "no track for the noisy sensor";
+  const auto report = p.diagnose();
+  EXPECT_EQ(report.network.verdict, core::Verdict::kNormal);
+  if (report.sensors.count(6)) {
+    EXPECT_EQ(report.sensors.at(6).verdict, core::Verdict::kError);
+  }
+}
+
+TEST(Integration, CleanMonthProducesPaperShapedModel) {
+  bench::ScenarioConfig sc;
+  sc.duration_days = 31.0;
+  const auto result = bench::run_scenario({}, sc, nullptr);
+  const auto& p = *result.pipeline;
+
+  // Packet loss and malformed packets occurred but the pipeline survived.
+  EXPECT_GT(result.sim.stats.lost, 0u);
+  EXPECT_GT(result.sim.stats.malformed, 0u);
+  EXPECT_GT(p.windows_processed(), 600u);  // ~744 hours in the month
+
+  // The pruned M_C has a handful of key states (paper found 4 + 1 spurious).
+  const auto m_c = p.correct_model();
+  EXPECT_GE(m_c.num_states(), 3u);
+  EXPECT_LE(m_c.num_states(), 8u);
+
+  // Key states live on the humidity = 118 - 2 * temp line of the generator.
+  const auto lookup = p.centroid_lookup();
+  for (const auto id : m_c.states()) {
+    const auto c = lookup(id);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NEAR((*c)[1], 118.0 - 2.0 * (*c)[0], 8.0)
+        << "state " << id << " at " << vecn::to_string(*c, 1);
+  }
+
+  // And the network diagnosis is clean.
+  EXPECT_EQ(p.diagnose_network().verdict, core::Verdict::kNormal);
+}
+
+TEST(Integration, SurvivesHeavyPacketLoss) {
+  bench::ScenarioConfig sc;
+  sc.duration_days = 7.0;
+  sc.packet_loss = 0.5;
+  sc.malform_prob = 0.05;
+  const auto result =
+      bench::run_scenario({}, sc, bench::make_injection(bench::InjectionKind::kStuckAt, sc.seed));
+  const auto score = bench::score_report(result.pipeline->diagnose(),
+                                         bench::InjectionKind::kStuckAt);
+  EXPECT_TRUE(score.detected);
+  EXPECT_TRUE(score.exact);
+}
+
+TEST(Integration, SeedRobustness) {
+  // The stuck-at classification must hold across several seeds, not just the
+  // default one.
+  for (const std::uint64_t seed : {7ull, 1001ull, 424242ull}) {
+    const auto result = run(bench::InjectionKind::kStuckAt, seed, 10.0);
+    const auto score = bench::score_report(result.pipeline->diagnose(),
+                                           bench::InjectionKind::kStuckAt);
+    EXPECT_TRUE(score.exact) << "seed " << seed << " classified as "
+                             << core::to_string(score.kind);
+  }
+}
+
+TEST(Integration, FaultRecoveryClosesTrack) {
+  // A fault active for a bounded interval: the track must close after the
+  // sensor recovers, and the filtered alarm must clear.
+  bench::ScenarioConfig sc;
+  sc.duration_days = 10.0;
+  const auto inject = [](faults::InjectionPlan& plan, const sim::Environment&) {
+    plan.add(6, std::make_unique<faults::StuckAtFault>(AttrVec{15.0, 1.0}),
+             2.0 * kSecondsPerDay, 5.0 * kSecondsPerDay);
+  };
+  const auto result = bench::run_scenario({}, sc, inject);
+  const auto& p = *result.pipeline;
+  EXPECT_FALSE(p.alarms().filtered_active(6));
+  const auto* tracks = p.tracks().tracks(6);
+  ASSERT_NE(tracks, nullptr);
+  EXPECT_FALSE(tracks->back().active());
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -1,0 +1,139 @@
+// Unit tests: MarkovChain -- MLE estimation, occupancy, stationary
+// distribution, pruning (the paper's spurious-state removal), structural
+// comparison (the errors-preserve-structure intuition of section 3.4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hmm/markov_chain.h"
+
+namespace sentinel::hmm {
+namespace {
+
+TEST(MarkovChainTest, CountsAndMatrix) {
+  MarkovChain mc;
+  mc.add_sequence({1, 1, 2, 1, 2, 2});
+  EXPECT_EQ(mc.num_states(), 2u);
+  EXPECT_EQ(mc.transition_count(1, 2), 2u);
+  EXPECT_EQ(mc.transition_count(1, 1), 1u);
+  EXPECT_EQ(mc.transition_count(2, 1), 1u);
+  EXPECT_EQ(mc.total_transitions(), 5u);
+
+  const Matrix t = mc.transition_matrix();
+  const auto i1 = *mc.index_of(1);
+  const auto i2 = *mc.index_of(2);
+  EXPECT_NEAR(t(i1, i2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t(i2, i2), 0.5, 1e-12);
+  EXPECT_TRUE(t.is_row_stochastic());
+}
+
+TEST(MarkovChainTest, NonContiguousIdsSupported) {
+  MarkovChain mc;
+  mc.add_sequence({100, 7, 100, 42});
+  EXPECT_EQ(mc.num_states(), 3u);
+  EXPECT_TRUE(mc.index_of(42).has_value());
+  EXPECT_FALSE(mc.index_of(1).has_value());
+  EXPECT_EQ(mc.transition_count(7, 100), 1u);
+}
+
+TEST(MarkovChainTest, AbsorbingStateGetsSelfLoop) {
+  MarkovChain mc;
+  mc.add_sequence({1, 2});  // state 2 never left
+  const Matrix t = mc.transition_matrix();
+  EXPECT_DOUBLE_EQ(t(*mc.index_of(2), *mc.index_of(2)), 1.0);
+}
+
+TEST(MarkovChainTest, OccupancySumsToOne) {
+  MarkovChain mc;
+  mc.add_sequence({1, 2, 3, 2, 2, 1});
+  double total = 0.0;
+  for (const double o : mc.occupancy()) total += o;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_EQ(mc.visit_count(2), 3u);
+}
+
+TEST(MarkovChainTest, StationaryDistribution) {
+  // Two-state chain with p(0->1)=0.2, p(1->0)=0.4: stationary = (2/3, 1/3).
+  MarkovChain mc;
+  // Build counts matching those rates exactly.
+  for (int i = 0; i < 8; ++i) mc.add_transition(0, 0);
+  for (int i = 0; i < 2; ++i) mc.add_transition(0, 1);
+  for (int i = 0; i < 6; ++i) mc.add_transition(1, 1);
+  for (int i = 0; i < 4; ++i) mc.add_transition(1, 0);
+  const auto pi = mc.stationary();
+  EXPECT_NEAR(pi[*mc.index_of(0)], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(pi[*mc.index_of(1)], 1.0 / 3.0, 1e-6);
+}
+
+TEST(MarkovChainTest, PrunedDropsLowOccupancyStates) {
+  MarkovChain mc;
+  std::vector<StateId> seq;
+  for (int i = 0; i < 50; ++i) {
+    seq.push_back(1);
+    seq.push_back(2);
+  }
+  seq.push_back(99);  // single visit: occupancy ~1%
+  seq.push_back(1);
+  mc.add_sequence(seq);
+
+  const MarkovChain pruned = mc.pruned(0.05);
+  EXPECT_EQ(pruned.num_states(), 2u);
+  EXPECT_FALSE(pruned.index_of(99).has_value());
+  EXPECT_GT(pruned.transition_count(1, 2), 0u);
+}
+
+TEST(MarkovChainTest, SameStructureIgnoresProbabilities) {
+  MarkovChain a, b;
+  a.add_sequence({1, 2, 1, 2, 2});
+  b.add_sequence({1, 2, 2, 2, 2, 1, 2});  // same support, different counts
+  EXPECT_TRUE(a.same_structure(b));
+
+  MarkovChain c;
+  c.add_sequence({1, 2, 3});  // extra state
+  EXPECT_FALSE(a.same_structure(c));
+
+  MarkovChain d;
+  d.add_sequence({2, 1, 1});  // same states, different transition support
+  EXPECT_FALSE(a.same_structure(d));
+}
+
+TEST(MarkovChainTest, LogLikelihoodPrefersInDistributionSequences) {
+  MarkovChain mc;
+  for (int i = 0; i < 30; ++i) mc.add_sequence({1, 2, 1});
+  const double in_dist = mc.log_likelihood({1, 2, 1, 2});
+  const double out_dist = mc.log_likelihood({2, 2, 2, 2});
+  EXPECT_GT(in_dist, out_dist);
+}
+
+TEST(MarkovChainTest, EntropyRate) {
+  // Deterministic cycle: zero entropy.
+  MarkovChain det;
+  for (int i = 0; i < 30; ++i) det.add_sequence({0, 1});
+  EXPECT_NEAR(det.entropy_rate(), 0.0, 1e-9);
+
+  // Uniform 2-state coin: ln 2 per step.
+  MarkovChain coin;
+  for (int i = 0; i < 50; ++i) {
+    coin.add_transition(0, 0);
+    coin.add_transition(0, 1);
+    coin.add_transition(1, 0);
+    coin.add_transition(1, 1);
+  }
+  EXPECT_NEAR(coin.entropy_rate(), std::log(2.0), 0.01);
+  // Determinism is strictly more predictable.
+  EXPECT_LT(det.entropy_rate(), coin.entropy_rate());
+}
+
+TEST(MarkovChainTest, EmptyAndSingletonSequences) {
+  MarkovChain mc;
+  mc.add_sequence({});
+  EXPECT_EQ(mc.num_states(), 0u);
+  mc.add_sequence({5});
+  EXPECT_EQ(mc.num_states(), 1u);
+  EXPECT_EQ(mc.total_transitions(), 0u);
+  EXPECT_DOUBLE_EQ(mc.log_likelihood({5}), 0.0);
+}
+
+}  // namespace
+}  // namespace sentinel::hmm

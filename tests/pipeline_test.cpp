@@ -1,0 +1,186 @@
+// Integration-style unit tests of DetectionPipeline on small controlled
+// scenarios: windowing, alarms, tracks, M_C extraction, and end-to-end
+// detection of a blunt fault.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.h"
+#include "faults/fault_models.h"
+#include "faults/injection_plan.h"
+#include "sim/simulator.h"
+
+namespace sentinel::core {
+namespace {
+
+// A scripted two-state environment cycling A(10,80) <-> B(30,40) every 2h.
+class CycleEnvironment final : public sim::Environment {
+ public:
+  std::size_t dims() const override { return 2; }
+  AttrVec truth(double t) const override {
+    const auto phase = static_cast<long>(t / (2.0 * kSecondsPerHour));
+    return (phase % 2 == 0) ? AttrVec{10.0, 80.0} : AttrVec{30.0, 40.0};
+  }
+};
+
+PipelineConfig test_config() {
+  PipelineConfig cfg;
+  cfg.window_seconds = kSecondsPerHour;
+  cfg.initial_states = {{10.0, 80.0}, {30.0, 40.0}};
+  return cfg;
+}
+
+std::vector<SensorRecord> simulate(const sim::Environment& env, double duration,
+                                   std::shared_ptr<faults::InjectionPlan> plan,
+                                   std::size_t sensors = 6) {
+  sim::Simulator s(env);
+  for (std::size_t i = 0; i < sensors; ++i) {
+    sim::MoteConfig mc;
+    mc.id = static_cast<SensorId>(i);
+    mc.noise_sigma = 0.3;
+    mc.seed = 11;
+    s.add_mote(mc);
+  }
+  if (plan) s.set_transform(faults::make_transform(plan));
+  return s.run(duration).trace;
+}
+
+TEST(Pipeline, CleanRunLearnsTheCycle) {
+  const CycleEnvironment env;
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 2.0 * kSecondsPerDay, nullptr));
+
+  EXPECT_EQ(p.windows_processed(), 48u);
+  EXPECT_EQ(p.windows_skipped(), 0u);
+  // M_C sees both states with ~equal occupancy and mutual transitions.
+  const auto m_c = p.correct_model();
+  ASSERT_EQ(m_c.num_states(), 2u);
+  for (const double occ : m_c.occupancy()) EXPECT_NEAR(occ, 0.5, 0.1);
+  EXPECT_GT(m_c.transition_count(0, 1), 5u);
+  EXPECT_GT(m_c.transition_count(1, 0), 5u);
+
+  // No anomalies anywhere.
+  const auto report = p.diagnose();
+  EXPECT_EQ(report.network.verdict, Verdict::kNormal);
+  EXPECT_TRUE(report.sensors.empty());
+}
+
+TEST(Pipeline, ObservableTracksCorrectOnCleanData) {
+  const CycleEnvironment env;
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, kSecondsPerDay, nullptr));
+  for (const auto& w : p.history()) {
+    EXPECT_EQ(w.observable, w.correct);
+  }
+}
+
+TEST(Pipeline, StuckSensorGetsTrackAndDiagnosis) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  plan->add(2, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}),
+            0.5 * kSecondsPerDay);
+
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 4.0 * kSecondsPerDay, plan));
+
+  // A track opened for sensor 2 and for nobody else.
+  EXPECT_EQ(p.tracks().tracked_sensors(), std::vector<SensorId>{2});
+  ASSERT_NE(p.m_ce(2), nullptr);
+  EXPECT_EQ(p.m_ce(5), nullptr);
+
+  const auto report = p.diagnose();
+  EXPECT_EQ(report.network.verdict, Verdict::kNormal);
+  ASSERT_TRUE(report.sensors.count(2));
+  EXPECT_EQ(report.sensors.at(2).verdict, Verdict::kError);
+  EXPECT_EQ(report.sensors.at(2).kind, AnomalyKind::kStuckAt);
+  // The stuck state's centroid is near the injected value.
+  ASSERT_TRUE(report.sensors.at(2).stuck_state.has_value());
+  EXPECT_NEAR(report.sensors.at(2).stuck_value[0], 20.0, 2.0);
+  EXPECT_NEAR(report.sensors.at(2).stuck_value[1], 5.0, 2.0);
+}
+
+TEST(Pipeline, AlarmsRaisedOnlyForFaultySensor) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  plan->add(2, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}),
+            0.5 * kSecondsPerDay);
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 2.0 * kSecondsPerDay, plan));
+
+  std::size_t faulty_raw = 0, healthy_raw = 0, healthy_windows = 0;
+  for (const auto& w : p.history()) {
+    for (const auto& [id, info] : w.sensors) {
+      if (id == 2) {
+        faulty_raw += info.raw_alarm;
+      } else {
+        ++healthy_windows;
+        healthy_raw += info.raw_alarm;
+      }
+    }
+  }
+  EXPECT_GT(faulty_raw, 20u);
+  // With noise_sigma 0.3 and states 45 units apart, healthy raw alarms are
+  // essentially impossible in this controlled setup.
+  EXPECT_LT(static_cast<double>(healthy_raw) / static_cast<double>(healthy_windows), 0.02);
+}
+
+TEST(Pipeline, StreamingMatchesBatch) {
+  const CycleEnvironment env;
+  const auto trace = simulate(env, kSecondsPerDay, nullptr);
+
+  DetectionPipeline batch(test_config());
+  batch.process_trace(trace);
+
+  DetectionPipeline streaming(test_config());
+  for (const auto& rec : trace) streaming.add_record(rec);
+  streaming.finish();
+
+  ASSERT_EQ(batch.windows_processed(), streaming.windows_processed());
+  for (std::size_t i = 0; i < batch.history().size(); ++i) {
+    EXPECT_EQ(batch.history()[i].correct, streaming.history()[i].correct) << i;
+    EXPECT_EQ(batch.history()[i].observable, streaming.history()[i].observable) << i;
+  }
+}
+
+TEST(Pipeline, SkipsWindowsBelowSensorMinimum) {
+  PipelineConfig cfg = test_config();
+  cfg.min_sensors_per_window = 3;
+  DetectionPipeline p(cfg);
+  // Two sensors only: every window skipped.
+  ObservationSet w;
+  w.window_index = 1;
+  w.per_sensor = {{0, {10.0, 80.0}}, {1, {10.0, 80.0}}};
+  w.raw = {{10.0, 80.0}, {10.0, 80.0}};
+  p.process_window(w);
+  EXPECT_EQ(p.windows_processed(), 0u);
+  EXPECT_EQ(p.windows_skipped(), 1u);
+}
+
+TEST(Pipeline, ConfigValidation) {
+  PipelineConfig cfg = test_config();
+  cfg.min_sensors_per_window = 0;
+  EXPECT_THROW(DetectionPipeline{cfg}, std::invalid_argument);
+  PipelineConfig cfg2 = test_config();
+  cfg2.initial_states.clear();
+  EXPECT_THROW(DetectionPipeline{cfg2}, std::invalid_argument);
+}
+
+TEST(Pipeline, MuteSensorSimplyDisappears) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  plan->add(1, std::make_unique<faults::MuteFault>(), 0.25 * kSecondsPerDay);
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, kSecondsPerDay, plan));
+
+  // The pipeline keeps running on the survivors; sensor 1 contributes no
+  // windows after going mute and no track is fabricated for it.
+  EXPECT_EQ(p.windows_processed(), 24u);
+  EXPECT_FALSE(p.tracks().has_active_track(1));
+  std::size_t windows_with_1 = 0;
+  for (const auto& w : p.history()) windows_with_1 += w.sensors.count(1);
+  EXPECT_LT(windows_with_1, 8u);
+}
+
+}  // namespace
+}  // namespace sentinel::core

@@ -1,0 +1,117 @@
+// Unit tests: diagnosis report rendering (human-readable and JSON).
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace sentinel::core {
+namespace {
+
+TEST(ReportStrings, VerdictAndKindNames) {
+  EXPECT_EQ(to_string(Verdict::kNormal), "normal");
+  EXPECT_EQ(to_string(Verdict::kError), "error");
+  EXPECT_EQ(to_string(Verdict::kAttack), "attack");
+  EXPECT_EQ(to_string(AnomalyKind::kNone), "none");
+  EXPECT_EQ(to_string(AnomalyKind::kStuckAt), "stuck-at");
+  EXPECT_EQ(to_string(AnomalyKind::kCalibration), "calibration");
+  EXPECT_EQ(to_string(AnomalyKind::kAdditive), "additive");
+  EXPECT_EQ(to_string(AnomalyKind::kRandomNoise), "random-noise");
+  EXPECT_EQ(to_string(AnomalyKind::kUnknownError), "unknown-error");
+  EXPECT_EQ(to_string(AnomalyKind::kDynamicCreation), "dynamic-creation");
+  EXPECT_EQ(to_string(AnomalyKind::kDynamicDeletion), "dynamic-deletion");
+  EXPECT_EQ(to_string(AnomalyKind::kDynamicChange), "dynamic-change");
+  EXPECT_EQ(to_string(AnomalyKind::kMixedAttack), "mixed-attack");
+}
+
+Diagnosis sample_stuck() {
+  Diagnosis d;
+  d.verdict = Verdict::kError;
+  d.kind = AnomalyKind::kStuckAt;
+  d.stuck_state = 7;
+  d.stuck_value = {15.0, 1.0};
+  d.explanation = "all rows share a column";
+  return d;
+}
+
+TEST(ReportStrings, DiagnosisIncludesEvidence) {
+  const auto s = to_string(sample_stuck());
+  EXPECT_NE(s.find("error/stuck-at"), std::string::npos);
+  EXPECT_NE(s.find("stuck_state=7(15,1)"), std::string::npos);
+  EXPECT_NE(s.find("all rows share a column"), std::string::npos);
+
+  Diagnosis cal;
+  cal.verdict = Verdict::kError;
+  cal.kind = AnomalyKind::kCalibration;
+  cal.gain = {0.7, 0.8};
+  const auto cs = to_string(cal);
+  EXPECT_NE(cs.find("gain=(0.70,0.80)"), std::string::npos);
+
+  Diagnosis change;
+  change.verdict = Verdict::kAttack;
+  change.kind = AnomalyKind::kDynamicChange;
+  change.changed_states = {{1, 9}};
+  const auto chs = to_string(change);
+  EXPECT_NE(chs.find("1->9"), std::string::npos);
+}
+
+TEST(ReportStrings, ReportListsSensors) {
+  DiagnosisReport r;
+  r.network.verdict = Verdict::kNormal;
+  r.sensors[6] = sample_stuck();
+  const auto s = to_string(r);
+  EXPECT_NE(s.find("network: normal"), std::string::npos);
+  EXPECT_NE(s.find("sensor 6: error/stuck-at"), std::string::npos);
+}
+
+TEST(ReportJson, DiagnosisFields) {
+  const auto j = to_json(sample_stuck());
+  EXPECT_NE(j.find("\"verdict\":\"error\""), std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"stuck-at\""), std::string::npos);
+  EXPECT_NE(j.find("\"stuck_state\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"stuck_value\":[15,1]"), std::string::npos);
+  EXPECT_NE(j.find("\"explanation\":\"all rows share a column\""), std::string::npos);
+}
+
+TEST(ReportJson, EscapesQuotesAndBackslashes) {
+  Diagnosis d;
+  d.explanation = "quote \" and backslash \\ here";
+  const auto j = to_json(d);
+  EXPECT_NE(j.find("quote \\\" and backslash \\\\ here"), std::string::npos);
+}
+
+TEST(ReportJson, ReportShape) {
+  DiagnosisReport r;
+  r.network.verdict = Verdict::kAttack;
+  r.network.kind = AnomalyKind::kDynamicDeletion;
+  Diagnosis d;
+  d.verdict = Verdict::kAttack;
+  d.kind = AnomalyKind::kDynamicDeletion;
+  r.sensors[8] = d;
+  r.sensors[9] = d;
+  const auto j = to_json(r);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"network\":{"), std::string::npos);
+  EXPECT_NE(j.find("\"sensors\":{\"8\":"), std::string::npos);
+  EXPECT_NE(j.find(",\"9\":"), std::string::npos);
+  // Balanced braces (crude structural check).
+  int depth = 0;
+  for (const char c : j) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ReportJson, ChangedStatesArray) {
+  Diagnosis d;
+  d.verdict = Verdict::kAttack;
+  d.kind = AnomalyKind::kDynamicChange;
+  d.changed_states = {{1, 9}, {2, 10}};
+  const auto j = to_json(d);
+  EXPECT_NE(j.find("\"changed_states\":[[1,9],[2,10]]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sentinel::core

@@ -1,0 +1,137 @@
+// Tests of the experiment harness itself (bench/common/scenario): injection
+// factories, ground-truth expectations, and report scoring -- the accuracy
+// matrix is only as good as this scaffolding.
+
+#include <gtest/gtest.h>
+
+#include "common/scenario.h"
+
+namespace sentinel::bench {
+namespace {
+
+TEST(Scenario, AllKindsEnumerated) {
+  const auto kinds = all_injection_kinds();
+  EXPECT_EQ(kinds.size(), 10u);
+  EXPECT_EQ(kinds.front(), InjectionKind::kClean);
+  EXPECT_EQ(kinds.back(), InjectionKind::kBenign);
+}
+
+TEST(Scenario, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto k : all_injection_kinds()) names.insert(to_string(k));
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(Scenario, ExpectationsConsistent) {
+  for (const auto k : all_injection_kinds()) {
+    const auto verdict = expected_verdict(k);
+    const auto kind = expected_kind(k);
+    if (verdict == core::Verdict::kNormal) {
+      EXPECT_EQ(kind, core::AnomalyKind::kNone) << to_string(k);
+    } else {
+      EXPECT_NE(kind, core::AnomalyKind::kNone) << to_string(k);
+    }
+  }
+  EXPECT_EQ(expected_kind(InjectionKind::kStuckAt), core::AnomalyKind::kStuckAt);
+  EXPECT_EQ(expected_verdict(InjectionKind::kMixed), core::Verdict::kAttack);
+}
+
+TEST(Scenario, CleanAndErrorInjectorsTargetTheRightSensors) {
+  EXPECT_EQ(make_injection(InjectionKind::kClean, 1), nullptr);
+
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = kSecondsPerDay;
+  const sim::GdiEnvironment env(ec);
+
+  faults::InjectionPlan plan;
+  make_injection(InjectionKind::kStuckAt, 1)(plan, env);
+  EXPECT_EQ(plan.injected_sensors(), std::vector<SensorId>{6});
+
+  faults::InjectionPlan attack_plan;
+  make_injection(InjectionKind::kDeletion, 1)(attack_plan, env);
+  EXPECT_EQ(attack_plan.injected_sensors(), (std::vector<SensorId>{7, 8, 9}));
+}
+
+TEST(Scenario, ScoreReportErrorPath) {
+  core::DiagnosisReport report;
+  report.network.verdict = core::Verdict::kNormal;
+  core::Diagnosis d;
+  d.verdict = core::Verdict::kError;
+  d.kind = core::AnomalyKind::kStuckAt;
+  report.sensors[6] = d;
+
+  const auto score = score_report(report, InjectionKind::kStuckAt);
+  EXPECT_TRUE(score.detected);
+  EXPECT_TRUE(score.exact);
+
+  // Wrong kind: detected but not exact.
+  report.sensors[6].kind = core::AnomalyKind::kAdditive;
+  const auto score2 = score_report(report, InjectionKind::kStuckAt);
+  EXPECT_TRUE(score2.detected);
+  EXPECT_FALSE(score2.exact);
+
+  // Missing sensor diagnosis: a miss.
+  report.sensors.clear();
+  const auto score3 = score_report(report, InjectionKind::kStuckAt);
+  EXPECT_FALSE(score3.detected);
+}
+
+TEST(Scenario, ScoreReportAttackUsesNetworkVerdict) {
+  core::DiagnosisReport report;
+  report.network.verdict = core::Verdict::kAttack;
+  report.network.kind = core::AnomalyKind::kDynamicCreation;
+  const auto score = score_report(report, InjectionKind::kCreation);
+  EXPECT_TRUE(score.detected);
+  EXPECT_TRUE(score.exact);
+  const auto cross = score_report(report, InjectionKind::kDeletion);
+  EXPECT_TRUE(cross.detected);  // attack verdict matches
+  EXPECT_FALSE(cross.exact);    // wrong attack type
+}
+
+TEST(Scenario, ScoreReportCleanPenalizesAnySensorVerdict) {
+  core::DiagnosisReport report;  // all normal
+  EXPECT_TRUE(score_report(report, InjectionKind::kClean).exact);
+
+  core::Diagnosis d;
+  d.verdict = core::Verdict::kError;
+  d.kind = core::AnomalyKind::kStuckAt;
+  report.sensors[1] = d;
+  const auto score = score_report(report, InjectionKind::kClean);
+  EXPECT_FALSE(score.detected) << "a false sensor diagnosis must fail a clean run";
+}
+
+TEST(Scenario, PipelineConfigMatchesTableOne) {
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = 2.0 * kSecondsPerDay;
+  const sim::GdiEnvironment env(ec);
+  ScenarioConfig sc;
+  sc.duration_days = 2.0;
+  const auto pc = make_pipeline_config(env, sc);
+  EXPECT_EQ(pc.initial_states.size(), 6u);                      // M
+  EXPECT_DOUBLE_EQ(pc.window_seconds, 3600.0);                  // w = 12 x 5 min
+  EXPECT_DOUBLE_EQ(pc.model_states.alpha, 0.10);                // alpha
+  EXPECT_DOUBLE_EQ(pc.beta, 0.90);                              // beta
+  EXPECT_DOUBLE_EQ(pc.gamma, 0.90);                             // gamma
+}
+
+TEST(Scenario, StateLabelFormatsLikeThePaper) {
+  const core::CentroidLookup lookup = [](hmm::StateId id) -> std::optional<AttrVec> {
+    if (id == 4) return AttrVec{24.4, 69.6};
+    return std::nullopt;
+  };
+  EXPECT_EQ(state_label(4, lookup), "(24,70)");
+  EXPECT_EQ(state_label(99, lookup), "s99");
+  EXPECT_EQ(state_label(hmm::kBottomSymbol, lookup), "_|_");
+}
+
+TEST(Scenario, RunScenarioProducesWorkingPipeline) {
+  ScenarioConfig sc;
+  sc.duration_days = 2.0;
+  const auto r = run_scenario({}, sc, nullptr);
+  EXPECT_GT(r.pipeline->windows_processed(), 40u);
+  EXPECT_GT(r.sim.stats.delivered, 0u);
+  EXPECT_EQ(r.pipeline->diagnose_network().verdict, core::Verdict::kNormal);
+}
+
+}  // namespace
+}  // namespace sentinel::bench

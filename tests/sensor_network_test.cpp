@@ -1,0 +1,169 @@
+// Unit tests: motes, link loss models, collector, simulator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace sentinel::sim {
+namespace {
+
+TEST(Mote, SamplesTruthPlusNoise) {
+  const ConstantEnvironment env(AttrVec{20.0, 70.0});
+  MoteConfig cfg;
+  cfg.id = 3;
+  cfg.noise_sigma = 0.5;
+  Mote mote(cfg);
+
+  RunningStats temp;
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = mote.sample(env);
+    EXPECT_EQ(s.record.sensor, 3u);
+    temp.add(s.record.attrs[0]);
+  }
+  EXPECT_NEAR(temp.mean(), 20.0, 0.1);
+  EXPECT_NEAR(temp.stddev(), 0.5, 0.1);
+}
+
+TEST(Mote, PeriodAdvancesSchedule) {
+  const ConstantEnvironment env(AttrVec{0.0});
+  MoteConfig cfg;
+  cfg.sample_period = 300.0;
+  Mote mote(cfg);
+  EXPECT_DOUBLE_EQ(mote.next_sample_time(), 0.0);
+  const auto s0 = mote.sample(env);
+  EXPECT_DOUBLE_EQ(s0.record.time, 0.0);
+  EXPECT_DOUBLE_EQ(mote.next_sample_time(), 300.0);
+}
+
+TEST(Mote, MalformRate) {
+  const ConstantEnvironment env(AttrVec{0.0});
+  MoteConfig cfg;
+  cfg.malform_prob = 0.2;
+  Mote mote(cfg);
+  int malformed = 0;
+  for (int i = 0; i < 5000; ++i) malformed += mote.sample(env).malformed;
+  EXPECT_NEAR(malformed / 5000.0, 0.2, 0.03);
+}
+
+TEST(Mote, Validation) {
+  MoteConfig bad;
+  bad.sample_period = 0.0;
+  EXPECT_THROW(Mote{bad}, std::invalid_argument);
+  MoteConfig bad2;
+  bad2.noise_sigma = -1.0;
+  EXPECT_THROW(Mote{bad2}, std::invalid_argument);
+}
+
+TEST(BernoulliLossTest, MatchesRate) {
+  BernoulliLoss link(0.3, 99);
+  int delivered = 0;
+  for (int i = 0; i < 10000; ++i) delivered += link.deliver(0.0);
+  EXPECT_NEAR(delivered / 10000.0, 0.7, 0.03);
+  EXPECT_THROW(BernoulliLoss(1.5, 1), std::invalid_argument);
+}
+
+TEST(GilbertElliottTest, BurstyLossMatchesStationaryRate) {
+  GilbertElliottLoss::Config cfg;
+  cfg.p_good_to_bad = 0.05;
+  cfg.p_bad_to_good = 0.20;
+  cfg.loss_good = 0.0;
+  cfg.loss_bad = 1.0;
+  GilbertElliottLoss link(cfg);
+  // stationary bad prob = 0.05/0.25 = 0.2 -> expected loss rate ~0.2.
+  EXPECT_NEAR(link.stationary_bad(), 0.2, 1e-12);
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) delivered += link.deliver(0.0);
+  EXPECT_NEAR(static_cast<double>(n - delivered) / n, 0.2, 0.03);
+}
+
+TEST(CollectorTest, CountsMalformedSeparately) {
+  Collector c;
+  c.receive({0, 0.0, {1.0}}, false);
+  c.receive({1, 1.0, {2.0}}, true);
+  EXPECT_EQ(c.records().size(), 1u);
+  EXPECT_EQ(c.malformed_count(), 1u);
+}
+
+TEST(Simulator, ProducesTimeSortedTrace) {
+  const ConstantEnvironment env(AttrVec{20.0, 70.0});
+  Simulator sim(env);
+  for (SensorId i = 0; i < 5; ++i) {
+    MoteConfig mc;
+    mc.id = i;
+    sim.add_mote(mc);
+  }
+  const auto result = sim.run(kSecondsPerHour);
+  // 5 motes x 12 samples/hour.
+  EXPECT_EQ(result.trace.size(), 60u);
+  EXPECT_EQ(result.stats.delivered, 60u);
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].time, result.trace[i].time);
+  }
+}
+
+TEST(Simulator, TransformCanSuppressAndRewrite) {
+  const ConstantEnvironment env(AttrVec{20.0});
+  Simulator sim(env);
+  MoteConfig mc;
+  mc.id = 0;
+  mc.noise_sigma = 0.0;
+  sim.add_mote(mc);
+  MoteConfig mc2;
+  mc2.id = 1;
+  mc2.noise_sigma = 0.0;
+  sim.add_mote(mc2);
+
+  sim.set_transform([](SensorId sensor, double, const AttrVec& measured, const AttrVec& truth) {
+    EXPECT_EQ(truth, (AttrVec{20.0}));
+    if (sensor == 0) return std::optional<AttrVec>{};  // mute sensor 0
+    return std::optional<AttrVec>{AttrVec{measured[0] + 100.0}};
+  });
+  const auto result = sim.run(kSecondsPerHour);
+  EXPECT_EQ(result.stats.suppressed, 12u);
+  ASSERT_EQ(result.trace.size(), 12u);
+  for (const auto& r : result.trace) {
+    EXPECT_EQ(r.sensor, 1u);
+    EXPECT_DOUBLE_EQ(r.attrs[0], 120.0);
+  }
+}
+
+TEST(Simulator, LossyLinkDropsPackets) {
+  const ConstantEnvironment env(AttrVec{20.0});
+  Simulator sim(env);
+  MoteConfig mc;
+  sim.add_mote(mc, std::make_unique<BernoulliLoss>(0.5, 1));
+  const auto result = sim.run(10.0 * kSecondsPerDay);
+  EXPECT_GT(result.stats.lost, 0u);
+  EXPECT_EQ(result.stats.sampled, result.stats.lost + result.stats.delivered +
+                                      result.stats.malformed + result.stats.suppressed);
+  EXPECT_NEAR(static_cast<double>(result.stats.lost) / result.stats.sampled, 0.5, 0.05);
+}
+
+TEST(Simulator, RunWithoutMotesThrows) {
+  const ConstantEnvironment env(AttrVec{0.0});
+  Simulator sim(env);
+  EXPECT_THROW(sim.run(100.0), std::logic_error);
+}
+
+TEST(GdiDeployment, BuildsRequestedFleet) {
+  GdiEnvironmentConfig ec;
+  ec.duration_seconds = kSecondsPerDay;
+  const GdiEnvironment env(ec);
+  GdiDeploymentConfig dc;
+  dc.num_sensors = 10;
+  auto sim = make_gdi_deployment(env, dc);
+  EXPECT_EQ(sim.mote_count(), 10u);
+  const auto result = sim.run(kSecondsPerDay);
+  // 10 motes x 288 samples/day, minus losses.
+  EXPECT_EQ(result.stats.sampled, 2880u);
+  EXPECT_GT(result.stats.delivered, 2000u);
+  EXPECT_GT(result.stats.lost, 0u);
+  EXPECT_GT(result.stats.malformed, 0u);
+}
+
+}  // namespace
+}  // namespace sentinel::sim

@@ -1,0 +1,126 @@
+// Unit tests: trace filtering helpers, trace file round trip through the
+// filesystem, and the multimodal (3-attribute) environment.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/environment.h"
+#include "trace/filter.h"
+#include "trace/trace_io.h"
+#include "util/stats.h"
+
+namespace sentinel {
+namespace {
+
+std::vector<SensorRecord> sample_trace() {
+  return {
+      {0, 0.0, {1.0}}, {1, 10.0, {2.0}}, {2, 20.0, {3.0}},
+      {0, 30.0, {4.0}}, {1, 40.0, {5.0}}, {3, 50.0, {6.0}},
+  };
+}
+
+TEST(TraceFilter, ExcludeSensors) {
+  const auto out = exclude_sensors(sample_trace(), {0, 3});
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& r : out) {
+    EXPECT_TRUE(r.sensor == 1 || r.sensor == 2);
+  }
+}
+
+TEST(TraceFilter, SelectSensors) {
+  const auto out = select_sensors(sample_trace(), {0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].time, 30.0);
+}
+
+TEST(TraceFilter, SelectTimeRangeHalfOpen) {
+  const auto out = select_time_range(sample_trace(), 10.0, 40.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.front().time, 10.0);
+  EXPECT_DOUBLE_EQ(out.back().time, 30.0);  // 40.0 excluded
+}
+
+TEST(TraceFilter, SensorsIn) {
+  EXPECT_EQ(sensors_in(sample_trace()), (std::vector<SensorId>{0, 1, 2, 3}));
+  EXPECT_TRUE(sensors_in({}).empty());
+}
+
+TEST(TraceFilter, EmptySetsAreIdentityOrEmpty) {
+  EXPECT_EQ(exclude_sensors(sample_trace(), {}).size(), 6u);
+  EXPECT_TRUE(select_sensors(sample_trace(), {}).empty());
+}
+
+TEST(TraceFileRoundTrip, WriteReadThroughFilesystem) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "sentinel_trace_test.csv").string();
+  const std::vector<SensorRecord> recs{
+      {0, 0.0, {21.5, 70.25}},
+      {1, 300.5, {-3.125, 99.0}},
+  };
+  const AttrSchema schema = gdi_schema();
+  write_trace_file(path, recs, &schema);
+
+  const auto result = read_trace_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(result.malformed_lines, 0u);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].sensor, 0u);
+  EXPECT_DOUBLE_EQ(result.records[1].time, 300.5);
+  EXPECT_DOUBLE_EQ(result.records[1].attrs[0], -3.125);
+  EXPECT_DOUBLE_EQ(result.records[1].attrs[1], 99.0);
+}
+
+TEST(TraceFileRoundTrip, WriteToBadPathThrows) {
+  EXPECT_THROW(write_trace_file("/nonexistent_dir/x.csv", {}, nullptr), std::runtime_error);
+}
+
+TEST(MultimodalEnvironment, PressureDimension) {
+  sim::GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = 3.0 * kSecondsPerDay;
+  cfg.include_pressure = true;
+  const sim::GdiEnvironment env(cfg);
+  EXPECT_EQ(env.dims(), 3u);
+
+  RunningStats pressure;
+  for (double t = 0.0; t < cfg.duration_seconds; t += kSecondsPerHour) {
+    const auto v = env.truth(t);
+    ASSERT_EQ(v.size(), 3u);
+    pressure.add(v[2]);
+  }
+  // Pressure hovers around the configured mean with tide + weather spread.
+  EXPECT_NEAR(pressure.mean(), cfg.pressure_mean, 6.0);
+  EXPECT_GT(pressure.stddev(), 0.5);
+  EXPECT_LT(pressure.stddev(), 10.0);
+}
+
+TEST(MultimodalEnvironment, PressureOffByDefault) {
+  sim::GdiEnvironmentConfig cfg;
+  cfg.duration_seconds = kSecondsPerDay;
+  const sim::GdiEnvironment env(cfg);
+  EXPECT_EQ(env.dims(), 2u);
+  EXPECT_EQ(env.truth(0.0).size(), 2u);
+}
+
+TEST(MultimodalEnvironment, TemperatureUnaffectedByPressureFlag) {
+  sim::GdiEnvironmentConfig a;
+  a.duration_seconds = kSecondsPerDay;
+  sim::GdiEnvironmentConfig b = a;
+  b.include_pressure = true;
+  const sim::GdiEnvironment ea(a);
+  const sim::GdiEnvironment eb(b);
+  for (double t = 0.0; t < kSecondsPerDay; t += 3600.0) {
+    EXPECT_DOUBLE_EQ(ea.truth(t)[0], eb.truth(t)[0]) << t;
+    EXPECT_DOUBLE_EQ(ea.truth(t)[1], eb.truth(t)[1]) << t;
+  }
+}
+
+TEST(MultimodalEnvironment, Schema3Names) {
+  const auto s = gdi_schema3();
+  ASSERT_EQ(s.dims(), 3u);
+  EXPECT_EQ(s.names[2], "pressure");
+}
+
+}  // namespace
+}  // namespace sentinel

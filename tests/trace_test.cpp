@@ -1,0 +1,136 @@
+// Unit tests: trace CSV I/O (including malformed-packet tolerance) and the
+// time windower (paper eq. (1)).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_io.h"
+#include "trace/windower.h"
+
+namespace sentinel {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  std::vector<SensorRecord> recs{
+      {0, 0.0, {21.5, 70.0}},
+      {1, 300.0, {21.7, 69.5}},
+      {0, 300.0, {21.6, 70.1}},
+  };
+  std::stringstream ss;
+  const AttrSchema schema = gdi_schema();
+  write_trace(ss, recs, &schema);
+
+  const auto result = read_trace(ss);
+  EXPECT_EQ(result.comment_lines, 1u);
+  EXPECT_EQ(result.malformed_lines, 0u);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[1].sensor, 1u);
+  EXPECT_DOUBLE_EQ(result.records[1].time, 300.0);
+  EXPECT_DOUBLE_EQ(result.records[1].attrs[0], 21.7);
+}
+
+TEST(TraceIo, MalformedLinesCountedNotFatal) {
+  std::stringstream ss;
+  ss << "# header\n"
+     << "0,0,21.5,70\n"
+     << "garbage line\n"          // too few fields
+     << "1,300,NaNish,70\n"       // bad number -> actually 'NaNish' is junk
+     << "2,600,21.0\n"            // wrong width
+     << "3,900,20.0,71\n"
+     << "-1,1200,20.0,71\n"       // negative sensor id
+     << "\n";
+  const auto result = read_trace(ss);
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.malformed_lines, 4u);
+  EXPECT_EQ(result.comment_lines, 1u);
+}
+
+TEST(TraceIo, ExpectedDimsEnforced) {
+  std::stringstream ss;
+  ss << "0,0,1,2,3\n0,1,1,2\n";
+  const auto result = read_trace(ss, 3);
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.malformed_lines, 1u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST(ObservationSetTest, OverallMeanAndRepresentatives) {
+  ObservationSet w;
+  w.raw = {{10.0, 20.0}, {30.0, 40.0}};
+  w.per_sensor = {{0, {10.0, 20.0}}, {1, {30.0, 40.0}}};
+  EXPECT_EQ(w.overall_mean(), (AttrVec{20.0, 30.0}));
+  const auto reps = w.representatives();
+  ASSERT_EQ(reps.size(), 2u);
+  EXPECT_EQ(reps[0].first, 0u);
+
+  ObservationSet empty;
+  EXPECT_THROW(empty.overall_mean(), std::logic_error);
+}
+
+TEST(Windower, AssignsWindowsPerEquationOne) {
+  Windower w(100.0);
+  EXPECT_TRUE(w.add({0, 10.0, {1.0}}).empty());
+  EXPECT_TRUE(w.add({1, 50.0, {2.0}}).empty());
+  // Crossing into window 2 closes window 1.
+  const auto done = w.add({0, 120.0, {3.0}});
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].window_index, 1u);
+  EXPECT_DOUBLE_EQ(done[0].window_start, 0.0);
+  EXPECT_DOUBLE_EQ(done[0].window_end, 100.0);
+  EXPECT_EQ(done[0].raw.size(), 2u);
+}
+
+TEST(Windower, PerSensorRepresentativeIsMeanOfSamples) {
+  Windower w(100.0);
+  w.add({0, 1.0, {10.0}});
+  w.add({0, 2.0, {20.0}});
+  w.add({1, 3.0, {5.0}});
+  const auto flushed = w.flush();
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->per_sensor.at(0), (AttrVec{15.0}));
+  EXPECT_EQ(flushed->per_sensor.at(1), (AttrVec{5.0}));
+}
+
+TEST(Windower, TimeGapEmitsEmptyWindows) {
+  Windower w(100.0);
+  w.add({0, 10.0, {1.0}});
+  const auto done = w.add({0, 350.0, {2.0}});  // jumps from window 1 to 4
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].window_index, 1u);
+  EXPECT_FALSE(done[0].empty());
+  EXPECT_EQ(done[1].window_index, 2u);
+  EXPECT_TRUE(done[1].empty());
+  EXPECT_TRUE(done[2].empty());
+}
+
+TEST(Windower, LateRecordsDropped) {
+  Windower w(100.0);
+  w.add({0, 10.0, {1.0}});
+  w.add({0, 150.0, {2.0}});  // closes window 1
+  w.add({0, 20.0, {3.0}});   // late for window 1
+  EXPECT_EQ(w.late_records(), 1u);
+}
+
+TEST(Windower, RejectsNonPositiveWindow) {
+  EXPECT_THROW(Windower(0.0), std::invalid_argument);
+  EXPECT_THROW(Windower(-5.0), std::invalid_argument);
+}
+
+TEST(WindowTrace, SortsAndFlushes) {
+  std::vector<SensorRecord> recs{
+      {0, 250.0, {3.0}},
+      {0, 10.0, {1.0}},
+      {0, 150.0, {2.0}},
+  };
+  const auto windows = window_trace(recs, 100.0);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].raw.size(), 1u);
+  EXPECT_EQ(windows[2].raw[0], (AttrVec{3.0}));
+}
+
+}  // namespace
+}  // namespace sentinel

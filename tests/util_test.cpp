@@ -1,0 +1,248 @@
+// Unit tests: vecn, Matrix, RunningStats/Ema/Histogram/quantile, csv, Rng.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/vecn.h"
+
+namespace sentinel {
+namespace {
+
+// --- vecn ------------------------------------------------------------------
+
+TEST(VecN, DistanceAndNorm) {
+  const AttrVec a{3.0, 4.0};
+  const AttrVec b{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(vecn::dist(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(vecn::dist2(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(vecn::norm(a), 5.0);
+}
+
+TEST(VecN, DimensionMismatchThrows) {
+  const AttrVec a{1.0, 2.0};
+  const AttrVec b{1.0};
+  EXPECT_THROW(vecn::dist(a, b), std::invalid_argument);
+  EXPECT_THROW(vecn::add(a, b), std::invalid_argument);
+}
+
+TEST(VecN, AddSubScale) {
+  const AttrVec a{1.0, 2.0};
+  const AttrVec b{3.0, -1.0};
+  EXPECT_EQ(vecn::add(a, b), (AttrVec{4.0, 1.0}));
+  EXPECT_EQ(vecn::sub(a, b), (AttrVec{-2.0, 3.0}));
+  EXPECT_EQ(vecn::scale(a, 2.0), (AttrVec{2.0, 4.0}));
+}
+
+TEST(VecN, EmaUpdateMovesTowardTarget) {
+  AttrVec a{0.0, 0.0};
+  vecn::ema_update(a, AttrVec{10.0, 20.0}, 0.1);
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.0);
+}
+
+TEST(VecN, MeanOfSet) {
+  const std::vector<AttrVec> pts{{0.0, 0.0}, {2.0, 4.0}, {4.0, 8.0}};
+  EXPECT_EQ(vecn::mean(pts), (AttrVec{2.0, 4.0}));
+  EXPECT_THROW(vecn::mean(std::vector<AttrVec>{}), std::invalid_argument);
+}
+
+TEST(VecN, NearestCenter) {
+  const std::vector<AttrVec> centers{{0.0, 0.0}, {10.0, 0.0}, {5.0, 5.0}};
+  EXPECT_EQ(vecn::nearest(centers, AttrVec{9.0, 1.0}), 1u);
+  EXPECT_EQ(vecn::nearest(centers, AttrVec{1.0, 1.0}), 0u);
+  EXPECT_EQ(vecn::nearest(centers, AttrVec{5.0, 4.0}), 2u);
+}
+
+TEST(VecN, ToStringPaperStyle) {
+  EXPECT_EQ(vecn::to_string(AttrVec{24.4, 69.6}), "(24,70)");
+  EXPECT_EQ(vecn::to_string(AttrVec{1.25, 2.5}, 2), "(1.25,2.50)");
+}
+
+// --- Matrix ------------------------------------------------------------------
+
+TEST(Matrix, IdentityAndAccess) {
+  const Matrix m = Matrix::identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_TRUE(m.is_row_stochastic());
+  EXPECT_THROW(m.at(3, 0), std::out_of_range);
+}
+
+TEST(Matrix, FromRowsValidation) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, GrowPreservesEntries) {
+  Matrix m = Matrix::identity(2);
+  m.grow(3, 4, 0.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 3), 0.5);
+  EXPECT_DOUBLE_EQ(m(0, 2), 0.5);
+}
+
+TEST(Matrix, NormalizeRowsHandlesZeroRows) {
+  Matrix m(2, 2, 0.0);
+  m(0, 0) = 2.0;
+  m(0, 1) = 6.0;
+  m.normalize_rows();
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.5);  // zero row -> uniform
+  EXPECT_TRUE(m.is_row_stochastic());
+}
+
+TEST(Matrix, RowAndColDots) {
+  const Matrix m = Matrix::from_rows({{1.0, 0.0}, {0.5, 0.5}});
+  EXPECT_DOUBLE_EQ(m.row_dot(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.row_dot(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.col_dot(0, 1), 0.25);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{0.0, 1.0}, {1.0, 0.0}});
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  const Matrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3.0);
+  EXPECT_THROW(a.multiply(Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a = Matrix::identity(2);
+  Matrix b = Matrix::identity(2);
+  b(0, 1) = 0.25;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.25);
+  EXPECT_THROW(a.max_abs_diff(Matrix(3, 3)), std::invalid_argument);
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(RunningStats, WelfordMatchesClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  Ema e(0.2);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 100; ++i) e.add(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+  EXPECT_THROW(Ema(0.0), std::invalid_argument);
+  EXPECT_THROW(Ema(1.0), std::invalid_argument);
+}
+
+TEST(Histogram, BinningAndQuantile) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bin_count(3), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 5.5, 1.0);
+  h.add(-5.0);  // clamps to first bin
+  EXPECT_EQ(h.bin_count(0), 11u);
+}
+
+TEST(Quantile, ExactValues) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{}, 0.5), 0.0);
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(Csv, SplitTrimsFields) {
+  const auto f = csv::split(" a, b ,c ,, 1.5");
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[3], "");
+  EXPECT_EQ(f[4], "1.5");
+}
+
+TEST(Csv, ParseDouble) {
+  EXPECT_EQ(csv::parse_double("3.25"), 3.25);
+  EXPECT_EQ(csv::parse_double(" -7 "), -7.0);
+  EXPECT_FALSE(csv::parse_double("abc").has_value());
+  EXPECT_FALSE(csv::parse_double("1.5x").has_value());
+  EXPECT_FALSE(csv::parse_double("").has_value());
+}
+
+TEST(Csv, JoinAndFormat) {
+  EXPECT_EQ(csv::join({"a", "b", "c"}), "a,b,c");
+  EXPECT_EQ(csv::format(1.500000), "1.5");
+  EXPECT_EQ(csv::format(2.0), "2.0");
+  EXPECT_EQ(csv::format(0.123456789, 3), "0.123");
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeedAndTag) {
+  Rng a(42, "x");
+  Rng b(42, "x");
+  Rng c(42, "y");
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  // Different tags give independent streams (overwhelmingly likely unequal).
+  EXPECT_NE(a.uniform(), c.uniform());
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(7, "bern");
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng r(7, "cat");
+  const std::vector<double> w{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[r.categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.05);
+}
+
+}  // namespace
+}  // namespace sentinel

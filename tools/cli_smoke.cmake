@@ -1,0 +1,56 @@
+# CLI smoke test: simulate -> analyze (saving a checkpoint) -> resume.
+
+set(trace ${WORK}/cli_smoke_trace.csv)
+set(ckpt ${WORK}/cli_smoke.ckpt)
+
+execute_process(COMMAND ${CLI} simulate ${trace} --days 6 --scenario stuck-at
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "simulate failed: ${out}")
+endif()
+
+execute_process(COMMAND ${CLI} analyze ${trace} --save-checkpoint ${ckpt}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze failed: ${out}")
+endif()
+if(NOT out MATCHES "stuck-at")
+  message(FATAL_ERROR "analyze did not classify the stuck-at fault:\n${out}")
+endif()
+
+execute_process(COMMAND ${CLI} analyze ${trace} --checkpoint ${ckpt} --json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resume failed: ${out}")
+endif()
+if(NOT out MATCHES "\"kind\":\"stuck-at\"")
+  message(FATAL_ERROR "resumed analyze lost the diagnosis:\n${out}")
+endif()
+
+execute_process(COMMAND ${CLI} scenarios RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "dynamic-creation")
+  message(FATAL_ERROR "scenarios listing failed:\n${out}")
+endif()
+
+execute_process(COMMAND ${CLI} health ${trace} RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "completeness")
+  message(FATAL_ERROR "health report failed:\n${out}")
+endif()
+
+set(clean ${WORK}/cli_smoke_clean.csv)
+set(attacked ${WORK}/cli_smoke_attacked.csv)
+execute_process(COMMAND ${CLI} simulate ${clean} --days 10 RESULT_VARIABLE rc)
+execute_process(COMMAND ${CLI} inject ${clean} ${attacked} --scenario deletion
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "inject failed: ${out}")
+endif()
+execute_process(COMMAND ${CLI} analyze ${attacked} RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "dynamic-deletion")
+  message(FATAL_ERROR "re-injected attack not classified:\n${out}")
+endif()
+
+execute_process(COMMAND ${CLI} analyze ${trace} --auto RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "stuck-at")
+  message(FATAL_ERROR "auto-tuned analyze failed:\n${out}")
+endif()

@@ -1,0 +1,305 @@
+// sentinel_cli -- command-line front end for the library.
+//
+//   sentinel_cli simulate <out.csv> [--days N] [--seed S] [--scenario KIND]
+//       Generate a synthetic GDI-like deployment trace, optionally with one
+//       of the canonical fault/attack injections (stuck-at, calibration,
+//       additive, random-noise, creation, deletion, change, mixed, benign).
+//
+//   sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--auto]
+//                [--json] [--checkpoint IN] [--save-checkpoint OUT]
+//       --auto derives the clustering thresholds and initial states from the
+//       trace itself (core/autotune.h) instead of the defaults.
+//       Run the detection pipeline over a CSV trace (sensor,time,attrs...)
+//       and print the diagnosis; optionally resume from / write a
+//       checkpoint.
+//
+//   sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]
+//       Re-inject a canonical fault/attack into a *recorded* trace (the
+//       paper's section 4.2 methodology): ground truth is reconstructed from
+//       the recording itself and the targeted sensors' readings rewritten.
+//
+//   sentinel_cli health <trace.csv> [--period SECONDS]
+//       Per-sensor trace health report: completeness, gaps, noise.
+//
+//   sentinel_cli scenarios
+//       List the canonical injection scenarios.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/scenario.h"
+#include "faults/replay.h"
+#include "core/autotune.h"
+#include "core/offline_kmeans.h"
+#include "core/pipeline.h"
+#include "trace/health.h"
+#include "trace/trace_io.h"
+#include "util/vecn.h"
+
+namespace {
+
+using namespace sentinel;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sentinel_cli simulate <out.csv> [--days N] [--seed S] [--scenario KIND]\n"
+               "  sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--json] [--auto]\n"
+               "               [--checkpoint IN] [--save-checkpoint OUT]\n"
+               "  sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]\n"
+               "  sentinel_cli health <trace.csv> [--period SECONDS]\n"
+               "  sentinel_cli scenarios\n");
+  return 2;
+}
+
+struct Args {
+  std::string command;
+  std::string path;
+  std::string path2;
+  std::map<std::string, std::string> options;
+};
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  int i = 2;
+  if (args.command == "simulate" || args.command == "analyze" || args.command == "health" ||
+      args.command == "inject") {
+    if (argc < 3 || argv[2][0] == '-') return std::nullopt;
+    args.path = argv[2];
+    i = 3;
+  }
+  if (args.command == "inject") {
+    if (argc < 4 || argv[3][0] == '-') return std::nullopt;
+    args.path2 = argv[3];
+    i = 4;
+  }
+  for (; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) return std::nullopt;
+    if (flag == "--json" || flag == "--auto") {
+      args.options[flag] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    args.options[flag] = argv[++i];
+  }
+  return args;
+}
+
+double opt_double(const Args& a, const std::string& key, double fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : std::stod(it->second);
+}
+
+std::string opt_str(const Args& a, const std::string& key, const std::string& fallback) {
+  const auto it = a.options.find(key);
+  return it == a.options.end() ? fallback : it->second;
+}
+
+std::optional<bench::InjectionKind> kind_by_name(const std::string& name) {
+  for (const auto k : bench::all_injection_kinds()) {
+    if (name == bench::to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+int cmd_scenarios() {
+  for (const auto k : bench::all_injection_kinds()) {
+    std::printf("%-14s expected: %s/%s\n", bench::to_string(k),
+                core::to_string(bench::expected_verdict(k)).c_str(),
+                core::to_string(bench::expected_kind(k)).c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const double days = opt_double(args, "--days", 14.0);
+  const auto seed = static_cast<std::uint64_t>(opt_double(args, "--seed", 42.0));
+  const std::string scenario = opt_str(args, "--scenario", "clean");
+  const auto kind = kind_by_name(scenario);
+  if (!kind) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: sentinel_cli scenarios)\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  bench::ScenarioConfig sc;
+  sc.duration_days = days;
+  sc.seed = seed;
+
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = days * kSecondsPerDay;
+  ec.seed = seed;
+  const sim::GdiEnvironment env(ec);
+  sim::GdiDeploymentConfig dc;
+  dc.seed = seed;
+  auto simulator = sim::make_gdi_deployment(env, dc);
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  if (const auto inject = bench::make_injection(*kind, seed)) inject(*plan, env);
+  simulator.set_transform(faults::make_transform(plan));
+  const auto result = simulator.run(ec.duration_seconds);
+
+  const AttrSchema schema = gdi_schema();
+  write_trace_file(args.path, result.trace, &schema);
+  std::printf("wrote %zu records (%zu sampled, %zu lost, %zu malformed) to %s\n",
+              result.trace.size(), result.stats.sampled, result.stats.lost,
+              result.stats.malformed, args.path.c_str());
+  std::printf("scenario: %s\n", bench::to_string(*kind));
+  return 0;
+}
+
+int cmd_inject(const Args& args) {
+  const auto read = read_trace_file(args.path);
+  if (read.records.empty()) {
+    std::fprintf(stderr, "no parseable records in %s\n", args.path.c_str());
+    return 1;
+  }
+  const std::string scenario = opt_str(args, "--scenario", "stuck-at");
+  const auto kind = kind_by_name(scenario);
+  if (!kind || *kind == bench::InjectionKind::kClean) {
+    std::fprintf(stderr, "unknown or empty scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(opt_double(args, "--seed", 42.0));
+
+  // Ground truth reconstructed from the recording itself (paper 4.2 on real
+  // data); the injection starts one-seventh into the recording.
+  const faults::TraceEnvironment env(read.records);
+  const double t0 = read.records.front().time;
+  const double t1 = read.records.back().time;
+  faults::InjectionPlan plan;
+  bench::make_injection(*kind, seed, t0 + (t1 - t0) / 7.0)(plan, env);
+  const auto injected = faults::inject_into_trace(read.records, plan, env);
+
+  const AttrSchema schema = gdi_schema();
+  write_trace_file(args.path2, injected, &schema);
+  std::printf("injected %s into %zu sensors; wrote %zu records to %s\n",
+              bench::to_string(*kind), plan.injected_sensors().size(), injected.size(),
+              args.path2.c_str());
+  return 0;
+}
+
+int cmd_health(const Args& args) {
+  const auto read = read_trace_file(args.path);
+  if (read.records.empty()) {
+    std::fprintf(stderr, "no parseable records in %s\n", args.path.c_str());
+    return 1;
+  }
+  const double period = opt_double(args, "--period", 5.0 * kSecondsPerMinute);
+  for (const auto& h : analyze_health(read.records, period)) {
+    std::printf("%s\n", to_string(h).c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const auto read = read_trace_file(args.path);
+  if (read.records.empty()) {
+    std::fprintf(stderr, "no parseable records in %s (%zu malformed lines)\n",
+                 args.path.c_str(), read.malformed_lines);
+    return 1;
+  }
+  std::fprintf(stderr, "read %zu records (%zu malformed lines skipped)\n",
+               read.records.size(), read.malformed_lines);
+
+  core::PipelineConfig cfg;
+  cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
+  const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
+
+  Rng rng(7, "cli-kmeans");
+  if (args.options.count("--auto")) {
+    // Derive thresholds and S_o from the data (core/autotune.h).
+    const auto tuned = core::suggest_configuration(read.records, cfg.window_seconds, k, rng);
+    cfg.initial_states = tuned.initial_states;
+    cfg.model_states = tuned.suggested;
+    std::fprintf(stderr,
+                 "auto-tune: noise %.2f, regime spacing %.1f%s -> merge %.1f, spawn %.1f\n",
+                 tuned.noise_scale, tuned.state_spacing,
+                 tuned.scales_separated ? "" : " (WARNING: scales not separated)",
+                 tuned.suggested.merge_threshold, tuned.suggested.spawn_threshold);
+  } else {
+    // Bootstrap the initial model states from the trace itself (offline
+    // clustering over per-window means, paper section 4.1).
+    std::vector<AttrVec> history;
+    for (const auto& w : window_trace(read.records, cfg.window_seconds)) {
+      if (!w.empty()) history.push_back(w.overall_mean());
+    }
+    if (history.size() < k) {
+      std::fprintf(stderr, "trace too short: %zu windows for %zu initial states\n",
+                   history.size(), k);
+      return 1;
+    }
+    cfg.initial_states = core::kmeans(history, k, rng).centroids;
+  }
+
+  std::unique_ptr<core::DetectionPipeline> pipeline;
+  const std::string checkpoint_in = opt_str(args, "--checkpoint", "");
+  if (!checkpoint_in.empty()) {
+    std::ifstream in(checkpoint_in);
+    if (!in) {
+      std::fprintf(stderr, "cannot open checkpoint %s\n", checkpoint_in.c_str());
+      return 1;
+    }
+    pipeline = std::make_unique<core::DetectionPipeline>(cfg, in);
+    std::fprintf(stderr, "resumed from checkpoint %s\n", checkpoint_in.c_str());
+  } else {
+    pipeline = std::make_unique<core::DetectionPipeline>(cfg);
+  }
+
+  pipeline->process_trace(read.records);
+
+  const auto report = pipeline->diagnose();
+  if (args.options.count("--json")) {
+    std::printf("%s\n", core::to_json(report).c_str());
+  } else {
+    std::printf("windows: %zu processed, %zu skipped; %zu model states\n",
+                pipeline->windows_processed(), pipeline->windows_skipped(),
+                pipeline->model_states().size());
+    const auto m_c = pipeline->correct_model();
+    const auto lookup = pipeline->centroid_lookup();
+    std::printf("environment model M_C:\n");
+    for (const auto id : m_c.states()) {
+      if (const auto c = lookup(id)) {
+        std::printf("  state %-4u %-12s occupancy %.3f\n", id, vecn::to_string(*c, 0).c_str(),
+                    m_c.occupancy()[*m_c.index_of(id)]);
+      }
+    }
+    std::printf("%s", core::to_string(report).c_str());
+  }
+
+  const std::string checkpoint_out = opt_str(args, "--save-checkpoint", "");
+  if (!checkpoint_out.empty()) {
+    std::ofstream out(checkpoint_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write checkpoint %s\n", checkpoint_out.c_str());
+      return 1;
+    }
+    pipeline->save_checkpoint(out);
+    std::fprintf(stderr, "checkpoint written to %s\n", checkpoint_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) return usage();
+  try {
+    if (args->command == "scenarios") return cmd_scenarios();
+    if (args->command == "simulate") return cmd_simulate(*args);
+    if (args->command == "analyze") return cmd_analyze(*args);
+    if (args->command == "health") return cmd_health(*args);
+    if (args->command == "inject") return cmd_inject(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
