@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_learning.dir/ablation_learning.cpp.o"
+  "CMakeFiles/ablation_learning.dir/ablation_learning.cpp.o.d"
+  "ablation_learning"
+  "ablation_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

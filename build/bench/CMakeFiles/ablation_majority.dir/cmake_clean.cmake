@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_majority.dir/ablation_majority.cpp.o"
+  "CMakeFiles/ablation_majority.dir/ablation_majority.cpp.o.d"
+  "ablation_majority"
+  "ablation_majority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_majority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

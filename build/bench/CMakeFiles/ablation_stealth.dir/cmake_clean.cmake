@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stealth.dir/ablation_stealth.cpp.o"
+  "CMakeFiles/ablation_stealth.dir/ablation_stealth.cpp.o.d"
+  "ablation_stealth"
+  "ablation_stealth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stealth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

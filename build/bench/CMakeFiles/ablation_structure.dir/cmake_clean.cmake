@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_structure.dir/ablation_structure.cpp.o"
+  "CMakeFiles/ablation_structure.dir/ablation_structure.cpp.o.d"
+  "ablation_structure"
+  "ablation_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window.dir/ablation_window.cpp.o"
+  "CMakeFiles/ablation_window.dir/ablation_window.cpp.o.d"
+  "ablation_window"
+  "ablation_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_matrix.dir/accuracy_matrix.cpp.o"
+  "CMakeFiles/accuracy_matrix.dir/accuracy_matrix.cpp.o.d"
+  "accuracy_matrix"
+  "accuracy_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for accuracy_matrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_environment.dir/fig06_environment.cpp.o"
+  "CMakeFiles/fig06_environment.dir/fig06_environment.cpp.o.d"
+  "fig06_environment"
+  "fig06_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

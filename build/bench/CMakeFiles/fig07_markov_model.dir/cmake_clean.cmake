@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_markov_model.dir/fig07_markov_model.cpp.o"
+  "CMakeFiles/fig07_markov_model.dir/fig07_markov_model.cpp.o.d"
+  "fig07_markov_model"
+  "fig07_markov_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_markov_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_faulty_sensors.dir/fig08_faulty_sensors.cpp.o"
+  "CMakeFiles/fig08_faulty_sensors.dir/fig08_faulty_sensors.cpp.o.d"
+  "fig08_faulty_sensors"
+  "fig08_faulty_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_faulty_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_tables02_03_stuckat.cpp" "bench/CMakeFiles/fig09_tables02_03_stuckat.dir/fig09_tables02_03_stuckat.cpp.o" "gcc" "bench/CMakeFiles/fig09_tables02_03_stuckat.dir/fig09_tables02_03_stuckat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sentinel_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_changepoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tables02_03_stuckat.dir/fig09_tables02_03_stuckat.cpp.o"
+  "CMakeFiles/fig09_tables02_03_stuckat.dir/fig09_tables02_03_stuckat.cpp.o.d"
+  "fig09_tables02_03_stuckat"
+  "fig09_tables02_03_stuckat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tables02_03_stuckat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_tables02_03_stuckat.
+# This may be replaced when dependencies are built.

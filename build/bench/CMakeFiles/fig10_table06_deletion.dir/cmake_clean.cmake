@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_table06_deletion.dir/fig10_table06_deletion.cpp.o"
+  "CMakeFiles/fig10_table06_deletion.dir/fig10_table06_deletion.cpp.o.d"
+  "fig10_table06_deletion"
+  "fig10_table06_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_table06_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_table07_creation.dir/fig11_table07_creation.cpp.o"
+  "CMakeFiles/fig11_table07_creation.dir/fig11_table07_creation.cpp.o.d"
+  "fig11_table07_creation"
+  "fig11_table07_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_table07_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_alarms.dir/fig12_alarms.cpp.o"
+  "CMakeFiles/fig12_alarms.dir/fig12_alarms.cpp.o.d"
+  "fig12_alarms"
+  "fig12_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_hmm.dir/perf_hmm.cpp.o"
+  "CMakeFiles/perf_hmm.dir/perf_hmm.cpp.o.d"
+  "perf_hmm"
+  "perf_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_bench_common.dir/common/scenario.cpp.o"
+  "CMakeFiles/sentinel_bench_common.dir/common/scenario.cpp.o.d"
+  "libsentinel_bench_common.a"
+  "libsentinel_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsentinel_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables04_05_calibration.dir/tables04_05_calibration.cpp.o"
+  "CMakeFiles/tables04_05_calibration.dir/tables04_05_calibration.cpp.o.d"
+  "tables04_05_calibration"
+  "tables04_05_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables04_05_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tables04_05_calibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tables04_05_calibration.
+# This may be replaced when dependencies are built.

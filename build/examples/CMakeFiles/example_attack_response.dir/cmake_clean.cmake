@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attack_response.dir/attack_response.cpp.o"
+  "CMakeFiles/example_attack_response.dir/attack_response.cpp.o.d"
+  "example_attack_response"
+  "example_attack_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attack_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

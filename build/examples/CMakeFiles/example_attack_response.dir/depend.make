@@ -1,0 +1,2 @@
+# Empty dependencies file for example_attack_response.
+# This may be replaced when dependencies are built.

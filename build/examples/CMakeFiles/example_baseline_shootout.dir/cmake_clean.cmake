@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_baseline_shootout.dir/baseline_shootout.cpp.o"
+  "CMakeFiles/example_baseline_shootout.dir/baseline_shootout.cpp.o.d"
+  "example_baseline_shootout"
+  "example_baseline_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_baseline_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_monitor.dir/cluster_monitor.cpp.o"
+  "CMakeFiles/example_cluster_monitor.dir/cluster_monitor.cpp.o.d"
+  "example_cluster_monitor"
+  "example_cluster_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_cluster_monitor.
+# This may be replaced when dependencies are built.

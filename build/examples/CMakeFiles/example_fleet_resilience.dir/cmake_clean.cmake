@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_resilience.dir/fleet_resilience.cpp.o"
+  "CMakeFiles/example_fleet_resilience.dir/fleet_resilience.cpp.o.d"
+  "example_fleet_resilience"
+  "example_fleet_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fleet_resilience.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gdi_month.dir/gdi_month.cpp.o"
+  "CMakeFiles/example_gdi_month.dir/gdi_month.cpp.o.d"
+  "example_gdi_month"
+  "example_gdi_month.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gdi_month.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_monitor.dir/live_monitor.cpp.o"
+  "CMakeFiles/example_live_monitor.dir/live_monitor.cpp.o.d"
+  "example_live_monitor"
+  "example_live_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

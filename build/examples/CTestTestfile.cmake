@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "stuck-at" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gdi_month "/root/repo/build/examples/example_gdi_month")
+set_tests_properties(example_gdi_month PROPERTIES  PASS_REGULAR_EXPRESSION "error/stuck-at" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_attack_response "/root/repo/build/examples/example_attack_response")
+set_tests_properties(example_attack_response PROPERTIES  PASS_REGULAR_EXPRESSION "dynamic-deletion" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_baseline_shootout "/root/repo/build/examples/example_baseline_shootout")
+set_tests_properties(example_baseline_shootout PROPERTIES  PASS_REGULAR_EXPRESSION "error/calibration" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_live_monitor "/root/repo/build/examples/example_live_monitor")
+set_tests_properties(example_live_monitor PROPERTIES  PASS_REGULAR_EXPRESSION "error/additive" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_monitor "/root/repo/build/examples/example_cluster_monitor")
+set_tests_properties(example_cluster_monitor PROPERTIES  PASS_REGULAR_EXPRESSION "attack/dynamic-deletion" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fleet_resilience "/root/repo/build/examples/example_fleet_resilience")
+set_tests_properties(example_fleet_resilience PROPERTIES  PASS_REGULAR_EXPRESSION "structural outliers: south" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/markov_detector.cpp" "src/CMakeFiles/sentinel_baseline.dir/baseline/markov_detector.cpp.o" "gcc" "src/CMakeFiles/sentinel_baseline.dir/baseline/markov_detector.cpp.o.d"
+  "/root/repo/src/baseline/median_detector.cpp" "src/CMakeFiles/sentinel_baseline.dir/baseline/median_detector.cpp.o" "gcc" "src/CMakeFiles/sentinel_baseline.dir/baseline/median_detector.cpp.o.d"
+  "/root/repo/src/baseline/warrender.cpp" "src/CMakeFiles/sentinel_baseline.dir/baseline/warrender.cpp.o" "gcc" "src/CMakeFiles/sentinel_baseline.dir/baseline/warrender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

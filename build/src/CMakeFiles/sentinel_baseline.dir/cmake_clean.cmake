@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_baseline.dir/baseline/markov_detector.cpp.o"
+  "CMakeFiles/sentinel_baseline.dir/baseline/markov_detector.cpp.o.d"
+  "CMakeFiles/sentinel_baseline.dir/baseline/median_detector.cpp.o"
+  "CMakeFiles/sentinel_baseline.dir/baseline/median_detector.cpp.o.d"
+  "CMakeFiles/sentinel_baseline.dir/baseline/warrender.cpp.o"
+  "CMakeFiles/sentinel_baseline.dir/baseline/warrender.cpp.o.d"
+  "libsentinel_baseline.a"
+  "libsentinel_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

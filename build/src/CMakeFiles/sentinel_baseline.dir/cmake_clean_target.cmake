@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsentinel_baseline.a"
+)

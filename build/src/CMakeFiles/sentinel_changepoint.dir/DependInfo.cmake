@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/changepoint/cusum.cpp" "src/CMakeFiles/sentinel_changepoint.dir/changepoint/cusum.cpp.o" "gcc" "src/CMakeFiles/sentinel_changepoint.dir/changepoint/cusum.cpp.o.d"
+  "/root/repo/src/changepoint/kofn.cpp" "src/CMakeFiles/sentinel_changepoint.dir/changepoint/kofn.cpp.o" "gcc" "src/CMakeFiles/sentinel_changepoint.dir/changepoint/kofn.cpp.o.d"
+  "/root/repo/src/changepoint/sprt.cpp" "src/CMakeFiles/sentinel_changepoint.dir/changepoint/sprt.cpp.o" "gcc" "src/CMakeFiles/sentinel_changepoint.dir/changepoint/sprt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_changepoint.dir/changepoint/cusum.cpp.o"
+  "CMakeFiles/sentinel_changepoint.dir/changepoint/cusum.cpp.o.d"
+  "CMakeFiles/sentinel_changepoint.dir/changepoint/kofn.cpp.o"
+  "CMakeFiles/sentinel_changepoint.dir/changepoint/kofn.cpp.o.d"
+  "CMakeFiles/sentinel_changepoint.dir/changepoint/sprt.cpp.o"
+  "CMakeFiles/sentinel_changepoint.dir/changepoint/sprt.cpp.o.d"
+  "libsentinel_changepoint.a"
+  "libsentinel_changepoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_changepoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsentinel_changepoint.a"
+)

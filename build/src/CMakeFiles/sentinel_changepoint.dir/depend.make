@@ -1,0 +1,2 @@
+# Empty dependencies file for sentinel_changepoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alarms.cpp" "src/CMakeFiles/sentinel_core.dir/core/alarms.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/alarms.cpp.o.d"
+  "/root/repo/src/core/autotune.cpp" "src/CMakeFiles/sentinel_core.dir/core/autotune.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/autotune.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/CMakeFiles/sentinel_core.dir/core/classifier.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/classifier.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/CMakeFiles/sentinel_core.dir/core/fleet.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/fleet.cpp.o.d"
+  "/root/repo/src/core/model_states.cpp" "src/CMakeFiles/sentinel_core.dir/core/model_states.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/model_states.cpp.o.d"
+  "/root/repo/src/core/offline_kmeans.cpp" "src/CMakeFiles/sentinel_core.dir/core/offline_kmeans.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/offline_kmeans.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/sentinel_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/sentinel_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/smoothing.cpp" "src/CMakeFiles/sentinel_core.dir/core/smoothing.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/smoothing.cpp.o.d"
+  "/root/repo/src/core/state_ident.cpp" "src/CMakeFiles/sentinel_core.dir/core/state_ident.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/state_ident.cpp.o.d"
+  "/root/repo/src/core/tracks.cpp" "src/CMakeFiles/sentinel_core.dir/core/tracks.cpp.o" "gcc" "src/CMakeFiles/sentinel_core.dir/core/tracks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_changepoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_core.dir/core/alarms.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/alarms.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/autotune.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/autotune.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/classifier.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/classifier.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/fleet.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/fleet.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/model_states.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/model_states.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/offline_kmeans.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/offline_kmeans.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/report.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/smoothing.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/smoothing.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/state_ident.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/state_ident.cpp.o.d"
+  "CMakeFiles/sentinel_core.dir/core/tracks.cpp.o"
+  "CMakeFiles/sentinel_core.dir/core/tracks.cpp.o.d"
+  "libsentinel_core.a"
+  "libsentinel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/attack_models.cpp" "src/CMakeFiles/sentinel_faults.dir/faults/attack_models.cpp.o" "gcc" "src/CMakeFiles/sentinel_faults.dir/faults/attack_models.cpp.o.d"
+  "/root/repo/src/faults/fault_models.cpp" "src/CMakeFiles/sentinel_faults.dir/faults/fault_models.cpp.o" "gcc" "src/CMakeFiles/sentinel_faults.dir/faults/fault_models.cpp.o.d"
+  "/root/repo/src/faults/injection_plan.cpp" "src/CMakeFiles/sentinel_faults.dir/faults/injection_plan.cpp.o" "gcc" "src/CMakeFiles/sentinel_faults.dir/faults/injection_plan.cpp.o.d"
+  "/root/repo/src/faults/replay.cpp" "src/CMakeFiles/sentinel_faults.dir/faults/replay.cpp.o" "gcc" "src/CMakeFiles/sentinel_faults.dir/faults/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_faults.dir/faults/attack_models.cpp.o"
+  "CMakeFiles/sentinel_faults.dir/faults/attack_models.cpp.o.d"
+  "CMakeFiles/sentinel_faults.dir/faults/fault_models.cpp.o"
+  "CMakeFiles/sentinel_faults.dir/faults/fault_models.cpp.o.d"
+  "CMakeFiles/sentinel_faults.dir/faults/injection_plan.cpp.o"
+  "CMakeFiles/sentinel_faults.dir/faults/injection_plan.cpp.o.d"
+  "CMakeFiles/sentinel_faults.dir/faults/replay.cpp.o"
+  "CMakeFiles/sentinel_faults.dir/faults/replay.cpp.o.d"
+  "libsentinel_faults.a"
+  "libsentinel_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

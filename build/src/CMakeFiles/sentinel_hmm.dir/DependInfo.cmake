@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hmm/hmm.cpp" "src/CMakeFiles/sentinel_hmm.dir/hmm/hmm.cpp.o" "gcc" "src/CMakeFiles/sentinel_hmm.dir/hmm/hmm.cpp.o.d"
+  "/root/repo/src/hmm/markov_chain.cpp" "src/CMakeFiles/sentinel_hmm.dir/hmm/markov_chain.cpp.o" "gcc" "src/CMakeFiles/sentinel_hmm.dir/hmm/markov_chain.cpp.o.d"
+  "/root/repo/src/hmm/online_hmm.cpp" "src/CMakeFiles/sentinel_hmm.dir/hmm/online_hmm.cpp.o" "gcc" "src/CMakeFiles/sentinel_hmm.dir/hmm/online_hmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

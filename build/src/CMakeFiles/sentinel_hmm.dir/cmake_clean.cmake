@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_hmm.dir/hmm/hmm.cpp.o"
+  "CMakeFiles/sentinel_hmm.dir/hmm/hmm.cpp.o.d"
+  "CMakeFiles/sentinel_hmm.dir/hmm/markov_chain.cpp.o"
+  "CMakeFiles/sentinel_hmm.dir/hmm/markov_chain.cpp.o.d"
+  "CMakeFiles/sentinel_hmm.dir/hmm/online_hmm.cpp.o"
+  "CMakeFiles/sentinel_hmm.dir/hmm/online_hmm.cpp.o.d"
+  "libsentinel_hmm.a"
+  "libsentinel_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_sim.dir/sim/environment.cpp.o"
+  "CMakeFiles/sentinel_sim.dir/sim/environment.cpp.o.d"
+  "CMakeFiles/sentinel_sim.dir/sim/link.cpp.o"
+  "CMakeFiles/sentinel_sim.dir/sim/link.cpp.o.d"
+  "CMakeFiles/sentinel_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/sentinel_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/sentinel_sim.dir/sim/sensor.cpp.o"
+  "CMakeFiles/sentinel_sim.dir/sim/sensor.cpp.o.d"
+  "CMakeFiles/sentinel_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/sentinel_sim.dir/sim/simulator.cpp.o.d"
+  "libsentinel_sim.a"
+  "libsentinel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/filter.cpp" "src/CMakeFiles/sentinel_trace.dir/trace/filter.cpp.o" "gcc" "src/CMakeFiles/sentinel_trace.dir/trace/filter.cpp.o.d"
+  "/root/repo/src/trace/health.cpp" "src/CMakeFiles/sentinel_trace.dir/trace/health.cpp.o" "gcc" "src/CMakeFiles/sentinel_trace.dir/trace/health.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/sentinel_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/sentinel_trace.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/windower.cpp" "src/CMakeFiles/sentinel_trace.dir/trace/windower.cpp.o" "gcc" "src/CMakeFiles/sentinel_trace.dir/trace/windower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

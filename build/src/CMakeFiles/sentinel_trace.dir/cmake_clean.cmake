@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_trace.dir/trace/filter.cpp.o"
+  "CMakeFiles/sentinel_trace.dir/trace/filter.cpp.o.d"
+  "CMakeFiles/sentinel_trace.dir/trace/health.cpp.o"
+  "CMakeFiles/sentinel_trace.dir/trace/health.cpp.o.d"
+  "CMakeFiles/sentinel_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/sentinel_trace.dir/trace/trace_io.cpp.o.d"
+  "CMakeFiles/sentinel_trace.dir/trace/windower.cpp.o"
+  "CMakeFiles/sentinel_trace.dir/trace/windower.cpp.o.d"
+  "libsentinel_trace.a"
+  "libsentinel_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/sentinel_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/sentinel_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/matrix.cpp" "src/CMakeFiles/sentinel_util.dir/util/matrix.cpp.o" "gcc" "src/CMakeFiles/sentinel_util.dir/util/matrix.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/sentinel_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/sentinel_util.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_util.dir/util/csv.cpp.o"
+  "CMakeFiles/sentinel_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/sentinel_util.dir/util/matrix.cpp.o"
+  "CMakeFiles/sentinel_util.dir/util/matrix.cpp.o.d"
+  "CMakeFiles/sentinel_util.dir/util/stats.cpp.o"
+  "CMakeFiles/sentinel_util.dir/util/stats.cpp.o.d"
+  "libsentinel_util.a"
+  "libsentinel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

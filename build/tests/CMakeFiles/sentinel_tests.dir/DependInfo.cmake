@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alarms_tracks_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/alarms_tracks_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/alarms_tracks_test.cpp.o.d"
+  "/root/repo/tests/attack_models_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/attack_models_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/attack_models_test.cpp.o.d"
+  "/root/repo/tests/autotune_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/autotune_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/autotune_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/changepoint_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/changepoint_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/changepoint_test.cpp.o.d"
+  "/root/repo/tests/checkpoint_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/classifier_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/classifier_test.cpp.o.d"
+  "/root/repo/tests/coalition_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/coalition_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/coalition_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/environment_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/environment_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/environment_test.cpp.o.d"
+  "/root/repo/tests/fault_models_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/fault_models_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/fault_models_test.cpp.o.d"
+  "/root/repo/tests/fleet_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/fleet_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/fleet_test.cpp.o.d"
+  "/root/repo/tests/health_markov_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/health_markov_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/health_markov_test.cpp.o.d"
+  "/root/repo/tests/hmm_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/hmm_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/hmm_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/markov_chain_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/markov_chain_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/markov_chain_test.cpp.o.d"
+  "/root/repo/tests/model_states_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/model_states_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/model_states_test.cpp.o.d"
+  "/root/repo/tests/online_hmm_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/online_hmm_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/online_hmm_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/replay_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/replay_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/replay_test.cpp.o.d"
+  "/root/repo/tests/report_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/report_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/report_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sensor_network_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/sensor_network_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/sensor_network_test.cpp.o.d"
+  "/root/repo/tests/smoothing_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/smoothing_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/smoothing_test.cpp.o.d"
+  "/root/repo/tests/state_ident_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/state_ident_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/state_ident_test.cpp.o.d"
+  "/root/repo/tests/trace_filter_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/trace_filter_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/trace_filter_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/sentinel_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/sentinel_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sentinel_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_changepoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sentinel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentinel_cli.dir/sentinel_cli.cpp.o"
+  "CMakeFiles/sentinel_cli.dir/sentinel_cli.cpp.o.d"
+  "sentinel_cli"
+  "sentinel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentinel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
