@@ -6,6 +6,7 @@
 #include "core/offline_kmeans.h"
 #include "faults/attack_models.h"
 #include "faults/fault_models.h"
+#include "util/thread_pool.h"
 #include "util/vecn.h"
 
 namespace sentinel::bench {
@@ -55,7 +56,10 @@ ScenarioResult run_scenario(const sim::GdiEnvironmentConfig& env_cfg, const Scen
   simulator.set_transform(faults::make_transform(plan));
 
   ScenarioResult result;
-  result.sim = simulator.run(ec.duration_seconds);
+  // Motes are independent, so trace generation fans out over the shared
+  // pool; the merged trace is bit-identical to a serial run (see
+  // Simulator::run(duration, pool)), so every bench stays reproducible.
+  result.sim = simulator.run(ec.duration_seconds, util::ThreadPool::shared());
   result.pipeline_config = make_pipeline_config(env, cfg);
   result.pipeline = std::make_unique<core::DetectionPipeline>(result.pipeline_config);
   result.pipeline->process_trace(result.sim.trace);

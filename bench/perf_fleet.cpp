@@ -1,0 +1,122 @@
+// P3 -- google-benchmark: fleet tier throughput. Regions are independent
+// until the cross-region structural vote, so ingest + finish + diagnose
+// should scale with FleetConfig::threads; this bench sweeps regions x
+// threads over identical per-region traces. threads = 1 is the serial
+// reference the parallel rows are measured against (the reports themselves
+// are bit-identical by construction; fleet_parallel_test proves it).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/scenario.h"
+#include "core/fleet.h"
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace sentinel;
+
+constexpr std::size_t kMaxRegions = 16;
+constexpr double kDays = 4.0;
+constexpr std::size_t kSensors = 8;
+
+struct FleetWorkload {
+  std::vector<std::vector<SensorRecord>> traces;  // one per region
+  core::PipelineConfig pipeline_config;
+  std::size_t total_records = 0;
+};
+
+/// Per-region traces of the same environment under different noise/loss
+/// seeds (the honest multi-region deployment), generated once per process.
+const FleetWorkload& workload() {
+  static const FleetWorkload w = [] {
+    FleetWorkload out;
+    sim::GdiEnvironmentConfig ec;
+    ec.duration_seconds = kDays * kSecondsPerDay;
+    ec.seed = 42;
+    const sim::GdiEnvironment env(ec);
+
+    bench::ScenarioConfig sc;
+    sc.duration_days = kDays;
+    sc.num_sensors = kSensors;
+    sc.seed = 42;
+    out.pipeline_config = bench::make_pipeline_config(env, sc);
+    out.pipeline_config.window_seconds = kSecondsPerHour;
+
+    for (std::size_t r = 0; r < kMaxRegions; ++r) {
+      sim::GdiDeploymentConfig dc;
+      dc.num_sensors = kSensors;
+      dc.seed = 1000 + r;
+      auto simulator = sim::make_gdi_deployment(env, dc);
+      auto result = simulator.run(ec.duration_seconds, util::ThreadPool::shared());
+      out.total_records += result.trace.size();
+      out.traces.push_back(std::move(result.trace));
+    }
+    return out;
+  }();
+  return w;
+}
+
+void BM_FleetIngestDiagnose(benchmark::State& state) {
+  const auto regions = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const FleetWorkload& w = workload();
+
+  std::vector<std::string> names;
+  std::size_t records_per_iter = 0;
+  for (std::size_t r = 0; r < regions; ++r) {
+    names.push_back("region-" + std::to_string(r));
+    records_per_iter += w.traces[r].size();
+  }
+
+  // Cluster heads upload in bursts; round-robin the bursts across regions so
+  // every shard's queue stays busy and ingestion overlaps.
+  constexpr std::size_t kBurst = 1024;
+
+  for (auto _ : state) {
+    core::FleetConfig fc;
+    fc.threads = threads;
+    core::FleetMonitor fleet(fc);
+    for (std::size_t r = 0; r < regions; ++r) {
+      fleet.add_region(names[r], w.pipeline_config);
+    }
+    for (std::size_t off = 0;; off += kBurst) {
+      bool any = false;
+      for (std::size_t r = 0; r < regions; ++r) {
+        if (off < w.traces[r].size()) {
+          const std::size_t len = std::min(kBurst, w.traces[r].size() - off);
+          fleet.add_records(names[r], {w.traces[r].data() + off, len});
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+    fleet.finish();
+    const auto report = fleet.diagnose();
+    benchmark::DoNotOptimize(report.overall);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * records_per_iter));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FleetIngestDiagnose)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->ArgNames({"regions", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

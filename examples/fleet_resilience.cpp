@@ -102,7 +102,12 @@ int main() {
               crash_at / kSecondsPerDay, checkpoints.size());
 
   // Phase 2: cold restart -- every region restored from its checkpoint.
-  core::FleetMonitor restored;
+  // The replay runs with a worker pool (FleetConfig::threads): regions drain
+  // concurrently, and the report is bit-identical to a serial run
+  // (docs/CONCURRENCY.md), so turning threads up is purely a wall-clock knob.
+  core::FleetConfig fleet_cfg;
+  fleet_cfg.threads = 2;
+  core::FleetMonitor restored(fleet_cfg);
   for (const auto& [name, trace] : traces) {
     (void)trace;
     std::istringstream is(checkpoints.at(name));

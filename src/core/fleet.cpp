@@ -1,8 +1,15 @@
 #include "core/fleet.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 
+#include "util/thread_pool.h"
 #include "util/vecn.h"
 
 namespace sentinel::core {
@@ -37,6 +44,11 @@ int verdict_rank(Verdict v) {
   return 0;
 }
 
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads == 0) return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return threads;
+}
+
 }  // namespace
 
 bool models_structurally_similar(const hmm::MarkovChain& a, const CentroidLookup& lookup_a,
@@ -62,33 +74,180 @@ std::string to_string(const FleetReport& r) {
   return os.str();
 }
 
-FleetMonitor::FleetMonitor(double state_match_tol) : state_match_tol_(state_match_tol) {
-  if (!(state_match_tol > 0.0)) {
+/// Per-region ingest queue. The shard's pipeline is only ever advanced by
+/// the single drain task in flight for it (`draining` guards task spawning),
+/// which is the single-writer invariant the parallel path relies on.
+/// producer_buf belongs to the (single) producer thread and is handed off
+/// under the lock once per FleetConfig::batch_records, so the per-record
+/// cost of add_record is one push_back.
+struct FleetMonitor::Shard {
+  explicit Shard(DetectionPipeline& p) : pipeline(&p) {}
+
+  std::vector<SensorRecord> producer_buf;  // producer-thread-only
+  std::mutex mu;
+  std::condition_variable cv;  // queue shrank, drain finished, or error set
+  std::deque<SensorRecord> queue;
+  bool draining = false;       // a pool task owns this shard's pipeline
+  std::exception_ptr error;    // first pipeline exception, rethrown to callers
+  DetectionPipeline* pipeline;
+};
+
+FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
+  if (!(cfg_.state_match_tol > 0.0)) {
     throw std::invalid_argument("FleetMonitor: tolerance must be positive");
   }
+  if (cfg_.max_queue_records == 0) {
+    throw std::invalid_argument("FleetMonitor: max_queue_records must be >= 1");
+  }
+  if (cfg_.batch_records == 0) {
+    throw std::invalid_argument("FleetMonitor: batch_records must be >= 1");
+  }
+  cfg_.threads = resolve_threads(cfg_.threads);
+  if (cfg_.threads > 1) pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+}
+
+FleetMonitor::FleetMonitor(double state_match_tol)
+    : FleetMonitor(FleetConfig{.state_match_tol = state_match_tol, .threads = 1}) {}
+
+// Out of line so ~unique_ptr<Shard> sees the complete type. pool_ is the
+// last member, hence destroyed first: its destructor drains pending shard
+// tasks and joins the workers while regions_/shards_ are still alive.
+FleetMonitor::~FleetMonitor() = default;
+
+void FleetMonitor::register_shard(const std::string& name, DetectionPipeline& pipeline) {
+  shards_.emplace(name, std::make_unique<Shard>(pipeline));
 }
 
 void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg) {
   const auto [it, inserted] = regions_.try_emplace(name, std::move(cfg));
-  (void)it;
   if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+  if (pool_) register_shard(name, it->second);
 }
 
 void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg,
                               std::istream& checkpoint) {
   const auto [it, inserted] = regions_.try_emplace(name, std::move(cfg), checkpoint);
-  (void)it;
   if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+  if (pool_) register_shard(name, it->second);
 }
 
 void FleetMonitor::add_record(const std::string& region, const SensorRecord& rec) {
-  const auto it = regions_.find(region);
-  if (it == regions_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + region);
-  it->second.add_record(rec);
+  if (!pool_) {
+    const auto it = regions_.find(region);
+    if (it == regions_.end()) {
+      throw std::invalid_argument("FleetMonitor: unknown region " + region);
+    }
+    it->second.add_record(rec);
+    return;
+  }
+  const auto it = shards_.find(region);
+  if (it == shards_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + region);
+  Shard& sh = *it->second;
+  sh.producer_buf.push_back(rec);
+  if (sh.producer_buf.size() >= cfg_.batch_records) flush_shard(sh);
+}
+
+void FleetMonitor::add_records(const std::string& region, std::span<const SensorRecord> recs) {
+  if (recs.empty()) return;
+  if (!pool_) {
+    const auto it = regions_.find(region);
+    if (it == regions_.end()) {
+      throw std::invalid_argument("FleetMonitor: unknown region " + region);
+    }
+    for (const auto& rec : recs) it->second.add_record(rec);
+    return;
+  }
+  const auto it = shards_.find(region);
+  if (it == shards_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + region);
+  Shard& sh = *it->second;
+  sh.producer_buf.insert(sh.producer_buf.end(), recs.begin(), recs.end());
+  if (sh.producer_buf.size() >= cfg_.batch_records) flush_shard(sh);
+}
+
+/// Hand the producer buffer to the shard queue and make sure a drain task
+/// is (or will be) running. Called by the producer thread only.
+void FleetMonitor::flush_shard(Shard& sh) const {
+  if (sh.producer_buf.empty()) return;
+  bool start_drain = false;
+  {
+    std::unique_lock<std::mutex> lock(sh.mu);
+    if (sh.error) std::rethrow_exception(sh.error);
+    // Backpressure: block while the region's queue is at capacity.
+    sh.cv.wait(lock, [&] { return sh.queue.size() < cfg_.max_queue_records || sh.error; });
+    if (sh.error) std::rethrow_exception(sh.error);
+    sh.queue.insert(sh.queue.end(), std::make_move_iterator(sh.producer_buf.begin()),
+                    std::make_move_iterator(sh.producer_buf.end()));
+    if (!sh.draining) {
+      sh.draining = true;
+      start_drain = true;
+    }
+  }
+  sh.producer_buf.clear();
+  if (start_drain) {
+    pool_->post([this, &sh] { drain_shard(sh); });
+  }
+}
+
+void FleetMonitor::drain_shard(Shard& sh) const {
+  for (;;) {
+    std::deque<SensorRecord> batch;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      if (sh.queue.empty()) {
+        sh.draining = false;
+        sh.cv.notify_all();
+        return;
+      }
+      batch.swap(sh.queue);
+    }
+    sh.cv.notify_all();  // queue emptied; unblock backpressured producers
+    try {
+      for (const auto& rec : batch) sh.pipeline->add_record(rec);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.error = std::current_exception();
+      sh.draining = false;
+      sh.cv.notify_all();
+      return;
+    }
+  }
+}
+
+void FleetMonitor::drain() const {
+  // Quiesce every shard before rethrowing: even when one region is
+  // poisoned, the caller must be able to inspect the healthy regions after
+  // drain() returns or throws -- no worker may still be running.
+  std::exception_ptr first_error;
+  for (const auto& [name, shard] : shards_) {
+    try {
+      flush_shard(*shard);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  for (const auto& [name, shard] : shards_) {
+    Shard& sh = *shard;
+    std::unique_lock<std::mutex> lock(sh.mu);
+    sh.cv.wait(lock, [&] { return sh.error || (!sh.draining && sh.queue.empty()); });
+    if (sh.error && !first_error) first_error = sh.error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void FleetMonitor::finish() {
-  for (auto& [name, pipeline] : regions_) pipeline.finish();
+  drain();
+  if (!pool_ || regions_.size() <= 1) {
+    for (auto& [name, pipeline] : regions_) pipeline.finish();
+    return;
+  }
+  std::vector<std::future<void>> jobs;
+  jobs.reserve(regions_.size());
+  for (auto& [name, pipeline] : regions_) {
+    jobs.push_back(pool_->submit([&pipeline] { pipeline.finish(); }));
+  }
+  // Join everything before rethrowing so no task still references a region.
+  for (auto& j : jobs) j.wait();
+  for (auto& j : jobs) j.get();
 }
 
 DetectionPipeline& FleetMonitor::region(const std::string& name) {
@@ -111,35 +270,80 @@ std::vector<std::string> FleetMonitor::region_names() const {
 }
 
 FleetReport FleetMonitor::diagnose() const {
+  drain();
   FleetReport fleet;
-  // Per-region diagnoses, and cached pruned models.
+  // Per-region diagnoses, and cached pruned models. Each job reads one
+  // quiescent pipeline through const accessors only, so jobs are
+  // independent; results are assembled in region-name order, making the
+  // report identical to the serial path's.
   std::map<std::string, hmm::MarkovChain> models;
-  for (const auto& [name, pipeline] : regions_) {
-    fleet.regions.emplace(name, pipeline.diagnose());
-    models.emplace(name, pipeline.correct_model());
-    if (verdict_rank(fleet.regions.at(name).network.verdict) > verdict_rank(fleet.overall)) {
-      fleet.overall = fleet.regions.at(name).network.verdict;
+  if (pool_ && regions_.size() > 1) {
+    struct RegionDiag {
+      DiagnosisReport report;
+      hmm::MarkovChain model;
+    };
+    std::vector<std::pair<const std::string*, std::future<RegionDiag>>> jobs;
+    jobs.reserve(regions_.size());
+    for (const auto& [name, pipeline] : regions_) {
+      jobs.emplace_back(&name, pool_->submit([&pipeline] {
+        return RegionDiag{pipeline.diagnose(), pipeline.correct_model()};
+      }));
     }
-    for (const auto& [id, d] : fleet.regions.at(name).sensors) {
+    for (auto& [name, job] : jobs) job.wait();
+    for (auto& [name, job] : jobs) {
+      RegionDiag rd = job.get();
+      fleet.regions.emplace(*name, std::move(rd.report));
+      models.emplace(*name, std::move(rd.model));
+    }
+  } else {
+    for (const auto& [name, pipeline] : regions_) {
+      fleet.regions.emplace(name, pipeline.diagnose());
+      models.emplace(name, pipeline.correct_model());
+    }
+  }
+  for (const auto& [name, report] : fleet.regions) {
+    if (verdict_rank(report.network.verdict) > verdict_rank(fleet.overall)) {
+      fleet.overall = report.network.verdict;
+    }
+    for (const auto& [id, d] : report.sensors) {
       if (verdict_rank(d.verdict) > verdict_rank(fleet.overall)) fleet.overall = d.verdict;
     }
   }
 
   // Cross-region structural check: a region is an outlier when it disagrees
-  // with more than half of the other regions.
+  // with more than half of the other regions. One job per region; each job
+  // compares its region's model against every other (the O(regions^2) part).
   if (regions_.size() >= 3) {
-    for (const auto& [name, pipeline] : regions_) {
+    const auto is_outlier = [&](const std::string& name, const DetectionPipeline& pipeline) {
       std::size_t disagreements = 0, others = 0;
       for (const auto& [other_name, other] : regions_) {
         if (other_name == name) continue;
         ++others;
         if (!models_structurally_similar(models.at(name), pipeline.centroid_lookup(),
                                          models.at(other_name), other.centroid_lookup(),
-                                         state_match_tol_)) {
+                                         cfg_.state_match_tol)) {
           ++disagreements;
         }
       }
-      if (others > 0 && 2 * disagreements > others) fleet.structural_outliers.push_back(name);
+      return others > 0 && 2 * disagreements > others;
+    };
+    if (pool_) {
+      std::vector<std::pair<const std::string*, std::future<bool>>> jobs;
+      jobs.reserve(regions_.size());
+      for (const auto& [name, pipeline] : regions_) {
+        jobs.emplace_back(
+            &name, pool_->submit([&is_outlier, &name, &pipeline] {
+              return is_outlier(name, pipeline);
+            }));
+      }
+      for (auto& [name, job] : jobs) job.wait();
+      for (auto& [name, job] : jobs) {
+        if (job.get()) fleet.structural_outliers.push_back(*name);
+      }
+    } else {
+      for (const auto& [name, pipeline] : regions_) {
+        if (is_outlier(name, pipeline)) fleet.structural_outliers.push_back(name);
+      }
     }
   }
   return fleet;

@@ -7,14 +7,29 @@
 // similar M_C models, so a region whose model diverges from the fleet
 // majority is flagged even if its own internal majority was compromised
 // (a region-level mitigation of the paper's majority assumption).
+//
+// Regions are independent until the cross-region structural vote, so the
+// fleet parallelizes across them (FleetConfig::threads): ingestion shards
+// records into per-region bounded queues drained by pool workers, and
+// finish()/diagnose() fan per-region jobs out over the same pool. Each
+// region's pipeline is only ever touched by one thread at a time (the
+// single-writer invariant; see docs/CONCURRENCY.md), so the parallel
+// FleetReport is bit-identical to the serial one. threads = 1 bypasses the
+// pool entirely and preserves the original serial behavior exactly.
 
 #pragma once
 
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
+
+namespace sentinel::util {
+class ThreadPool;
+}
 
 namespace sentinel::core {
 
@@ -37,34 +52,96 @@ struct FleetReport {
 
 std::string to_string(const FleetReport& r);
 
+struct FleetConfig {
+  /// Attribute distance within which two regions' model states count as the
+  /// same physical state during the cross-region structural check.
+  double state_match_tol = 6.0;
+  /// Worker threads for ingestion and diagnosis. 1 = fully serial (the
+  /// original code path, no pool, no queues); 0 = hardware concurrency;
+  /// N > 1 = a pool of N workers shared by all regions. Any value produces
+  /// bit-identical FleetReports -- threads only changes wall-clock.
+  std::size_t threads = 1;
+  /// Per-region ingest queue bound (records). add_record blocks once a
+  /// region's queue is this deep -- backpressure instead of unbounded memory
+  /// when producers outrun the pipelines. Deeper queues cost memory
+  /// (~100 B/record) but reduce producer stalls on oversubscribed machines.
+  std::size_t max_queue_records = 16384;
+  /// Producer-side batch: add_record appends to an unlocked per-region
+  /// buffer and only takes the shard lock every `batch_records` records.
+  /// Per-record pipeline cost is tiny (real work happens once per closed
+  /// window), so unbatched handoff would spend more on locking and worker
+  /// wakeups than on detection. 1 = hand off every record immediately.
+  std::size_t batch_records = 256;
+};
+
 class FleetMonitor {
  public:
-  /// tol: attribute distance within which two regions' model states count as
-  /// the same physical state.
+  explicit FleetMonitor(FleetConfig cfg);
+
+  /// Serial monitor (threads = 1); tol as in FleetConfig::state_match_tol.
   explicit FleetMonitor(double state_match_tol = 6.0);
 
+  ~FleetMonitor();
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
   /// Create a region (cluster head). Throws if the name already exists.
+  /// Not thread-safe against concurrent add_record: build the fleet first,
+  /// then ingest.
   void add_region(const std::string& name, PipelineConfig cfg);
 
   /// Create a region restored from a pipeline checkpoint (see
-  /// DetectionPipeline::save_checkpoint).
+  /// DetectionPipeline::save_checkpoint and docs/CONCURRENCY.md for the
+  /// checkpoint format).
   void add_region(const std::string& name, PipelineConfig cfg, std::istream& checkpoint);
 
   /// Route a record to its region's pipeline. Throws on unknown region.
+  /// With threads > 1 this batches into the region's bounded queue and a
+  /// pool worker applies it; a pipeline exception from earlier records of
+  /// the same region is rethrown here (or from drain()/finish()). The
+  /// ingestion API (add_record/drain/finish) is meant for one producer
+  /// thread; the parallelism is the fleet's, across regions.
   void add_record(const std::string& region, const SensorRecord& rec);
 
-  /// Flush all regions' partial windows.
+  /// Bulk variant: one region lookup for the whole span. Prefer this when
+  /// records arrive in per-region bursts (a cluster head uploading its
+  /// backlog) -- per-record name resolution, not detection, dominates
+  /// ingest cost at fleet scale.
+  void add_records(const std::string& region, std::span<const SensorRecord> recs);
+
+  /// Block until every queued record has been applied to its pipeline.
+  /// Rethrows the first pipeline exception captured by a worker. No-op in
+  /// serial mode.
+  void drain() const;
+
+  /// Flush all regions' partial windows (parallel across regions when a
+  /// pool is configured). Implies drain().
   void finish();
 
+  /// Direct pipeline access. With threads > 1, call drain() first unless
+  /// ingestion is quiescent -- a worker may still be applying records.
   DetectionPipeline& region(const std::string& name);
   const DetectionPipeline& region(const std::string& name) const;
   std::vector<std::string> region_names() const;
 
+  /// Combined fleet diagnosis. Drains first, then runs per-region
+  /// diagnose()/correct_model() and the O(regions^2) structural cross-check
+  /// on the pool. Deterministic: identical to the serial result.
   FleetReport diagnose() const;
 
+  const FleetConfig& config() const { return cfg_; }
+
  private:
-  double state_match_tol_;
+  struct Shard;  // per-region ingest queue (defined in fleet.cpp)
+
+  void register_shard(const std::string& name, DetectionPipeline& pipeline);
+  void flush_shard(Shard& shard) const;
+  void drain_shard(Shard& shard) const;
+
+  FleetConfig cfg_;
   std::map<std::string, DetectionPipeline> regions_;
+  std::map<std::string, std::unique_ptr<Shard>> shards_;  // empty in serial mode
+  std::unique_ptr<util::ThreadPool> pool_;                // null in serial mode
 };
 
 }  // namespace sentinel::core

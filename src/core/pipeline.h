@@ -14,6 +14,16 @@
 //
 // diagnose() then performs the section 3.4 structural analysis and returns
 // the combined network + per-sensor report.
+//
+// Thread-safety: a pipeline is single-writer -- add_record / process_window /
+// finish must not run concurrently with anything else on the same instance.
+// Every const member (the model accessors, history/stats, coalition(),
+// diagnose_*() and the lookups they build) is a pure read: none of them
+// mutate state, there are no mutable members or lazy caches anywhere in the
+// pipeline's composition (audited for the fleet tier), so any number of
+// threads may call const members concurrently on a quiescent pipeline.
+// core/fleet.h relies on this to run per-region diagnosis jobs in parallel;
+// see docs/CONCURRENCY.md.
 
 #pragma once
 

@@ -1,9 +1,13 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <future>
 #include <queue>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace sentinel::sim {
 
@@ -62,6 +66,86 @@ SimulationResult Simulator::run(double duration_seconds) {
   }
 
   result.trace = collector.take_records();
+  return result;
+}
+
+SimulationResult Simulator::run(double duration_seconds, util::ThreadPool& pool) {
+  if (motes_.empty()) throw std::logic_error("Simulator::run with no motes");
+
+  struct MoteResult {
+    std::vector<SensorRecord> records;  // delivered, time-ordered
+    DeliveryStats stats;
+  };
+
+  // One job per mote: the mote's own sampling loop, transform, and link.
+  // Mirrors the per-event body of the serial run() exactly.
+  const auto simulate_mote = [this, duration_seconds](std::size_t i) {
+    MoteResult out;
+    while (motes_[i].next_sample_time() < duration_seconds) {
+      MoteSample s = motes_[i].sample(env_);
+      ++out.stats.sampled;
+
+      const AttrVec truth = env_.truth(s.record.time);
+      auto corrupted = transform_(s.record.sensor, s.record.time, s.record.attrs, truth);
+      if (!corrupted) {
+        ++out.stats.suppressed;
+        continue;
+      }
+      s.record.attrs = std::move(*corrupted);
+
+      if (!links_[i]->deliver(s.record.time)) {
+        ++out.stats.lost;
+        continue;
+      }
+      if (s.malformed) {
+        ++out.stats.malformed;  // the Collector counts and drops these
+        continue;
+      }
+      ++out.stats.delivered;
+      out.records.push_back(std::move(s.record));
+    }
+    return out;
+  };
+
+  std::vector<std::future<MoteResult>> jobs;
+  jobs.reserve(motes_.size());
+  for (std::size_t i = 0; i < motes_.size(); ++i) {
+    jobs.push_back(pool.submit([&simulate_mote, i] { return simulate_mote(i); }));
+  }
+  std::vector<MoteResult> per_mote;
+  per_mote.reserve(jobs.size());
+  for (auto& j : jobs) j.wait();
+  for (auto& j : jobs) per_mote.push_back(j.get());
+
+  SimulationResult result;
+  std::size_t total = 0;
+  for (const auto& m : per_mote) {
+    result.stats.sampled += m.stats.sampled;
+    result.stats.suppressed += m.stats.suppressed;
+    result.stats.lost += m.stats.lost;
+    result.stats.malformed += m.stats.malformed;
+    result.stats.delivered += m.stats.delivered;
+    total += m.records.size();
+  }
+
+  // Merge by (time, mote index): the serial run's event heap pops the
+  // smallest time with ties to the lowest mote index, so this k-way merge
+  // reproduces its trace order exactly.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<std::size_t> pos(per_mote.size(), 0);
+  for (std::size_t i = 0; i < per_mote.size(); ++i) {
+    if (!per_mote[i].records.empty()) heap.emplace(per_mote[i].records.front().time, i);
+  }
+  result.trace.reserve(total);
+  while (!heap.empty()) {
+    const auto [t, i] = heap.top();
+    heap.pop();
+    result.trace.push_back(std::move(per_mote[i].records[pos[i]]));
+    if (++pos[i] < per_mote[i].records.size()) {
+      heap.emplace(per_mote[i].records[pos[i]].time, i);
+    }
+  }
   return result;
 }
 

@@ -17,6 +17,10 @@
 #include "sim/network.h"
 #include "sim/sensor.h"
 
+namespace sentinel::util {
+class ThreadPool;
+}
+
 namespace sentinel::sim {
 
 struct SimulationResult {
@@ -37,6 +41,18 @@ class Simulator {
 
   /// Run from t=0 to `duration_seconds` and return the delivered trace.
   SimulationResult run(double duration_seconds);
+
+  /// Parallel run: each mote's chain (sample -> transform -> link) touches
+  /// only per-mote state, so motes simulate concurrently on `pool` workers
+  /// and the per-mote traces are merged by (time, mote index) -- exactly the
+  /// serial event heap's pop order, so the result is bit-identical to
+  /// run(). Requires the transform to be safe for concurrent calls on
+  /// *distinct* sensors (true for faults::make_transform: its dispatch is
+  /// read-only and each fault model instance is bound to one sensor) and the
+  /// environment's truth() to be a const pure read (true for all bundled
+  /// environments). Consumes mote/link state just like run(): call one or
+  /// the other, once.
+  SimulationResult run(double duration_seconds, util::ThreadPool& pool);
 
   std::size_t mote_count() const { return motes_.size(); }
 

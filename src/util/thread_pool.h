@@ -1,0 +1,68 @@
+// Fixed-size worker pool shared by the fleet tier and the simulation
+// harness. Deliberately minimal: a bounded set of workers draining one FIFO
+// task queue. submit() returns a std::future so exceptions thrown inside a
+// task propagate to whoever joins it (std::future::get rethrows); post() is
+// the fire-and-forget variant for tasks that report through their own
+// channel (the fleet's shard queues capture exceptions explicitly).
+//
+// Destruction drains: queued tasks still run before the workers join, so a
+// pool can be torn down without orphaning submitted work. Tasks must not
+// block on other tasks of the same pool (no nested submit-and-wait), or a
+// pool smaller than the wait chain deadlocks.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sentinel::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a fire-and-forget task. The task must not throw; wrap throwing
+  /// work with submit() (future-propagated) or catch inside the task.
+  void post(std::function<void()> task);
+
+  /// Enqueue a task and get a future for its result. Exceptions thrown by
+  /// the task are captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    post([task]() { (*task)(); });
+    return fut;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware, for callers that want to share
+  /// workers instead of owning a pool (bench trace generation). Created on
+  /// first use; lives for the process.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sentinel::util

@@ -1,0 +1,255 @@
+// Tests: the parallel fleet path. The headline guarantee is determinism --
+// the same record stream through a threads=1 fleet and a threads=4 fleet
+// must yield bit-identical FleetReports (per-region pipelines are
+// single-writer, diagnosis reads quiescent state, results assemble in
+// region-name order) -- plus exception propagation from pool workers to the
+// caller thread, and the parallel simulator's trace-identity guarantee.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/fleet.h"
+#include "faults/attack_models.h"
+#include "faults/fault_models.h"
+#include "faults/injection_plan.h"
+#include "sim/simulator.h"
+#include "util/thread_pool.h"
+
+namespace sentinel::core {
+namespace {
+
+class CycleEnvironment final : public sim::Environment {
+ public:
+  std::size_t dims() const override { return 2; }
+  AttrVec truth(double t) const override {
+    const auto phase = static_cast<long>(t / (3.0 * kSecondsPerHour));
+    return (phase % 2 == 0) ? AttrVec{10.0, 60.0} : AttrVec{30.0, 40.0};
+  }
+};
+
+PipelineConfig region_config() {
+  PipelineConfig cfg;
+  cfg.window_seconds = kSecondsPerHour;
+  cfg.initial_states = {{10.0, 60.0}, {30.0, 40.0}};
+  return cfg;
+}
+
+std::vector<SensorRecord> simulate_region(const sim::Environment& env, double duration,
+                                          std::uint64_t seed,
+                                          std::shared_ptr<faults::InjectionPlan> plan = nullptr) {
+  sim::Simulator s(env);
+  for (std::size_t i = 0; i < 6; ++i) {
+    sim::MoteConfig mc;
+    mc.id = static_cast<SensorId>(i);
+    mc.noise_sigma = 0.3;
+    mc.seed = seed;
+    s.add_mote(mc);
+  }
+  if (plan) s.set_transform(faults::make_transform(plan));
+  return s.run(duration).trace;
+}
+
+/// A 4-region workload with enough variety to exercise every diagnosis
+/// path: two clean regions, one with a stuck sensor, one whose majority is
+/// compromised (structural outlier).
+std::vector<std::vector<SensorRecord>> make_workload(const sim::Environment& env) {
+  std::vector<std::vector<SensorRecord>> traces;
+  traces.push_back(simulate_region(env, 3.0 * kSecondsPerDay, 1));
+  traces.push_back(simulate_region(env, 3.0 * kSecondsPerDay, 2));
+
+  auto stuck = std::make_shared<faults::InjectionPlan>();
+  stuck->add(2, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}), 0.5 * kSecondsPerDay);
+  traces.push_back(simulate_region(env, 3.0 * kSecondsPerDay, 3, stuck));
+
+  auto compromised = std::make_shared<faults::InjectionPlan>();
+  for (SensorId s = 0; s < 5; ++s) {  // 5 of 6 sensors: internal majority defeated
+    faults::ChangeAttackConfig ac;
+    ac.victim = faults::StateRegion{{30.0, 40.0}, 8.0};
+    ac.observed_as = {55.0, 20.0};
+    ac.fraction = 5.0 / 6.0;
+    compromised->add(s, std::make_unique<faults::DynamicChangeAttack>(ac), 0.0);
+  }
+  traces.push_back(simulate_region(env, 3.0 * kSecondsPerDay, 4, compromised));
+  return traces;
+}
+
+FleetReport run_fleet(const std::vector<std::vector<SensorRecord>>& traces, std::size_t threads,
+                      std::vector<std::size_t>* windows_out = nullptr) {
+  FleetConfig fc;
+  fc.threads = threads;
+  FleetMonitor fleet(fc);
+  const std::vector<std::string> names = {"east", "north", "south", "west"};
+  for (const auto& name : names) fleet.add_region(name, region_config());
+
+  // Interleave across regions so parallel shards genuinely overlap.
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (std::size_t r = 0; r < traces.size(); ++r) {
+      if (i < traces[r].size()) {
+        fleet.add_record(names[r], traces[r][i]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  fleet.finish();
+  if (windows_out) {
+    windows_out->clear();
+    for (const auto& name : names) {
+      windows_out->push_back(fleet.region(name).windows_processed());
+    }
+  }
+  return fleet.diagnose();
+}
+
+TEST(FleetParallel, ReportIdenticalToSerial) {
+  const CycleEnvironment env;
+  const auto traces = make_workload(env);
+
+  std::vector<std::size_t> windows_serial, windows_parallel;
+  const FleetReport serial = run_fleet(traces, 1, &windows_serial);
+  const FleetReport parallel = run_fleet(traces, 4, &windows_parallel);
+
+  EXPECT_EQ(windows_parallel, windows_serial);
+  EXPECT_EQ(parallel.overall, serial.overall);
+  EXPECT_EQ(parallel.structural_outliers, serial.structural_outliers);
+  ASSERT_EQ(parallel.regions.size(), serial.regions.size());
+  EXPECT_EQ(to_string(parallel), to_string(serial));
+
+  // The workload is rich enough that identity is meaningful: a fault, an
+  // outlier, and clean regions all present.
+  EXPECT_EQ(serial.overall, Verdict::kError);
+  ASSERT_TRUE(serial.regions.at("south").sensors.count(2));
+  EXPECT_EQ(serial.regions.at("south").sensors.at(2).kind, AnomalyKind::kStuckAt);
+  EXPECT_EQ(serial.structural_outliers, std::vector<std::string>{"west"});
+}
+
+TEST(FleetParallel, HardwareThreadCountAlsoIdentical) {
+  const CycleEnvironment env;
+  // Smaller workload; the point is an arbitrary pool size, not diagnosis.
+  std::vector<std::vector<SensorRecord>> traces;
+  traces.push_back(simulate_region(env, 1.0 * kSecondsPerDay, 7));
+  traces.push_back(simulate_region(env, 1.0 * kSecondsPerDay, 8));
+  traces.push_back(simulate_region(env, 1.0 * kSecondsPerDay, 9));
+  traces.push_back(simulate_region(env, 1.0 * kSecondsPerDay, 10));
+
+  const FleetReport serial = run_fleet(traces, 1);
+  const FleetReport parallel = run_fleet(traces, 0);  // 0 = hardware concurrency
+  EXPECT_EQ(to_string(parallel), to_string(serial));
+}
+
+TEST(FleetParallel, WorkerExceptionSurfacesOnCallerThread) {
+  FleetConfig fc;
+  fc.threads = 4;
+  FleetMonitor fleet(fc);
+  fleet.add_region("ok", region_config());
+  fleet.add_region("bad", region_config());
+
+  // Dimension-mismatched records make the pipeline throw inside a pool
+  // worker (AttrVec distance on a 2-dim model). The exception must resurface
+  // on the caller thread -- from a later add_record to that region or, at
+  // the latest, from finish().
+  bool threw = false;
+  try {
+    for (int i = 0; i < 5000; ++i) {
+      const double t = 60.0 * i;
+      for (SensorId s = 0; s < 6; ++s) {
+        fleet.add_record("bad", {s, t, {1.0, 2.0, 3.0}});  // 3 dims into a 2-dim region
+        fleet.add_record("ok", {s, t, {10.0, 60.0}});
+      }
+    }
+    fleet.finish();
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+
+  // The poisoned region keeps rethrowing; drain() still quiesces everything,
+  // so the healthy region stays inspectable.
+  EXPECT_THROW(fleet.drain(), std::invalid_argument);
+  EXPECT_GT(fleet.region("ok").windows_processed(), 0u);
+}
+
+TEST(FleetParallel, DrainIsQuiescencePoint) {
+  const CycleEnvironment env;
+  const auto trace = simulate_region(env, 1.0 * kSecondsPerDay, 5);
+
+  FleetConfig fc;
+  fc.threads = 4;
+  FleetMonitor fleet(fc);
+  fleet.add_region("r", region_config());
+  for (const auto& rec : trace) fleet.add_record("r", rec);
+  fleet.drain();
+  // After drain every queued record reached the pipeline: the streaming
+  // windower has closed all but the final partial window.
+  const std::size_t before_finish = fleet.region("r").windows_processed();
+  EXPECT_GT(before_finish, 20u);
+  fleet.finish();
+  EXPECT_GE(fleet.region("r").windows_processed(), before_finish);
+}
+
+TEST(FleetParallel, ConfigValidation) {
+  FleetConfig bad_tol;
+  bad_tol.state_match_tol = 0.0;
+  EXPECT_THROW(FleetMonitor{bad_tol}, std::invalid_argument);
+  FleetConfig bad_queue;
+  bad_queue.max_queue_records = 0;
+  EXPECT_THROW(FleetMonitor{bad_queue}, std::invalid_argument);
+}
+
+TEST(SimulatorParallel, TraceIdenticalToSerial) {
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = 2.0 * kSecondsPerDay;
+  ec.seed = 11;
+  const sim::GdiEnvironment env(ec);
+
+  sim::GdiDeploymentConfig dc;
+  dc.num_sensors = 10;
+  dc.seed = 11;
+
+  auto serial_sim = sim::make_gdi_deployment(env, dc);
+  const auto serial = serial_sim.run(ec.duration_seconds);
+
+  auto parallel_sim = sim::make_gdi_deployment(env, dc);
+  util::ThreadPool pool(4);
+  const auto parallel = parallel_sim.run(ec.duration_seconds, pool);
+
+  EXPECT_EQ(parallel.trace, serial.trace);
+  EXPECT_EQ(parallel.stats.sampled, serial.stats.sampled);
+  EXPECT_EQ(parallel.stats.suppressed, serial.stats.suppressed);
+  EXPECT_EQ(parallel.stats.lost, serial.stats.lost);
+  EXPECT_EQ(parallel.stats.malformed, serial.stats.malformed);
+  EXPECT_EQ(parallel.stats.delivered, serial.stats.delivered);
+}
+
+TEST(SimulatorParallel, WithInjectionPlanIdenticalToSerial) {
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = 1.0 * kSecondsPerDay;
+  ec.seed = 13;
+  const sim::GdiEnvironment env(ec);
+
+  const auto make = [&] {
+    sim::GdiDeploymentConfig dc;
+    dc.num_sensors = 8;
+    dc.seed = 13;
+    auto s = sim::make_gdi_deployment(env, dc);
+    auto plan = std::make_shared<faults::InjectionPlan>();
+    plan->add(3, std::make_unique<faults::StuckAtFault>(AttrVec{15.0, 1.0}), 0.2 * kSecondsPerDay);
+    plan->add(5, std::make_unique<faults::RandomNoiseFault>(10.0, 13), 0.1 * kSecondsPerDay);
+    s.set_transform(faults::make_transform(plan));
+    return s;
+  };
+
+  auto serial_sim = make();
+  const auto serial = serial_sim.run(ec.duration_seconds);
+  auto parallel_sim = make();
+  util::ThreadPool pool(3);
+  const auto parallel = parallel_sim.run(ec.duration_seconds, pool);
+  EXPECT_EQ(parallel.trace, serial.trace);
+}
+
+}  // namespace
+}  // namespace sentinel::core

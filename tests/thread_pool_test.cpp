@@ -1,0 +1,83 @@
+// Tests: util::ThreadPool -- task execution, future results, exception
+// propagation, and drain-on-destruction.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace sentinel::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, PostRunsAllTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RunsConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(pool.submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int prev = max_in_flight.load();
+      while (now > prev && !max_in_flight.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      in_flight.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_THROW(pool.post(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  auto& pool = ThreadPool::shared();
+  EXPECT_GE(pool.size(), 1u);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(pool.submit([i] { return i; }));
+  int sum = 0;
+  for (auto& f : futs) sum += f.get();
+  EXPECT_EQ(sum, 28);
+}
+
+}  // namespace
+}  // namespace sentinel::util
