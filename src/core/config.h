@@ -121,6 +121,13 @@ struct PipelineConfig {
   /// Windows with fewer surviving sensors than this are skipped (cannot form
   /// a meaningful majority).
   std::size_t min_sensors_per_window = 3;
+
+  /// Keep the per-window WindowSummary series (history(), the input to
+  /// core/smoothing.h and the figure benches). The append is the hot path's
+  /// only steady-state allocation; deployments that need just diagnoses --
+  /// e.g. fleet regions at scale -- can turn it off, leaving history() empty.
+  /// Detection and diagnosis results are unaffected either way.
+  bool record_history = true;
 };
 
 }  // namespace sentinel::core

@@ -1,5 +1,6 @@
 #include "core/model_states.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -16,38 +17,45 @@ ModelStateSet::ModelStateSet(ModelStateConfig cfg, std::vector<AttrVec> initial)
   if (!(cfg_.merge_threshold >= 0.0) || !(cfg_.spawn_threshold > cfg_.merge_threshold)) {
     throw std::invalid_argument("ModelStateSet: need 0 <= merge_threshold < spawn_threshold");
   }
-  const std::size_t dims = initial.front().size();
+  dims_ = initial.front().size();
   for (auto& c : initial) {
-    if (c.size() != dims) throw std::invalid_argument("ModelStateSet: ragged initial states");
-    states_.push_back(ModelState{next_id_, std::move(c)});
-    historical_[next_id_] = states_.back().centroid;
+    if (c.size() != dims_) throw std::invalid_argument("ModelStateSet: ragged initial states");
+    append_state(next_id_, c);
     ++next_id_;
   }
 }
 
-StateId ModelStateSet::map(const AttrVec& p) const {
-  StateId best = states_.front().id;
+void ModelStateSet::append_state(StateId id, std::span<const double> centroid) {
+  slot_of_[id] = ids_.size();
+  ids_.push_back(id);
+  centroids_.insert(centroids_.end(), centroid.begin(), centroid.end());
+  historical_[id] = AttrVec(centroid.begin(), centroid.end());
+}
+
+std::size_t ModelStateSet::map_slot(std::span<const double> p) const {
+  std::size_t best = 0;
   double best_d = std::numeric_limits<double>::infinity();
-  for (const auto& s : states_) {
-    const double d = vecn::dist2(s.centroid, p);
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    const double d = vecn::dist2(centroid_at(s), p);
     if (d < best_d) {
       best_d = d;
-      best = s.id;
+      best = s;
     }
   }
   return best;
 }
 
-std::vector<StateId> ModelStateSet::maybe_spawn(const std::vector<AttrVec>& points) {
+std::vector<StateId> ModelStateSet::maybe_spawn(std::span<const AttrVec> points) {
   std::vector<StateId> created;
   const double thr2 = cfg_.spawn_threshold * cfg_.spawn_threshold;
   for (const auto& p : points) {
-    if (states_.size() >= cfg_.max_states) break;
+    if (ids_.size() >= cfg_.max_states) break;
     double best_d = std::numeric_limits<double>::infinity();
-    for (const auto& s : states_) best_d = std::min(best_d, vecn::dist2(s.centroid, p));
+    for (std::size_t s = 0; s < ids_.size(); ++s) {
+      best_d = std::min(best_d, vecn::dist2(centroid_at(s), p));
+    }
     if (best_d > thr2) {
-      states_.push_back(ModelState{next_id_, p});
-      historical_[next_id_] = p;
+      append_state(next_id_, p);
       created.push_back(next_id_);
       ++next_id_;
       ++spawns_;
@@ -57,25 +65,39 @@ std::vector<StateId> ModelStateSet::maybe_spawn(const std::vector<AttrVec>& poin
 }
 
 void ModelStateSet::update(const std::vector<AttrVec>& points) {
-  // eq. (5): P_k = { p_j | l_j = k }, accumulated as per-state sums.
-  std::map<StateId, std::pair<AttrVec, std::size_t>> acc;  // id -> (sum, count)
-  for (const auto& p : points) {
-    const StateId k = map(p);
-    auto& [sum, count] = acc[k];
-    if (sum.empty()) sum.assign(p.size(), 0.0);
-    for (std::size_t i = 0; i < p.size(); ++i) sum[i] += p[i];
-    ++count;
+  self_slots_.clear();
+  self_slots_.reserve(points.size());
+  for (const auto& p : points) self_slots_.push_back(map_slot(p));
+  update_labeled(points, self_slots_);
+}
+
+void ModelStateSet::update_labeled(std::span<const AttrVec> points,
+                                   std::span<const std::size_t> slots) {
+  if (points.size() != slots.size()) {
+    throw std::invalid_argument("ModelStateSet::update_labeled: label/point size mismatch");
+  }
+  // eq. (5): P_k = { p_j | l_j = k }, accumulated as per-slot sums.
+  acc_sum_.assign(ids_.size() * dims_, 0.0);
+  acc_count_.assign(ids_.size(), 0);
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    const std::size_t slot = slots[j];
+    const AttrVec& p = points[j];
+    vecn::check_same_size(centroid_at(slot), p);
+    for (std::size_t i = 0; i < dims_; ++i) acc_sum_[slot * dims_ + i] += p[i];
+    ++acc_count_[slot];
   }
   // eq. (6): s_k = (1 - alpha) s_k + alpha * mean(P_k), for nonempty P_k.
-  for (auto& s : states_) {
-    const auto it = acc.find(s.id);
-    if (it == acc.end()) continue;
-    const auto& [sum, count] = it->second;
-    for (std::size_t i = 0; i < s.centroid.size(); ++i) {
-      s.centroid[i] =
-          (1.0 - cfg_.alpha) * s.centroid[i] + cfg_.alpha * sum[i] / static_cast<double>(count);
+  for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+    const std::size_t count = acc_count_[slot];
+    if (count == 0) continue;
+    const std::size_t off = slot * dims_;
+    for (std::size_t i = 0; i < dims_; ++i) {
+      centroids_[off + i] = (1.0 - cfg_.alpha) * centroids_[off + i] +
+                            cfg_.alpha * acc_sum_[off + i] / static_cast<double>(count);
     }
-    historical_[s.id] = s.centroid;
+    auto& hist = historical_[ids_[slot]];
+    hist.assign(centroids_.begin() + static_cast<std::ptrdiff_t>(off),
+                centroids_.begin() + static_cast<std::ptrdiff_t>(off + dims_));
   }
   merge_close_states();
 }
@@ -83,21 +105,35 @@ void ModelStateSet::update(const std::vector<AttrVec>& points) {
 void ModelStateSet::merge_close_states() {
   const double thr2 = cfg_.merge_threshold * cfg_.merge_threshold;
   bool changed = true;
-  while (changed && states_.size() > 1) {
+  while (changed && ids_.size() > 1) {
     changed = false;
-    for (std::size_t i = 0; i < states_.size() && !changed; ++i) {
-      for (std::size_t j = i + 1; j < states_.size() && !changed; ++j) {
-        if (vecn::dist2(states_[i].centroid, states_[j].centroid) <= thr2) {
-          // Keep the older id (smaller index position == earlier creation,
+    for (std::size_t i = 0; i < ids_.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < ids_.size() && !changed; ++j) {
+        if (vecn::dist2(centroid_at(i), centroid_at(j)) <= thr2) {
+          // Keep the older id (smaller slot position == earlier creation,
           // since ids grow monotonically and spawns append).
-          auto& keep = states_[i];
-          const auto& drop = states_[j];
-          for (std::size_t d = 0; d < keep.centroid.size(); ++d) {
-            keep.centroid[d] = 0.5 * (keep.centroid[d] + drop.centroid[d]);
+          const StateId keep = ids_[i];
+          const StateId drop = ids_[j];
+          for (std::size_t d = 0; d < dims_; ++d) {
+            centroids_[i * dims_ + d] = 0.5 * (centroids_[i * dims_ + d] + centroids_[j * dims_ + d]);
           }
-          historical_[keep.id] = keep.centroid;
-          merged_into_[drop.id] = keep.id;
-          states_.erase(states_.begin() + static_cast<std::ptrdiff_t>(j));
+          auto& hist = historical_[keep];
+          hist.assign(centroids_.begin() + static_cast<std::ptrdiff_t>(i * dims_),
+                      centroids_.begin() + static_cast<std::ptrdiff_t>((i + 1) * dims_));
+          merged_into_[drop] = keep;
+          // Eager path compression: every id that resolved to `drop` now
+          // resolves to `keep`, so resolve() stays a single hash lookup.
+          for (auto& [from, to] : resolved_) {
+            if (to == drop) to = keep;
+          }
+          resolved_[drop] = keep;
+          slot_of_.erase(drop);
+          for (auto& [id, slot] : slot_of_) {
+            if (slot > j) --slot;
+          }
+          ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(j));
+          centroids_.erase(centroids_.begin() + static_cast<std::ptrdiff_t>(j * dims_),
+                           centroids_.begin() + static_cast<std::ptrdiff_t>((j + 1) * dims_));
           ++merges_;
           changed = true;
         }
@@ -106,22 +142,48 @@ void ModelStateSet::merge_close_states() {
   }
 }
 
+std::vector<ModelState> ModelStateSet::states() const {
+  std::vector<ModelState> out;
+  out.reserve(ids_.size());
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    const auto c = centroid_at(s);
+    out.push_back(ModelState{ids_[s], AttrVec(c.begin(), c.end())});
+  }
+  return out;
+}
+
+namespace {
+
+/// Keys of an unordered map in ascending order -- checkpoint bytes must match
+/// the std::map iteration order of the original implementation.
+template <typename Map>
+std::vector<StateId> sorted_keys(const Map& m) {
+  std::vector<StateId> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
 void ModelStateSet::save(std::ostream& os) const {
   serialize::tag(os, "model-states");
-  serialize::put(os, states_.size());
-  for (const auto& s : states_) {
-    serialize::put(os, s.id);
-    serialize::put_vector(os, s.centroid);
+  serialize::put(os, ids_.size());
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    serialize::put(os, ids_[s]);
+    const auto c = centroid_at(s);
+    serialize::put_vector(os, AttrVec(c.begin(), c.end()));
   }
   serialize::put(os, historical_.size());
-  for (const auto& [id, c] : historical_) {
+  for (const StateId id : sorted_keys(historical_)) {
     serialize::put(os, id);
-    serialize::put_vector(os, c);
+    serialize::put_vector(os, historical_.at(id));
   }
   serialize::put(os, merged_into_.size());
-  for (const auto& [from, to] : merged_into_) {
+  for (const StateId from : sorted_keys(merged_into_)) {
     serialize::put(os, from);
-    serialize::put(os, to);
+    serialize::put(os, merged_into_.at(from));
   }
   serialize::put(os, next_id_);
   serialize::put(os, spawns_);
@@ -133,19 +195,30 @@ ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
   serialize::expect(is, "model-states");
   const auto n = serialize::get<std::size_t>(is);
   if (n == 0) throw std::runtime_error("checkpoint: model-states empty");
-  std::vector<ModelState> states;
-  states.reserve(n);
+  std::vector<StateId> ids;
+  std::vector<AttrVec> centroids;
+  ids.reserve(n);
+  centroids.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ModelState s;
-    s.id = serialize::get<StateId>(is);
-    s.centroid = serialize::get_vector<double>(is);
-    states.push_back(std::move(s));
+    ids.push_back(serialize::get<StateId>(is));
+    centroids.push_back(serialize::get_vector<double>(is));
   }
   // Construct through the public constructor (validates cfg), then overwrite
   // the state with the checkpointed one.
-  ModelStateSet set(cfg, {states.front().centroid});
-  set.states_ = std::move(states);
+  ModelStateSet set(cfg, {centroids.front()});
+  set.ids_.clear();
+  set.centroids_.clear();
+  set.slot_of_.clear();
   set.historical_.clear();
+  set.next_id_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (centroids[i].size() != set.dims_) {
+      throw std::runtime_error("checkpoint: ragged model-state centroids");
+    }
+    set.slot_of_[ids[i]] = i;
+    set.ids_.push_back(ids[i]);
+    set.centroids_.insert(set.centroids_.end(), centroids[i].begin(), centroids[i].end());
+  }
   const auto nh = serialize::get<std::size_t>(is);
   for (std::size_t i = 0; i < nh; ++i) {
     const auto id = serialize::get<StateId>(is);
@@ -159,10 +232,21 @@ ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
   set.next_id_ = serialize::get<StateId>(is);
   set.spawns_ = serialize::get<std::size_t>(is);
   set.merges_ = serialize::get<std::size_t>(is);
-  for (const auto& s : set.states_) {
-    if (set.historical_.find(s.id) == set.historical_.end()) {
+  for (const StateId id : set.ids_) {
+    if (set.historical_.find(id) == set.historical_.end()) {
       throw std::runtime_error("checkpoint: active state missing from history");
     }
+  }
+  // Rebuild the path-compressed resolution memo from the raw lineage.
+  for (const auto& [from, to] : set.merged_into_) {
+    StateId end = to;
+    std::size_t hops = 0;
+    auto it = set.merged_into_.find(end);
+    while (it != set.merged_into_.end() && hops++ <= set.merged_into_.size()) {
+      end = it->second;
+      it = set.merged_into_.find(end);
+    }
+    set.resolved_[from] = end;
   }
   return set;
 }
@@ -171,24 +255,6 @@ std::optional<AttrVec> ModelStateSet::centroid(StateId id) const {
   const auto it = historical_.find(id);
   if (it == historical_.end()) return std::nullopt;
   return it->second;
-}
-
-bool ModelStateSet::is_active(StateId id) const {
-  for (const auto& s : states_) {
-    if (s.id == id) return true;
-  }
-  return false;
-}
-
-StateId ModelStateSet::resolve(StateId id) const {
-  // Path-follow through merges (bounded by the merge count).
-  std::size_t hops = 0;
-  auto it = merged_into_.find(id);
-  while (it != merged_into_.end() && hops++ <= merges_) {
-    id = it->second;
-    it = merged_into_.find(id);
-  }
-  return id;
 }
 
 }  // namespace sentinel::core

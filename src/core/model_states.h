@@ -11,13 +11,22 @@
 // State ids are stable: a merge keeps the older state's id, and the merged
 // id's last centroid stays queryable so emission matrices built against it
 // remain interpretable.
+//
+// Storage is flat: one contiguous dimension-strided centroid buffer in slot
+// order plus an id->slot hash index. Slot order always equals ascending-id
+// order (spawns append monotonically increasing ids; merges keep the older
+// id, i.e. the earlier slot), which keeps every distance scan and tie-break
+// identical to the original per-state-struct layout while map() runs as a
+// tight loop over consecutive memory and is_active()/centroid()/resolve()
+// are O(1) lookups.
 
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
-#include <map>
 #include <optional>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.h"
@@ -40,49 +49,89 @@ class ModelStateSet {
   ModelStateSet(ModelStateConfig cfg, std::vector<AttrVec> initial);
 
   /// eq. (3): the active state nearest to p.
-  StateId map(const AttrVec& p) const;
+  StateId map(const AttrVec& p) const { return ids_[map_slot(p)]; }
+
+  /// eq. (3) by storage slot: index into ids()/centroid_at() of the active
+  /// state nearest to p. Slots are ascending-id order and stay valid until
+  /// the next maybe_spawn / update / load.
+  std::size_t map_slot(std::span<const double> p) const;
 
   /// Spawn pass: create a state s_{M+1} = p for every observation farther
   /// than spawn_threshold from its nearest state (respecting max_states).
   /// Returns ids of states created. Run *before* mapping a window so a fresh
   /// fault regime is representable immediately.
-  std::vector<StateId> maybe_spawn(const std::vector<AttrVec>& points);
+  std::vector<StateId> maybe_spawn(std::span<const AttrVec> points);
+  std::vector<StateId> maybe_spawn(const std::vector<AttrVec>& points) {
+    return maybe_spawn(std::span<const AttrVec>(points));
+  }
 
   /// eqs. (5)+(6): EMA-update each state's centroid from the observations
   /// mapped to it, then merge states closer than merge_threshold.
   void update(const std::vector<AttrVec>& points);
 
-  const std::vector<ModelState>& states() const { return states_; }
-  std::size_t size() const { return states_.size(); }
+  /// Same, but reusing per-point slot labels already computed by the caller
+  /// (identify_states maps the very same representatives for eq. (3); the
+  /// centroids cannot have changed in between, so remapping is redundant).
+  /// `slots[j]` must be map_slot(points[j]) under the current centroids.
+  void update_labeled(std::span<const AttrVec> points, std::span<const std::size_t> slots);
+
+  /// Snapshot of the active states in slot (== ascending id) order.
+  std::vector<ModelState> states() const;
+  std::size_t size() const { return ids_.size(); }
+  std::size_t dims() const { return dims_; }
+
+  /// Active state ids in slot order.
+  const std::vector<StateId>& ids() const { return ids_; }
+  /// Centroid of the state in storage slot `slot` (no bounds check).
+  std::span<const double> centroid_at(std::size_t slot) const {
+    return {centroids_.data() + slot * dims_, dims_};
+  }
 
   /// Centroid by id; falls back to the last known centroid of a merged-away
   /// state. nullopt for ids never seen.
   std::optional<AttrVec> centroid(StateId id) const;
 
   /// True if `id` is currently an active state.
-  bool is_active(StateId id) const;
+  bool is_active(StateId id) const { return slot_of_.find(id) != slot_of_.end(); }
 
   /// If `id` was merged away, the id it was folded into (transitively).
-  StateId resolve(StateId id) const;
+  /// O(1): the merge lineage is path-compressed eagerly at merge time.
+  StateId resolve(StateId id) const {
+    const auto it = resolved_.find(id);
+    return it == resolved_.end() ? id : it->second;
+  }
 
   std::size_t spawn_count() const { return spawns_; }
   std::size_t merge_count() const { return merges_; }
 
   /// Checkpointing: active states, historical centroids, merge lineage.
   /// load() requires the same ModelStateConfig the saved instance had.
+  /// The path-compressed resolution memo is derived state and not saved;
+  /// load() rebuilds it from the raw lineage, so bytes match older saves.
   void save(std::ostream& os) const;
   static ModelStateSet load(ModelStateConfig cfg, std::istream& is);
 
  private:
   void merge_close_states();
+  void append_state(StateId id, std::span<const double> centroid);
 
   ModelStateConfig cfg_;
-  std::vector<ModelState> states_;
-  std::map<StateId, AttrVec> historical_;  // last centroid of every id ever
-  std::map<StateId, StateId> merged_into_;
+  std::size_t dims_ = 0;
+  std::vector<StateId> ids_;        // slot -> id, ascending
+  std::vector<double> centroids_;   // slot-major, dims_ stride
+  std::unordered_map<StateId, std::size_t> slot_of_;  // active id -> slot
+  std::unordered_map<StateId, AttrVec> historical_;   // last centroid of every id ever
+  std::unordered_map<StateId, StateId> merged_into_;  // raw lineage (serialized as-is)
+  std::unordered_map<StateId, StateId> resolved_;     // path-compressed memo (derived)
   StateId next_id_ = 0;
   std::size_t spawns_ = 0;
   std::size_t merges_ = 0;
+
+  // update() scratch, reused across windows so the steady-state hot path
+  // performs no allocations.
+  std::vector<double> acc_sum_;
+  std::vector<std::size_t> acc_count_;
+  std::vector<std::size_t> self_slots_;
 };
 
 }  // namespace sentinel::core

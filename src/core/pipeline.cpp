@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 
 #include "util/serialize.h"
+#include "util/vecn.h"
 
 namespace sentinel::core {
 
@@ -47,6 +50,7 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg, std::istream& checkpoin
   const auto prev_o = serialize::get<StateId>(checkpoint);
   if (has_prev_o) prev_observable_ = prev_o;
   windows_skipped_ = serialize::get<std::size_t>(checkpoint);
+  diag_cache_.reset();
 }
 
 void DetectionPipeline::save_checkpoint(std::ostream& os) const {
@@ -65,7 +69,7 @@ void DetectionPipeline::save_checkpoint(std::ostream& os) const {
 }
 
 void DetectionPipeline::add_record(const SensorRecord& rec) {
-  for (const auto& window : windower_.add(rec)) process_window(window);
+  windower_.add(rec, [this](ObservationSet&& window) { process_window(window); });
 }
 
 void DetectionPipeline::finish() {
@@ -85,32 +89,41 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
   }
 
   // Per-sensor representatives drive every step: each sensor gets one vote
-  // per window, so a chatty sensor cannot outvote the rest.
-  std::vector<AttrVec> points;
-  points.reserve(window.per_sensor.size());
-  for (const auto& [id, p] : window.per_sensor) points.push_back(p);
+  // per window, so a chatty sensor cannot outvote the rest. Copied into the
+  // reusable scratch (element-wise, so the AttrVecs keep their capacity).
+  points_.resize(window.per_sensor.size());
+  {
+    std::size_t i = 0;
+    for (const auto& [id, p] : window.per_sensor) {
+      points_[i].assign(p.begin(), p.end());
+      ++i;
+    }
+  }
+  vecn::mean_into(window.raw, window_mean_);
 
   // (1) Make fresh regimes representable before mapping (section 3.1's
   // "creating a new state s_{M+1} = p_j"). The window mean is a spawn
   // candidate too: under a coalition attack the network-level observable
   // (eq. 2 maps the mean) can sit far from every individual reading -- the
   // fabricated state of a Dynamic Creation attack must become a model state
-  // for B^CO to expose it.
-  std::vector<AttrVec> spawn_candidates = points;
-  spawn_candidates.push_back(window.overall_mean());
-  states_.maybe_spawn(spawn_candidates);
+  // for B^CO to expose it. Two calls, same candidate order as one.
+  states_.maybe_spawn(std::span<const AttrVec>(points_));
+  states_.maybe_spawn(std::span<const AttrVec>(&window_mean_, 1));
 
   // (2) o_i, c_i, l_j.
-  const WindowStates ws = identify_states(window, states_);
-
-  WindowSummary summary;
-  summary.window_index = window.window_index;
-  summary.window_start = window.window_start;
-  summary.observable = ws.observable;
-  summary.correct = ws.correct;
-  summary.majority_size = ws.majority_size;
+  WindowStates& ws = window_states_;
+  identify_states_into(window, states_, window_mean_, ws, ident_scratch_);
 
   // (3) Alarms and tracks.
+  WindowSummary summary;
+  if (cfg_.record_history) {
+    summary.window_index = window.window_index;
+    summary.window_start = window.window_start;
+    summary.observable = ws.observable;
+    summary.correct = ws.correct;
+    summary.majority_size = ws.majority_size;
+    summary.sensors.reserve(ws.mapping.size());
+  }
   for (const auto& [sensor, l] : ws.mapping) {
     const bool raw = l != ws.correct;
     const AlarmUpdate u = alarms_.update(sensor, raw);
@@ -122,11 +135,13 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
       tracks_.observe(sensor, ws.correct, e);
     }
 
-    SensorWindowInfo info;
-    info.mapped = l;
-    info.raw_alarm = raw;
-    info.filtered_alarm = u.filtered;
-    summary.sensors.emplace(sensor, info);
+    if (cfg_.record_history) {
+      SensorWindowInfo info;
+      info.mapped = l;
+      info.raw_alarm = raw;
+      info.filtered_alarm = u.filtered;
+      summary.sensors.append(sensor, info);
+    }
   }
 
   // (4) Network HMM M_CO.
@@ -146,13 +161,21 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
   prev_correct_ = ws.correct;
   prev_observable_ = ws.observable;
 
-  // (6) Centroid EMA update + merge.
-  states_.update(points);
+  // (6) Centroid EMA update + merge, reusing the eq. (3) labels: nothing
+  // moved a centroid since identify_states_into, so the slots are exact.
+  states_.update_labeled(points_, ident_scratch_.point_slots);
 
-  history_.push_back(std::move(summary));
+  ++windows_processed_;
+  if (cfg_.record_history) history_.push_back(std::move(summary));
+
+  // The learned state advanced: drop the memoized diagnosis inputs.
+  {
+    std::lock_guard<std::mutex> lock(diag_mu_.get());
+    diag_cache_.reset();
+  }
 }
 
-DetectionPipeline::CoalitionInfo DetectionPipeline::coalition() const {
+DetectionPipeline::CoalitionInfo DetectionPipeline::compute_coalition() const {
   // A coalition steers the network mean by injecting the *same* value, so
   // its members' error tracks share a dominant error state; two independent
   // faulty sensors (the GDI data's sensors 6 and 7) do not. The coalition is
@@ -203,7 +226,7 @@ const hmm::OnlineHmm* DetectionPipeline::m_ce(SensorId sensor) const {
   return tracks_.combined_m_ce(sensor);
 }
 
-std::vector<StateId> DetectionPipeline::significant_states() const {
+std::vector<StateId> DetectionPipeline::compute_significant_states() const {
   // Occupancy prunes spurious states (the paper's low-probability
   // fluctuation states); merged-away ids are dropped too -- their role was
   // taken over by the surviving state, and keeping both would double-count
@@ -219,36 +242,65 @@ std::vector<StateId> DetectionPipeline::significant_states() const {
   return out;
 }
 
+const DetectionPipeline::DiagCache& DetectionPipeline::diag_cache_locked() const {
+  if (!diag_cache_) {
+    DiagCache cache;
+    cache.significant = compute_significant_states();
+    cache.coalition = compute_coalition();
+    cache.network = classify_network(m_co_, cache.significant, centroid_lookup(),
+                                     cfg_.classifier, cache.coalition.size);
+    diag_cache_ = std::move(cache);
+  }
+  return *diag_cache_;
+}
+
+std::vector<StateId> DetectionPipeline::significant_states() const {
+  std::lock_guard<std::mutex> lock(diag_mu_.get());
+  return diag_cache_locked().significant;
+}
+
+DetectionPipeline::CoalitionInfo DetectionPipeline::coalition() const {
+  std::lock_guard<std::mutex> lock(diag_mu_.get());
+  return diag_cache_locked().coalition;
+}
+
 CentroidLookup DetectionPipeline::centroid_lookup() const {
   return [this](StateId id) { return states_.centroid(id); };
 }
 
 Diagnosis DetectionPipeline::diagnose_network() const {
-  return classify_network(m_co_, significant_states(), centroid_lookup(), cfg_.classifier,
-                          coalition_size());
+  std::lock_guard<std::mutex> lock(diag_mu_.get());
+  return diag_cache_locked().network;
 }
 
-std::map<SensorId, Diagnosis> DetectionPipeline::diagnose_sensors() const {
-  const Diagnosis network = diagnose_network();
-  const CoalitionInfo coal = coalition();
+std::map<SensorId, Diagnosis> DetectionPipeline::diagnose_sensors_locked(
+    const DiagCache& cache) const {
   std::map<SensorId, Diagnosis> out;
+  const CentroidLookup lookup = centroid_lookup();
   for (const SensorId sensor : tracks_.tracked_sensors()) {
     if (tracks_.total_anomalies(sensor) < cfg_.classifier.min_track_anomalies) {
       continue;  // transient glitch, not diagnosable
     }
     const hmm::OnlineHmm* m = tracks_.combined_m_ce(sensor);
     if (m == nullptr) continue;
-    const bool member = coal.members.find(sensor) != coal.members.end();
-    out.emplace(sensor, classify_sensor(*m, network, member, significant_states(),
-                                        centroid_lookup(), cfg_.classifier));
+    const bool member = cache.coalition.members.find(sensor) != cache.coalition.members.end();
+    out.emplace(sensor, classify_sensor(*m, cache.network, member, cache.significant, lookup,
+                                        cfg_.classifier));
   }
   return out;
 }
 
+std::map<SensorId, Diagnosis> DetectionPipeline::diagnose_sensors() const {
+  std::lock_guard<std::mutex> lock(diag_mu_.get());
+  return diagnose_sensors_locked(diag_cache_locked());
+}
+
 DiagnosisReport DetectionPipeline::diagnose() const {
+  std::lock_guard<std::mutex> lock(diag_mu_.get());
+  const DiagCache& cache = diag_cache_locked();
   DiagnosisReport report;
-  report.network = diagnose_network();
-  report.sensors = diagnose_sensors();
+  report.network = cache.network;
+  report.sensors = diagnose_sensors_locked(cache);
   return report;
 }
 

@@ -10,20 +10,28 @@
 //  4. feeds (c_i, o_i) to the network HMM M_CO and (c_i, e_i) to each active
 //     track's HMM M_CE,
 //  5. appends c_i / o_i to the Markov models M_C and M_O, and
-//  6. EMA-updates the model-state centroids (eqs. 5-6) with merge/spawn.
+//  6. EMA-updates the model-state centroids (eqs. 5-6) with merge/spawn --
+//     reusing the eq. (3) labels from step 2, so each representative is
+//     distance-mapped once per window, not twice.
 //
 // diagnose() then performs the section 3.4 structural analysis and returns
 // the combined network + per-sensor report.
 //
+// The per-window hot path is allocation-free in steady state: all working
+// buffers (representative copies, the window mean, labels, cluster counters)
+// live in reusable scratch owned by the pipeline, and the only remaining
+// steady-state allocation is the history append (see
+// PipelineConfig::record_history and docs/PERFORMANCE.md).
+//
 // Thread-safety: a pipeline is single-writer -- add_record / process_window /
 // finish must not run concurrently with anything else on the same instance.
-// Every const member (the model accessors, history/stats, coalition(),
-// diagnose_*() and the lookups they build) is a pure read: none of them
-// mutate state, there are no mutable members or lazy caches anywhere in the
-// pipeline's composition (audited for the fleet tier), so any number of
-// threads may call const members concurrently on a quiescent pipeline.
-// core/fleet.h relies on this to run per-region diagnosis jobs in parallel;
-// see docs/CONCURRENCY.md.
+// Every const member is safe to call from any number of threads on a
+// quiescent pipeline: the model accessors and history/stats are pure reads,
+// and the diagnosis-side lazy caches (significant states, coalition, the
+// network diagnosis, the HMMs' averaged matrices) are mutex-guarded. They
+// cache pure functions of the learned state, so results are identical to
+// recomputation. core/fleet.h relies on this to run per-region diagnosis
+// jobs in parallel; see docs/CONCURRENCY.md and docs/PERFORMANCE.md.
 
 #pragma once
 
@@ -43,6 +51,8 @@
 #include "hmm/markov_chain.h"
 #include "hmm/online_hmm.h"
 #include "trace/windower.h"
+#include "util/flat_map.h"
+#include "util/sync.h"
 
 namespace sentinel::core {
 
@@ -59,7 +69,9 @@ struct WindowSummary {
   StateId observable = 0;  // o_i
   StateId correct = 0;     // c_i
   std::size_t majority_size = 0;
-  std::map<SensorId, SensorWindowInfo> sensors;
+  /// Per-sensor records in ascending sensor order. A sorted flat map: one
+  /// allocation per window instead of one tree node per sensor per window.
+  util::FlatMap<SensorId, SensorWindowInfo> sensors;
 };
 
 class DetectionPipeline {
@@ -106,14 +118,16 @@ class DetectionPipeline {
   const AlarmBank& alarms() const { return alarms_; }
 
   // --- History / stats ----------------------------------------------------
+  /// Empty when PipelineConfig::record_history is off.
   const std::vector<WindowSummary>& history() const { return history_; }
   /// The c_i sequence of this session's processed windows (input for
-  /// core/smoothing.h).
+  /// core/smoothing.h; empty when record_history is off).
   std::vector<StateId> correct_sequence() const;
-  std::size_t windows_processed() const { return history_.size(); }
+  std::size_t windows_processed() const { return windows_processed_; }
   std::size_t windows_skipped() const { return windows_skipped_; }
 
   /// Correct-state ids whose occupancy in M_C clears the spurious-state bar.
+  /// Cached between windows (recomputed after the next processed window).
   std::vector<StateId> significant_states() const;
 
   /// Coordinated-coalition evidence gating B^CO attack verdicts (see
@@ -127,7 +141,8 @@ class DetectionPipeline {
   CoalitionInfo coalition() const;
   std::size_t coalition_size() const { return coalition().size; }
 
-  /// Centroid lookup bound to this pipeline's model-state set.
+  /// Centroid lookup bound to this pipeline's model-state set (O(1) hash
+  /// lookups; safe to call concurrently from any number of threads).
   CentroidLookup centroid_lookup() const;
 
   // --- Diagnosis (section 3.4) --------------------------------------------
@@ -138,6 +153,19 @@ class DetectionPipeline {
   const PipelineConfig& config() const { return cfg_; }
 
  private:
+  /// Inputs diagnose_*() would otherwise recompute per tracked sensor,
+  /// computed once per (diagnosis, window) pair. Guarded by diag_mu_;
+  /// invalidated by process_window and checkpoint load.
+  struct DiagCache {
+    std::vector<StateId> significant;
+    CoalitionInfo coalition;
+    Diagnosis network;
+  };
+  const DiagCache& diag_cache_locked() const;
+  std::vector<StateId> compute_significant_states() const;
+  CoalitionInfo compute_coalition() const;
+  std::map<SensorId, Diagnosis> diagnose_sensors_locked(const DiagCache& cache) const;
+
   PipelineConfig cfg_;
   ModelStateSet states_;
   Windower windower_;
@@ -149,7 +177,18 @@ class DetectionPipeline {
   std::optional<StateId> prev_correct_;
   std::optional<StateId> prev_observable_;
   std::vector<WindowSummary> history_;
+  std::size_t windows_processed_ = 0;
   std::size_t windows_skipped_ = 0;
+
+  // Per-window scratch, reused so the steady-state hot path allocates
+  // nothing (see docs/PERFORMANCE.md).
+  std::vector<AttrVec> points_;  // per-sensor representatives, window order
+  AttrVec window_mean_;          // eq. (2) input, shared by spawn + identify
+  WindowStates window_states_;
+  StateIdentScratch ident_scratch_;
+
+  mutable util::CopyableMutex diag_mu_;
+  mutable std::optional<DiagCache> diag_cache_;
 };
 
 }  // namespace sentinel::core

@@ -1,37 +1,59 @@
 #include "core/state_ident.h"
 
-#include <stdexcept>
+#include <algorithm>
+
+#include "util/vecn.h"
 
 namespace sentinel::core {
 
-WindowStates identify_states(const ObservationSet& window, const ModelStateSet& states) {
+StateId WindowStates::mapped(SensorId sensor) const {
+  const auto it = std::lower_bound(
+      mapping.begin(), mapping.end(), sensor,
+      [](const std::pair<SensorId, StateId>& e, SensorId s) { return e.first < s; });
+  if (it == mapping.end() || it->first != sensor) {
+    throw std::out_of_range("WindowStates::mapped: sensor had no representative");
+  }
+  return it->second;
+}
+
+void identify_states_into(const ObservationSet& window, const ModelStateSet& states,
+                          std::span<const double> window_mean, WindowStates& out,
+                          StateIdentScratch& scratch) {
   if (window.per_sensor.empty()) {
     throw std::invalid_argument("identify_states: empty window");
   }
 
-  WindowStates out;
+  out.mapping.clear();
   out.sensors = window.per_sensor.size();
 
   // eq. (2): o_i = argmin_k || s_k - mean(all observations) ||.
-  out.observable = states.map(window.overall_mean());
+  out.observable = states.ids()[states.map_slot(window_mean)];
 
-  // eq. (3): l_j per sensor representative.
-  std::map<StateId, std::size_t> cluster_sizes;
+  // eq. (3): l_j per sensor representative. per_sensor iterates ascending by
+  // sensor id, so mapping[] comes out sorted.
+  scratch.point_slots.clear();
+  scratch.cluster_sizes.assign(states.size(), 0);
   for (const auto& [sensor, p] : window.per_sensor) {
-    const StateId l = states.map(p);
-    out.mapping[sensor] = l;
-    ++cluster_sizes[l];
+    const std::size_t slot = states.map_slot(p);
+    out.mapping.emplace_back(sensor, states.ids()[slot]);
+    scratch.point_slots.push_back(slot);
+    ++scratch.cluster_sizes[slot];
   }
 
   // eq. (4): c_i = the state with the largest cluster of observations.
-  StateId best = out.mapping.begin()->second;
+  // Slots ascend by state id, so scanning them skipping empty clusters visits
+  // the same (id, size) sequence the original std::map iteration produced.
+  StateId best = out.mapping.front().second;
   std::size_t best_size = 0;
-  for (const auto& [id, size] : cluster_sizes) {
+  for (std::size_t slot = 0; slot < states.size(); ++slot) {
+    const std::size_t size = scratch.cluster_sizes[slot];
+    if (size == 0) continue;
+    const StateId id = states.ids()[slot];
     const bool larger = size > best_size;
     const bool tie = size == best_size;
     // Deterministic tie-break: prefer the cluster that agrees with the
-    // network-level observable state, then the smaller id (std::map order
-    // guarantees ascending iteration, so the first seen is the smallest).
+    // network-level observable state, then the smaller id (ascending slot
+    // order guarantees the first seen is the smallest).
     const bool prefer_on_tie = tie && id == out.observable && best != out.observable;
     if (larger || prefer_on_tie) {
       best = id;
@@ -39,7 +61,16 @@ WindowStates identify_states(const ObservationSet& window, const ModelStateSet& 
     }
   }
   out.correct = best;
-  out.majority_size = cluster_sizes[best];
+  out.majority_size = best_size;
+}
+
+WindowStates identify_states(const ObservationSet& window, const ModelStateSet& states) {
+  if (window.per_sensor.empty()) {
+    throw std::invalid_argument("identify_states: empty window");
+  }
+  WindowStates out;
+  StateIdentScratch scratch;
+  identify_states_into(window, states, window.overall_mean(), out, scratch);
   return out;
 }
 

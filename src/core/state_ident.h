@@ -11,7 +11,9 @@
 
 #pragma once
 
-#include <map>
+#include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/model_states.h"
@@ -20,16 +22,40 @@
 namespace sentinel::core {
 
 struct WindowStates {
-  StateId observable = 0;                 // o_i
-  StateId correct = 0;                    // c_i
-  std::map<SensorId, StateId> mapping;    // l_j per sensor
-  std::size_t majority_size = 0;          // |largest cluster|
-  std::size_t sensors = 0;                // representatives in the window
+  StateId observable = 0;  // o_i
+  StateId correct = 0;     // c_i
+  /// l_j per sensor, ascending by sensor id (the windower's natural order).
+  std::vector<std::pair<SensorId, StateId>> mapping;
+  std::size_t majority_size = 0;  // |largest cluster|
+  std::size_t sensors = 0;        // representatives in the window
+
+  /// l_j of one sensor (binary search); throws if the sensor had no
+  /// representative this window.
+  StateId mapped(SensorId sensor) const;
+};
+
+/// Reusable buffers for identify_states_into; keeping one per pipeline makes
+/// the per-window identification allocation-free in steady state.
+struct StateIdentScratch {
+  /// Storage slot (see ModelStateSet::map_slot) of each per-sensor
+  /// representative, in mapping[] order. Valid until the model-state set is
+  /// next mutated -- the pipeline hands these to update_labeled so eq. (5)
+  /// reuses the eq. (3) labels instead of recomputing every distance.
+  std::vector<std::size_t> point_slots;
+  std::vector<std::size_t> cluster_sizes;  // per-slot representative counts
 };
 
 /// Identify o_i, c_i, and l_j for one window. Requires a nonempty window.
 /// Ties in eq. (4) break toward the cluster containing the observable state,
 /// then toward the smaller state id (deterministic).
 WindowStates identify_states(const ObservationSet& window, const ModelStateSet& states);
+
+/// Allocation-free variant: writes into `out` and `scratch` (cleared and
+/// reused; their capacity persists across windows). `window_mean` must be
+/// the window's overall mean (eq. (2) input), precomputed by the caller so
+/// the same mean also serves the spawn pass.
+void identify_states_into(const ObservationSet& window, const ModelStateSet& states,
+                          std::span<const double> window_mean, WindowStates& out,
+                          StateIdentScratch& scratch);
 
 }  // namespace sentinel::core

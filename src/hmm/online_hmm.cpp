@@ -75,33 +75,45 @@ void OnlineHmm::observe(StateId hidden, StateId symbol) {
   symbol_totals_[l] += 1.0;
 
   last_hidden_ = hidden;
+  avg_dirty_ = true;
   ++steps_;
 }
 
-Matrix OnlineHmm::transition_matrix_avg() const {
-  Matrix out = a_avg_;
-  for (std::size_t r = 0; r < out.rows(); ++r) {
+void OnlineHmm::refresh_avg_caches_locked() const {
+  Matrix a = a_avg_;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
     if (a_row_counts_[r] <= 0.0) {
-      out(r, r) = 1.0;  // never left: identity row, like the EMA init
+      a(r, r) = 1.0;  // never left: identity row, like the EMA init
       continue;
     }
-    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= a_row_counts_[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) /= a_row_counts_[r];
   }
-  return out;
-}
+  a_avg_cache_ = std::move(a);
 
-Matrix OnlineHmm::emission_matrix_avg() const {
-  Matrix out = b_avg_;
-  for (std::size_t r = 0; r < out.rows(); ++r) {
+  Matrix b = b_avg_;
+  for (std::size_t r = 0; r < b.rows(); ++r) {
     if (b_row_counts_[r] <= 0.0) {
       // Never updated: mirror the EMA initialization (delta on the first
       // symbol), which is exactly what b_ still holds for this row.
-      for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) = b_(r, c);
+      for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) = b_(r, c);
       continue;
     }
-    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= b_row_counts_[r];
+    for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) /= b_row_counts_[r];
   }
-  return out;
+  b_avg_cache_ = std::move(b);
+  avg_dirty_ = false;
+}
+
+Matrix OnlineHmm::transition_matrix_avg() const {
+  std::lock_guard<std::mutex> lock(avg_mu_.get());
+  if (avg_dirty_) refresh_avg_caches_locked();
+  return a_avg_cache_;
+}
+
+Matrix OnlineHmm::emission_matrix_avg() const {
+  std::lock_guard<std::mutex> lock(avg_mu_.get());
+  if (avg_dirty_) refresh_avg_caches_locked();
+  return b_avg_cache_;
 }
 
 std::optional<std::size_t> OnlineHmm::hidden_index(StateId id) const {

@@ -34,6 +34,7 @@
 
 #include "hmm/markov_chain.h"
 #include "util/matrix.h"
+#include "util/sync.h"
 
 namespace sentinel::hmm {
 
@@ -82,6 +83,11 @@ class OnlineHmm {
   /// splits a row ~0.5/0.5 here, where the fixed-gain row oscillates with
   /// whatever the last few windows showed. Rows never updated materialize as
   /// identity, matching the fixed-gain initialization.
+  ///
+  /// The normalized matrices are cached behind a dirty flag (invalidated by
+  /// observe()), so a diagnosis pass that consults them repeatedly pays the
+  /// normalization once. The cache is mutex-guarded: concurrent const calls
+  /// from multiple threads stay safe, per the pipeline's const-read contract.
   Matrix transition_matrix_avg() const;
   Matrix emission_matrix_avg() const;
 
@@ -115,6 +121,13 @@ class OnlineHmm {
   std::vector<double> symbol_totals_;
   std::optional<StateId> last_hidden_;
   std::size_t steps_ = 0;
+
+  // Lazily normalized copies of a_avg_/b_avg_, guarded by avg_mu_.
+  void refresh_avg_caches_locked() const;
+  mutable util::CopyableMutex avg_mu_;
+  mutable bool avg_dirty_ = true;
+  mutable Matrix a_avg_cache_;
+  mutable Matrix b_avg_cache_;
 };
 
 }  // namespace sentinel::hmm

@@ -45,31 +45,15 @@ ObservationSet Windower::finalize_current() {
   return set;
 }
 
-std::vector<ObservationSet> Windower::add(const SensorRecord& rec) {
-  std::vector<ObservationSet> completed;
+std::size_t Windower::index_for(double time) const {
   // Window i (1-based) covers [w*(i-1), w*i); the paper's eq. (1) is
   // inclusive on both ends, but half-open intervals avoid double counting.
-  const auto idx =
-      static_cast<std::size_t>(std::floor(rec.time / window_seconds_)) + 1;
+  return static_cast<std::size_t>(std::floor(time / window_seconds_)) + 1;
+}
 
-  if (current_index_ == 0) {
-    open_window(idx);
-  } else if (idx < current_index_) {
-    ++late_records_;
-    return completed;
-  } else if (idx > current_index_) {
-    completed.push_back(finalize_current());
-    // Emit empty windows for any gap so downstream sees time holes.
-    for (std::size_t i = current_index_ + 1; i < idx; ++i) {
-      ObservationSet empty;
-      empty.window_index = i;
-      empty.window_start = window_seconds_ * static_cast<double>(i - 1);
-      empty.window_end = window_seconds_ * static_cast<double>(i);
-      completed.push_back(std::move(empty));
-    }
-    open_window(idx);
-  }
-  pending_.push_back(rec);
+std::vector<ObservationSet> Windower::add(const SensorRecord& rec) {
+  std::vector<ObservationSet> completed;
+  add(rec, [&completed](ObservationSet&& w) { completed.push_back(std::move(w)); });
   return completed;
 }
 

@@ -11,9 +11,11 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "trace/record.h"
@@ -56,6 +58,34 @@ class Windower {
   /// caller sees gaps explicitly -- the pipeline skips them).
   std::vector<ObservationSet> add(const SensorRecord& rec);
 
+  /// Allocation-free variant: invokes `on_window(ObservationSet&&)` for each
+  /// completed window instead of materializing a result vector. This is the
+  /// hot path of DetectionPipeline::add_record (and, through it, the fleet's
+  /// shard drain): most records complete no window, so the common case does
+  /// exactly one push_back.
+  template <typename Fn>
+  void add(const SensorRecord& rec, Fn&& on_window) {
+    const auto idx = index_for(rec.time);
+    if (current_index_ == 0) {
+      open_window(idx);
+    } else if (idx < current_index_) {
+      ++late_records_;
+      return;
+    } else if (idx > current_index_) {
+      on_window(finalize_current());
+      // Emit empty windows for any gap so downstream sees time holes.
+      for (std::size_t i = current_index_ + 1; i < idx; ++i) {
+        ObservationSet empty;
+        empty.window_index = i;
+        empty.window_start = window_seconds_ * static_cast<double>(i - 1);
+        empty.window_end = window_seconds_ * static_cast<double>(i);
+        on_window(std::move(empty));
+      }
+      open_window(idx);
+    }
+    pending_.push_back(rec);
+  }
+
   /// Flush the final partial window (if any).
   std::optional<ObservationSet> flush();
 
@@ -65,6 +95,7 @@ class Windower {
  private:
   ObservationSet finalize_current();
   void open_window(std::size_t index);
+  std::size_t index_for(double time) const;
 
   double window_seconds_;
   std::size_t current_index_ = 0;  // 0 = no window open yet

@@ -1,0 +1,71 @@
+// A minimal sorted-vector map for per-window records on the pipeline hot
+// path. The per-window history entries (WindowSummary::sensors) used to be
+// std::map, which costs one node allocation per sensor per window; a sorted
+// flat vector is one allocation per window, cache-friendly to iterate, and
+// still offers the map-like read API (find / count / at / ordered iteration)
+// the benches and examples use.
+//
+// Keys must be appended in strictly ascending order (append() enforces it);
+// that is the natural order of the pipeline loops, which iterate sensors in
+// ascending id order.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sentinel::util {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = const_iterator;  // read-only container: keys are ordered
+
+  FlatMap() = default;
+
+  /// Append a key/value; `key` must be greater than every existing key.
+  void append(const K& key, V value) {
+    if (!data_.empty() && !(data_.back().first < key)) {
+      throw std::logic_error("FlatMap::append: keys must be strictly ascending");
+    }
+    data_.emplace_back(key, std::move(value));
+  }
+
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  const_iterator find(const K& key) const {
+    const auto it = lower_bound(key);
+    return (it != data_.end() && it->first == key) ? it : data_.end();
+  }
+
+  std::size_t count(const K& key) const { return find(key) == data_.end() ? 0 : 1; }
+
+  const V& at(const K& key) const {
+    const auto it = find(key);
+    if (it == data_.end()) throw std::out_of_range("FlatMap::at: missing key");
+    return it->second;
+  }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  bool operator==(const FlatMap&) const = default;
+
+ private:
+  const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [](const value_type& v, const K& k) { return v.first < k; });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace sentinel::util

@@ -8,7 +8,7 @@
 namespace sentinel {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols), row_cap_(rows), col_cap_(cols), data_(rows * cols, fill) {}
 
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n, 0.0);
@@ -23,29 +23,30 @@ Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
     if (rows[r].size() != m.cols_) {
       throw std::invalid_argument("Matrix::from_rows: ragged rows");
     }
-    std::copy(rows[r].begin(), rows[r].end(), m.data_.begin() + static_cast<std::ptrdiff_t>(r * m.cols_));
+    std::copy(rows[r].begin(), rows[r].end(),
+              m.data_.begin() + static_cast<std::ptrdiff_t>(r * m.col_cap_));
   }
   return m;
 }
 
 double& Matrix::at(std::size_t r, std::size_t c) {
   if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
-  return data_[r * cols_ + c];
+  return data_[r * col_cap_ + c];
 }
 
 double Matrix::at(std::size_t r, std::size_t c) const {
   if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
-  return data_[r * cols_ + c];
+  return data_[r * col_cap_ + c];
 }
 
 std::span<double> Matrix::row(std::size_t r) {
   if (r >= rows_) throw std::out_of_range("Matrix::row");
-  return {data_.data() + r * cols_, cols_};
+  return {data_.data() + r * col_cap_, cols_};
 }
 
 std::span<const double> Matrix::row(std::size_t r) const {
   if (r >= rows_) throw std::out_of_range("Matrix::row");
-  return {data_.data() + r * cols_, cols_};
+  return {data_.data() + r * col_cap_, cols_};
 }
 
 std::vector<double> Matrix::col(std::size_t c) const {
@@ -59,13 +60,48 @@ void Matrix::grow(std::size_t rows, std::size_t cols, double fill) {
   rows = std::max(rows, rows_);
   cols = std::max(cols, cols_);
   if (rows == rows_ && cols == cols_) return;
-  std::vector<double> nd(rows * cols, fill);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) nd[r * cols + c] = (*this)(r, c);
+
+  if (rows > row_cap_ || cols > col_cap_) {
+    // Reallocate with geometric headroom so a stream of single-state spawns
+    // (the clusterer's usual pattern) doesn't copy A/B on every spawn.
+    const std::size_t nrc = std::max(rows, std::max<std::size_t>(1, row_cap_ * 2));
+    const std::size_t ncc = std::max(cols, std::max<std::size_t>(1, col_cap_ * 2));
+    std::vector<double> nd(nrc * ncc, fill);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r * col_cap_),
+                data_.begin() + static_cast<std::ptrdiff_t>(r * col_cap_ + cols_),
+                nd.begin() + static_cast<std::ptrdiff_t>(r * ncc));
+    }
+    data_ = std::move(nd);
+    row_cap_ = nrc;
+    col_cap_ = ncc;
+  } else {
+    // Fits in capacity: only the newly exposed cells need initializing (the
+    // slack may hold fill values from an earlier grow with a different fill).
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = cols_; c < cols; ++c) data_[r * col_cap_ + c] = fill;
+    }
+    for (std::size_t r = rows_; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) data_[r * col_cap_ + c] = fill;
+    }
   }
-  data_ = std::move(nd);
   rows_ = rows;
   cols_ = cols;
+}
+
+void Matrix::reserve(std::size_t rows, std::size_t cols) {
+  if (rows <= row_cap_ && cols <= col_cap_) return;
+  const std::size_t nrc = std::max(rows, row_cap_);
+  const std::size_t ncc = std::max(cols, col_cap_);
+  std::vector<double> nd(nrc * ncc, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r * col_cap_),
+              data_.begin() + static_cast<std::ptrdiff_t>(r * col_cap_ + cols_),
+              nd.begin() + static_cast<std::ptrdiff_t>(r * ncc));
+  }
+  data_ = std::move(nd);
+  row_cap_ = nrc;
+  col_cap_ = ncc;
 }
 
 void Matrix::normalize_rows() {
@@ -135,10 +171,22 @@ double Matrix::max_abs_diff(const Matrix& other) const {
     throw std::invalid_argument("Matrix::max_abs_diff: shape mismatch");
   }
   double m = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      m = std::max(m, std::abs((*this)(r, c) - other(r, c)));
+    }
   }
   return m;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if ((*this)(r, c) != other(r, c)) return false;
+    }
+  }
+  return true;
 }
 
 std::string Matrix::to_string(int precision) const {

@@ -2,6 +2,12 @@
 // needs: row access, row normalization, stochasticity checks, and the
 // row/column inner products the paper's structural classifier (section 3.4)
 // is built on.
+//
+// Storage keeps row/column *capacity* separate from the logical shape (the
+// stride is the column capacity) so `grow` — called by the online HMMs every
+// time the clusterer spawns a state or a new symbol is interned — can grow
+// capacity geometrically and make the common spawn a cheap fill of the newly
+// exposed cells instead of a full reallocate-and-copy of A and B.
 
 #pragma once
 
@@ -29,8 +35,8 @@ class Matrix {
 
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;
-  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * col_cap_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * col_cap_ + c]; }
 
   std::span<double> row(std::size_t r);
   std::span<const double> row(std::size_t r) const;
@@ -39,7 +45,12 @@ class Matrix {
 
   /// Grow to at least (rows, cols), preserving existing entries; new entries
   /// are `fill`. Used by the online HMM when the clusterer spawns new states.
+  /// Growth beyond capacity reallocates with doubled capacity, so a stream of
+  /// one-at-a-time spawns costs amortized O(1) copies per exposed cell.
   void grow(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Pre-reserve capacity without changing the logical shape.
+  void reserve(std::size_t rows, std::size_t cols);
 
   /// Normalize each row to sum to one. Rows that sum to ~0 become uniform.
   void normalize_rows();
@@ -65,11 +76,14 @@ class Matrix {
   /// print the paper's tables.
   std::string to_string(int precision = 3) const;
 
-  bool operator==(const Matrix& other) const = default;
+  /// Logical equality: same shape, same entries. Capacity slack is ignored.
+  bool operator==(const Matrix& other) const;
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  std::size_t row_cap_ = 0;
+  std::size_t col_cap_ = 0;  // the row stride of data_
   std::vector<double> data_;
 };
 

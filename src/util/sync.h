@@ -1,0 +1,27 @@
+// Small synchronization helpers.
+
+#pragma once
+
+#include <mutex>
+
+namespace sentinel::util {
+
+/// A mutex that copy/move construction and assignment treat as a fresh,
+/// unlocked mutex. Lets value-semantic classes (OnlineHmm, DetectionPipeline)
+/// guard `mutable` lazy caches without losing copyability: the cache contents
+/// copy with the object, the lock does not.
+class CopyableMutex {
+ public:
+  CopyableMutex() = default;
+  CopyableMutex(const CopyableMutex&) noexcept {}
+  CopyableMutex(CopyableMutex&&) noexcept {}
+  CopyableMutex& operator=(const CopyableMutex&) noexcept { return *this; }
+  CopyableMutex& operator=(CopyableMutex&&) noexcept { return *this; }
+
+  std::mutex& get() const { return mu_; }
+
+ private:
+  mutable std::mutex mu_;
+};
+
+}  // namespace sentinel::util

@@ -98,6 +98,21 @@ inline AttrVec mean(std::span<const AttrVec> points) {
   return m;
 }
 
+/// Allocation-free variant of `mean`: writes the element-wise mean of
+/// `points` into `out` (resized to the point dimension). Arithmetic is
+/// identical to `mean` — accumulate in iteration order, then scale once by
+/// 1/count — so results are bit-identical.
+inline void mean_into(std::span<const AttrVec> points, AttrVec& out) {
+  if (points.empty()) throw std::invalid_argument("vecn::mean of empty set");
+  out.assign(points.front().size(), 0.0);
+  for (const AttrVec& p : points) {
+    check_same_size(out, p);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += p[i];
+  }
+  const double inv = 1.0 / static_cast<double>(points.size());
+  for (double& x : out) x *= inv;
+}
+
 /// Index of the nearest vector in `centers` to `p`; this is the paper's
 /// argmin_k ||s_k - p|| used by eqs. (2) and (3). Throws if `centers` is empty.
 inline std::size_t nearest(std::span<const AttrVec> centers, std::span<const double> p) {

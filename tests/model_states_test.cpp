@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/model_states.h"
 #include "core/offline_kmeans.h"
 
@@ -81,6 +83,38 @@ TEST(ModelStateSet, MergesCloseStatesKeepingOlderId) {
   // Merged id resolves to the survivor and keeps a historical centroid.
   EXPECT_EQ(s.resolve(1), 0u);
   EXPECT_TRUE(s.centroid(1).has_value());
+}
+
+TEST(ModelStateSet, ChainedMergesResolveToFinalSurvivor) {
+  // C (id 2) merges into B (id 1), then B merges into A (id 0): resolve()
+  // must path-compress the chain so both 1 and 2 resolve straight to 0.
+  ModelStateSet s(config(0.9, /*merge=*/3.0, /*spawn=*/50.0),
+                  {{0.0, 0.0}, {10.0, 0.0}, {12.0, 0.0}});
+  s.update({{11.0, 0.0}});  // drags state 1 to ~10.9 -> within 3 of state 2: merge 2->1
+  ASSERT_EQ(s.merge_count(), 1u);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.resolve(2), 1u);
+  // Walk state 1 toward state 0 until they merge too.
+  s.update({{6.0, 0.0}});
+  s.update({{4.0, 0.0}});
+  s.update({{2.7, 0.0}});  // state 1 lands within 3 of state 0: merge 1->0
+  ASSERT_EQ(s.merge_count(), 2u);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.is_active(0));
+  EXPECT_FALSE(s.is_active(1));
+  EXPECT_FALSE(s.is_active(2));
+  // The whole chain resolves to the final survivor, not one hop.
+  EXPECT_EQ(s.resolve(1), 0u);
+  EXPECT_EQ(s.resolve(2), 0u);
+  EXPECT_EQ(s.resolve(0), 0u);
+  // And the resolution survives a checkpoint round trip (the memo is derived
+  // state, rebuilt from the raw lineage on load).
+  std::stringstream ss;
+  s.save(ss);
+  const ModelStateSet loaded = ModelStateSet::load(config(0.9, 3.0, 50.0), ss);
+  EXPECT_EQ(loaded.resolve(2), 0u);
+  EXPECT_EQ(loaded.resolve(1), 0u);
+  EXPECT_EQ(loaded.merge_count(), 2u);
 }
 
 TEST(ModelStateSet, CentroidUnknownIdIsNullopt) {

@@ -41,9 +41,9 @@ TEST(StateIdent, PaperFigureFourExample) {
   const WindowStates ws = identify_states(w, states);
   EXPECT_EQ(ws.correct, 0u);
   EXPECT_EQ(ws.majority_size, 4u);
-  EXPECT_EQ(ws.mapping.at(1), 0u);
-  EXPECT_EQ(ws.mapping.at(5), 3u);
-  EXPECT_EQ(ws.mapping.at(6), 4u);
+  EXPECT_EQ(ws.mapped(1), 0u);
+  EXPECT_EQ(ws.mapped(5), 3u);
+  EXPECT_EQ(ws.mapped(6), 4u);
   EXPECT_EQ(ws.sensors, 6u);
 }
 
@@ -101,7 +101,7 @@ TEST(StateIdent, SingleSensorWindow) {
   const WindowStates ws = identify_states(w, states);
   EXPECT_EQ(ws.correct, 1u);
   EXPECT_EQ(ws.observable, 1u);
-  EXPECT_EQ(ws.mapping.at(3), 1u);
+  EXPECT_EQ(ws.mapped(3), 1u);
 }
 
 }  // namespace
