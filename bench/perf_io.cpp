@@ -1,0 +1,261 @@
+// P2 -- google-benchmark: trace I/O data plane throughput. The collector
+// tier re-reads traces constantly (replay, re-training, every repro bench
+// starts by loading a file), so parse speed is a real budget item. This
+// bench measures MB/s and records/s for four read paths over the same
+// on-disk trace:
+//
+//   getline_baseline  the seed's parser, copied verbatim below: getline +
+//                     csv::split into std::string fields + strtod through a
+//                     heap-copied buffer. Every line costs ~a dozen
+//                     allocations. Kept as the yardstick the zero-copy
+//                     paths are measured against.
+//   csv_read_trace    today's read_trace (istream + getline, shared
+//                     zero-allocation line grammar).
+//   csv_zero_copy     CsvTraceReader: mmap, string_view slicing,
+//                     from_chars, batch reuse.
+//   binary            BinaryTraceReader over the SNTRB1 fixed-width format:
+//                     no parsing at all, just offset decoding.
+//
+// plus end-to-end file -> FleetReport runs (streaming ingest) for the CSV
+// and binary formats, where parse cost is diluted by detection work.
+//
+// Results are recorded in BENCH_io.json (see docs/PERFORMANCE.md).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "core/fleet.h"
+#include "faults/fault_models.h"
+#include "faults/injection_plan.h"
+#include "sim/simulator.h"
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_reader.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace sentinel;
+
+// --- the seed's parser, verbatim (allocation-heavy baseline) ---------------
+
+namespace baseline {
+
+std::optional<double> parse_double(std::string_view field) {
+  if (field.empty()) return std::nullopt;
+  // strtod needs a NUL-terminated buffer.
+  std::string buf(field);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+TraceReadResult read_trace(std::istream& in, std::size_t expected_dims) {
+  TraceReadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      ++result.comment_lines;
+      continue;
+    }
+    const auto fields = csv::split(line);  // vector<string>: one copy per field
+    if (fields.size() < 3) {
+      ++result.malformed_lines;
+      continue;
+    }
+    const std::size_t dims = fields.size() - 2;
+    if (expected_dims == 0) {
+      expected_dims = dims;
+    }
+    if (dims != expected_dims) {
+      ++result.malformed_lines;
+      continue;
+    }
+    const auto id = parse_double(fields[0]);
+    const auto t = parse_double(fields[1]);
+    if (!id || !t || *id < 0.0 || *id != static_cast<double>(static_cast<SensorId>(*id))) {
+      ++result.malformed_lines;
+      continue;
+    }
+    SensorRecord rec;
+    rec.sensor = static_cast<SensorId>(*id);
+    rec.time = *t;
+    rec.attrs.reserve(dims);
+    bool ok = true;
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const auto v = parse_double(fields[i]);
+      if (!v) {
+        ok = false;
+        break;
+      }
+      rec.attrs.push_back(*v);
+    }
+    if (!ok) {
+      ++result.malformed_lines;
+      continue;
+    }
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace baseline
+
+// --- fixture: one trace, written once in both formats ----------------------
+
+struct TraceFiles {
+  std::string csv_path;
+  std::string bin_path;
+  std::size_t records = 0;
+  std::size_t csv_bytes = 0;
+  std::size_t bin_bytes = 0;
+};
+
+/// 10 GDI sensors over 7 days with a stuck-at fault from day 2 (same shape
+/// as the golden scenario, so the end-to-end runs exercise real detection).
+const TraceFiles& trace_files() {
+  static const TraceFiles files = [] {
+    sim::GdiEnvironmentConfig ec;
+    ec.duration_seconds = 7.0 * kSecondsPerDay;
+    ec.seed = 20260806;
+    const sim::GdiEnvironment env(ec);
+    sim::GdiDeploymentConfig dc;
+    dc.num_sensors = 10;
+    dc.seed = 20260806;
+    auto simulator = sim::make_gdi_deployment(env, dc);
+    auto plan = std::make_shared<faults::InjectionPlan>();
+    plan->add(6, std::make_unique<faults::StuckAtFault>(AttrVec{15.0, 1.0}),
+              2.0 * kSecondsPerDay);
+    simulator.set_transform(faults::make_transform(plan));
+    const auto trace = simulator.run(ec.duration_seconds).trace;
+
+    TraceFiles f;
+    f.csv_path = std::filesystem::temp_directory_path() / "perf_io_trace.csv";
+    f.bin_path = std::filesystem::temp_directory_path() / "perf_io_trace.snt";
+    write_trace_file(f.csv_path, trace);
+    // Binary holds the *parsed* CSV records so every path reads identical
+    // doubles (CSV rounding happens exactly once).
+    const auto parsed = read_trace_file(f.csv_path);
+    write_trace_binary_file(f.bin_path, parsed.records);
+    f.records = parsed.records.size();
+    f.csv_bytes = std::filesystem::file_size(f.csv_path);
+    f.bin_bytes = std::filesystem::file_size(f.bin_path);
+    return f;
+  }();
+  return files;
+}
+
+void set_counters(benchmark::State& state, std::size_t records, std::size_t bytes) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+  state.counters["records"] = static_cast<double>(records);
+}
+
+// --- read-path benches -----------------------------------------------------
+
+void BM_ReadCsvGetlineBaseline(benchmark::State& state) {
+  const auto& f = trace_files();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::ifstream in(f.csv_path);
+    auto result = baseline::read_trace(in, 0);
+    records = result.records.size();
+    benchmark::DoNotOptimize(result);
+  }
+  set_counters(state, records, f.csv_bytes);
+}
+
+void BM_ReadCsvGetline(benchmark::State& state) {
+  const auto& f = trace_files();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::ifstream in(f.csv_path);
+    auto result = read_trace(in);
+    records = result.records.size();
+    benchmark::DoNotOptimize(result);
+  }
+  set_counters(state, records, f.csv_bytes);
+}
+
+void BM_ReadCsvZeroCopy(benchmark::State& state) {
+  const auto& f = trace_files();
+  std::size_t records = 0;
+  std::vector<SensorRecord> batch;
+  for (auto _ : state) {
+    CsvTraceReader reader(f.csv_path);
+    records = 0;
+    while (reader.read_batch(batch, TraceReader::kDefaultBatch) > 0) {
+      records += batch.size();
+      benchmark::DoNotOptimize(batch.data());
+    }
+  }
+  set_counters(state, records, f.csv_bytes);
+}
+
+void BM_ReadBinary(benchmark::State& state) {
+  const auto& f = trace_files();
+  std::size_t records = 0;
+  std::vector<SensorRecord> batch;
+  for (auto _ : state) {
+    BinaryTraceReader reader(f.bin_path);
+    records = 0;
+    while (reader.read_batch(batch, TraceReader::kDefaultBatch) > 0) {
+      records += batch.size();
+      benchmark::DoNotOptimize(batch.data());
+    }
+  }
+  set_counters(state, records, f.bin_bytes);
+}
+
+// --- end-to-end: file -> FleetReport ---------------------------------------
+
+void run_end_to_end(benchmark::State& state, const std::string& path, std::size_t bytes) {
+  const auto& f = trace_files();
+  core::PipelineConfig cfg;
+  sim::GdiEnvironmentConfig ec;
+  const sim::GdiEnvironment env(ec);
+  for (double t = 0.0; t < 2.0 * kSecondsPerDay; t += 2.0 * kSecondsPerHour) {
+    cfg.initial_states.push_back(env.truth(t));
+  }
+  cfg.initial_states.resize(6);
+
+  for (auto _ : state) {
+    core::FleetMonitor fleet(6.0);
+    fleet.add_region("r", cfg);
+    const auto reader = open_trace_reader(path);
+    fleet.ingest("r", *reader);
+    fleet.finish();
+    benchmark::DoNotOptimize(fleet.diagnose());
+  }
+  set_counters(state, f.records, bytes);
+}
+
+void BM_EndToEndFleetCsv(benchmark::State& state) {
+  const auto& f = trace_files();
+  run_end_to_end(state, f.csv_path, f.csv_bytes);
+}
+
+void BM_EndToEndFleetBinary(benchmark::State& state) {
+  const auto& f = trace_files();
+  run_end_to_end(state, f.bin_path, f.bin_bytes);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReadCsvGetlineBaseline);
+BENCHMARK(BM_ReadCsvGetline);
+BENCHMARK(BM_ReadCsvZeroCopy);
+BENCHMARK(BM_ReadBinary);
+BENCHMARK(BM_EndToEndFleetCsv);
+BENCHMARK(BM_EndToEndFleetBinary);
+BENCHMARK_MAIN();

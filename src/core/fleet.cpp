@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "trace/trace_reader.h"
 #include "util/thread_pool.h"
 #include "util/vecn.h"
 
@@ -162,6 +163,18 @@ void FleetMonitor::add_records(const std::string& region, std::span<const Sensor
   Shard& sh = *it->second;
   sh.producer_buf.insert(sh.producer_buf.end(), recs.begin(), recs.end());
   if (sh.producer_buf.size() >= cfg_.batch_records) flush_shard(sh);
+}
+
+std::size_t FleetMonitor::ingest(const std::string& region, TraceReader& reader,
+                                 std::size_t batch_records) {
+  if (batch_records == 0) batch_records = TraceReader::kDefaultBatch;
+  std::size_t total = 0;
+  std::vector<SensorRecord> batch;
+  while (reader.read_batch(batch, batch_records) > 0) {
+    add_records(region, batch);
+    total += batch.size();
+  }
+  return total;
 }
 
 /// Hand the producer buffer to the shard queue and make sure a drain task

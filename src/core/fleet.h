@@ -27,6 +27,10 @@
 
 #include "core/pipeline.h"
 
+namespace sentinel {
+class TraceReader;
+}
+
 namespace sentinel::util {
 class ThreadPool;
 }
@@ -108,6 +112,15 @@ class FleetMonitor {
   /// backlog) -- per-record name resolution, not detection, dominates
   /// ingest cost at fleet scale.
   void add_records(const std::string& region, std::span<const SensorRecord> recs);
+
+  /// Streaming ingestion: pump `reader` dry into `region` in batches of
+  /// `batch_records` (0 = TraceReader::kDefaultBatch). Peak memory is one
+  /// batch regardless of trace size, and the records flow through the same
+  /// add_records path as bulk ingestion, so the resulting FleetReport is
+  /// byte-identical to reading the whole trace up front. Returns the number
+  /// of records ingested.
+  std::size_t ingest(const std::string& region, TraceReader& reader,
+                     std::size_t batch_records = 0);
 
   /// Block until every queued record has been applied to its pipeline.
   /// Rethrows the first pipeline exception captured by a worker. No-op in

@@ -167,41 +167,46 @@ std::vector<StateId> sorted_keys(const Map& m) {
 
 }  // namespace
 
-void ModelStateSet::save(std::ostream& os) const {
-  serialize::tag(os, "model-states");
-  serialize::put(os, ids_.size());
+void ModelStateSet::save(serialize::Writer& w) const {
+  serialize::tag(w, "model-states");
+  serialize::put(w, ids_.size());
   for (std::size_t s = 0; s < ids_.size(); ++s) {
-    serialize::put(os, ids_[s]);
+    serialize::put(w, ids_[s]);
     const auto c = centroid_at(s);
-    serialize::put_vector(os, AttrVec(c.begin(), c.end()));
+    serialize::put_vector(w, AttrVec(c.begin(), c.end()));
   }
-  serialize::put(os, historical_.size());
+  serialize::put(w, historical_.size());
   for (const StateId id : sorted_keys(historical_)) {
-    serialize::put(os, id);
-    serialize::put_vector(os, historical_.at(id));
+    serialize::put(w, id);
+    serialize::put_vector(w, historical_.at(id));
   }
-  serialize::put(os, merged_into_.size());
+  serialize::put(w, merged_into_.size());
   for (const StateId from : sorted_keys(merged_into_)) {
-    serialize::put(os, from);
-    serialize::put(os, merged_into_.at(from));
+    serialize::put(w, from);
+    serialize::put(w, merged_into_.at(from));
   }
-  serialize::put(os, next_id_);
-  serialize::put(os, spawns_);
-  serialize::put(os, merges_);
-  os << '\n';
+  serialize::put(w, next_id_);
+  serialize::put(w, spawns_);
+  serialize::put(w, merges_);
+  w.newline();
 }
 
-ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
-  serialize::expect(is, "model-states");
-  const auto n = serialize::get<std::size_t>(is);
+void ModelStateSet::save(std::ostream& os) const {
+  serialize::TextWriter w(os);
+  save(w);
+}
+
+ModelStateSet ModelStateSet::load(ModelStateConfig cfg, serialize::Reader& r) {
+  serialize::expect(r, "model-states");
+  const auto n = serialize::get<std::size_t>(r);
   if (n == 0) throw std::runtime_error("checkpoint: model-states empty");
   std::vector<StateId> ids;
   std::vector<AttrVec> centroids;
   ids.reserve(n);
   centroids.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    ids.push_back(serialize::get<StateId>(is));
-    centroids.push_back(serialize::get_vector<double>(is));
+    ids.push_back(serialize::get<StateId>(r));
+    centroids.push_back(serialize::get_vector<double>(r));
   }
   // Construct through the public constructor (validates cfg), then overwrite
   // the state with the checkpointed one.
@@ -219,19 +224,19 @@ ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
     set.ids_.push_back(ids[i]);
     set.centroids_.insert(set.centroids_.end(), centroids[i].begin(), centroids[i].end());
   }
-  const auto nh = serialize::get<std::size_t>(is);
+  const auto nh = serialize::get<std::size_t>(r);
   for (std::size_t i = 0; i < nh; ++i) {
-    const auto id = serialize::get<StateId>(is);
-    set.historical_[id] = serialize::get_vector<double>(is);
+    const auto id = serialize::get<StateId>(r);
+    set.historical_[id] = serialize::get_vector<double>(r);
   }
-  const auto nm = serialize::get<std::size_t>(is);
+  const auto nm = serialize::get<std::size_t>(r);
   for (std::size_t i = 0; i < nm; ++i) {
-    const auto from = serialize::get<StateId>(is);
-    set.merged_into_[from] = serialize::get<StateId>(is);
+    const auto from = serialize::get<StateId>(r);
+    set.merged_into_[from] = serialize::get<StateId>(r);
   }
-  set.next_id_ = serialize::get<StateId>(is);
-  set.spawns_ = serialize::get<std::size_t>(is);
-  set.merges_ = serialize::get<std::size_t>(is);
+  set.next_id_ = serialize::get<StateId>(r);
+  set.spawns_ = serialize::get<std::size_t>(r);
+  set.merges_ = serialize::get<std::size_t>(r);
   for (const StateId id : set.ids_) {
     if (set.historical_.find(id) == set.historical_.end()) {
       throw std::runtime_error("checkpoint: active state missing from history");
@@ -249,6 +254,11 @@ ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
     set.resolved_[from] = end;
   }
   return set;
+}
+
+ModelStateSet ModelStateSet::load(ModelStateConfig cfg, std::istream& is) {
+  const auto r = serialize::make_reader(is);
+  return load(cfg, *r);
 }
 
 std::optional<AttrVec> ModelStateSet::centroid(StateId id) const {

@@ -32,6 +32,7 @@
 #include "core/config.h"
 #include "hmm/markov_chain.h"
 #include "trace/record.h"
+#include "util/serialize_fwd.h"
 
 namespace sentinel::core {
 
@@ -108,7 +109,9 @@ class ModelStateSet {
   /// load() requires the same ModelStateConfig the saved instance had.
   /// The path-compressed resolution memo is derived state and not saved;
   /// load() rebuilds it from the raw lineage, so bytes match older saves.
+  void save(serialize::Writer& w) const;
   void save(std::ostream& os) const;
+  static ModelStateSet load(ModelStateConfig cfg, serialize::Reader& r);
   static ModelStateSet load(ModelStateConfig cfg, std::istream& is);
 
  private:

@@ -37,35 +37,39 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg)
 
 DetectionPipeline::DetectionPipeline(PipelineConfig cfg, std::istream& checkpoint)
     : DetectionPipeline(std::move(cfg)) {
-  serialize::expect(checkpoint, "sentinel-checkpoint-v1");
-  states_ = ModelStateSet::load(cfg_.model_states, checkpoint);
-  m_co_ = hmm::OnlineHmm::load(hmm_config(cfg_), checkpoint);
-  m_c_ = hmm::MarkovChain::load(checkpoint);
-  m_o_ = hmm::MarkovChain::load(checkpoint);
-  tracks_ = TrackManager::load(hmm_config(cfg_), checkpoint);
-  const bool has_prev_c = serialize::get_bool(checkpoint);
-  const auto prev_c = serialize::get<StateId>(checkpoint);
+  // Codec negotiated by the first byte: binary checkpoints open with the
+  // serialize magic, text ones with the human-readable version tag.
+  const auto r = serialize::make_reader(checkpoint);
+  serialize::expect(*r, "sentinel-checkpoint-v1");
+  states_ = ModelStateSet::load(cfg_.model_states, *r);
+  m_co_ = hmm::OnlineHmm::load(hmm_config(cfg_), *r);
+  m_c_ = hmm::MarkovChain::load(*r);
+  m_o_ = hmm::MarkovChain::load(*r);
+  tracks_ = TrackManager::load(hmm_config(cfg_), *r);
+  const bool has_prev_c = serialize::get_bool(*r);
+  const auto prev_c = serialize::get<StateId>(*r);
   if (has_prev_c) prev_correct_ = prev_c;
-  const bool has_prev_o = serialize::get_bool(checkpoint);
-  const auto prev_o = serialize::get<StateId>(checkpoint);
+  const bool has_prev_o = serialize::get_bool(*r);
+  const auto prev_o = serialize::get<StateId>(*r);
   if (has_prev_o) prev_observable_ = prev_o;
-  windows_skipped_ = serialize::get<std::size_t>(checkpoint);
+  windows_skipped_ = serialize::get<std::size_t>(*r);
   diag_cache_.reset();
 }
 
-void DetectionPipeline::save_checkpoint(std::ostream& os) const {
-  serialize::tag(os, "sentinel-checkpoint-v1");
-  states_.save(os);
-  m_co_.save(os);
-  m_c_.save(os);
-  m_o_.save(os);
-  tracks_.save(os);
-  serialize::put(os, prev_correct_.has_value());
-  serialize::put(os, prev_correct_.value_or(0));
-  serialize::put(os, prev_observable_.has_value());
-  serialize::put(os, prev_observable_.value_or(0));
-  serialize::put(os, windows_skipped_);
-  os << '\n';
+void DetectionPipeline::save_checkpoint(std::ostream& os, serialize::Format format) const {
+  const auto w = serialize::make_writer(os, format);
+  serialize::tag(*w, "sentinel-checkpoint-v1");
+  states_.save(*w);
+  m_co_.save(*w);
+  m_c_.save(*w);
+  m_o_.save(*w);
+  tracks_.save(*w);
+  serialize::put(*w, prev_correct_.has_value());
+  serialize::put(*w, prev_correct_.value_or(0));
+  serialize::put(*w, prev_observable_.has_value());
+  serialize::put(*w, prev_observable_.value_or(0));
+  serialize::put(*w, windows_skipped_);
+  w->newline();
 }
 
 void DetectionPipeline::add_record(const SensorRecord& rec) {

@@ -52,6 +52,7 @@
 #include "hmm/online_hmm.h"
 #include "trace/windower.h"
 #include "util/flat_map.h"
+#include "util/serialize_fwd.h"
 #include "util/sync.h"
 
 namespace sentinel::core {
@@ -86,10 +87,14 @@ class DetectionPipeline {
   DetectionPipeline(PipelineConfig cfg, std::istream& checkpoint);
 
   /// Persist all learned state -- model states, M_CO, M_C, M_O, every
-  /// error/attack track with its M_CE -- as a versioned text checkpoint.
-  /// Call at a window boundary (after finish() or between add_record bursts)
-  /// so no partial window is lost.
-  void save_checkpoint(std::ostream& os) const;
+  /// error/attack track with its M_CE -- as a versioned checkpoint. Text
+  /// (the default) stays diffable and byte-compatible with older tooling;
+  /// binary (serialize::Format::kBinary) is smaller and faster to parse,
+  /// and the restoring constructor auto-detects either by its leading
+  /// magic byte. Call at a window boundary (after finish() or between
+  /// add_record bursts) so no partial window is lost.
+  void save_checkpoint(std::ostream& os,
+                       serialize::Format format = serialize::Format::kText) const;
 
   /// Streaming entry point: records must arrive roughly time-ordered; the
   /// internal windower closes windows as time advances.

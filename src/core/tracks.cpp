@@ -78,59 +78,69 @@ std::size_t TrackManager::total_tracks() const {
   return n;
 }
 
-void TrackManager::save(std::ostream& os) const {
-  serialize::tag(os, "tracks");
-  serialize::put(os, tracks_.size());
+void TrackManager::save(serialize::Writer& w) const {
+  serialize::tag(w, "tracks");
+  serialize::put(w, tracks_.size());
   for (const auto& [sensor, list] : tracks_) {
-    serialize::put(os, sensor);
-    serialize::put(os, list.size());
+    serialize::put(w, sensor);
+    serialize::put(w, list.size());
     for (const auto& t : list) {
-      serialize::put(os, t.opened_window);
-      serialize::put(os, t.closed_window.has_value());
-      serialize::put(os, t.closed_window.value_or(0));
-      serialize::put(os, t.observations);
-      serialize::put(os, t.anomalous_observations);
-      t.m_ce.save(os);
+      serialize::put(w, t.opened_window);
+      serialize::put(w, t.closed_window.has_value());
+      serialize::put(w, t.closed_window.value_or(0));
+      serialize::put(w, t.observations);
+      serialize::put(w, t.anomalous_observations);
+      t.m_ce.save(w);
     }
   }
-  serialize::put(os, aggregates_.size());
+  serialize::put(w, aggregates_.size());
   for (const auto& [sensor, agg] : aggregates_) {
-    serialize::put(os, sensor);
-    serialize::put(os, agg.anomalous);
-    agg.m_ce.save(os);
+    serialize::put(w, sensor);
+    serialize::put(w, agg.anomalous);
+    agg.m_ce.save(w);
   }
-  os << '\n';
+  w.newline();
 }
 
-TrackManager TrackManager::load(hmm::OnlineHmmConfig hmm_cfg, std::istream& is) {
-  serialize::expect(is, "tracks");
+void TrackManager::save(std::ostream& os) const {
+  serialize::TextWriter w(os);
+  save(w);
+}
+
+TrackManager TrackManager::load(hmm::OnlineHmmConfig hmm_cfg, serialize::Reader& r) {
+  serialize::expect(r, "tracks");
   TrackManager tm(hmm_cfg);
-  const auto n_sensors = serialize::get<std::size_t>(is);
+  const auto n_sensors = serialize::get<std::size_t>(r);
   for (std::size_t i = 0; i < n_sensors; ++i) {
-    const auto sensor = serialize::get<SensorId>(is);
-    const auto n_tracks = serialize::get<std::size_t>(is);
+    const auto sensor = serialize::get<SensorId>(r);
+    const auto n_tracks = serialize::get<std::size_t>(r);
     auto& list = tm.tracks_[sensor];
     for (std::size_t t = 0; t < n_tracks; ++t) {
       Track track(hmm_cfg);
-      track.opened_window = serialize::get<std::size_t>(is);
-      const bool closed = serialize::get_bool(is);
-      const auto closed_at = serialize::get<std::size_t>(is);
+      track.opened_window = serialize::get<std::size_t>(r);
+      const bool closed = serialize::get_bool(r);
+      const auto closed_at = serialize::get<std::size_t>(r);
       if (closed) track.closed_window = closed_at;
-      track.observations = serialize::get<std::size_t>(is);
-      track.anomalous_observations = serialize::get<std::size_t>(is);
-      track.m_ce = hmm::OnlineHmm::load(hmm_cfg, is);
+      track.observations = serialize::get<std::size_t>(r);
+      track.anomalous_observations = serialize::get<std::size_t>(r);
+      track.m_ce = hmm::OnlineHmm::load(hmm_cfg, r);
       list.push_back(std::move(track));
     }
   }
-  const auto n_aggs = serialize::get<std::size_t>(is);
+  const auto n_aggs = serialize::get<std::size_t>(r);
   for (std::size_t i = 0; i < n_aggs; ++i) {
-    const auto sensor = serialize::get<SensorId>(is);
+    const auto sensor = serialize::get<SensorId>(r);
     Aggregate agg(hmm_cfg);
-    agg.anomalous = serialize::get<std::size_t>(is);
-    agg.m_ce = hmm::OnlineHmm::load(hmm_cfg, is);
+    agg.anomalous = serialize::get<std::size_t>(r);
+    agg.m_ce = hmm::OnlineHmm::load(hmm_cfg, r);
     tm.aggregates_.emplace(sensor, std::move(agg));
   }
   return tm;
+}
+
+TrackManager TrackManager::load(hmm::OnlineHmmConfig hmm_cfg, std::istream& is) {
+  const auto r = serialize::make_reader(is);
+  return load(hmm_cfg, *r);
 }
 
 }  // namespace sentinel::core

@@ -17,6 +17,7 @@
 
 #include "hmm/online_hmm.h"
 #include "trace/record.h"
+#include "util/serialize_fwd.h"
 
 namespace sentinel::core {
 
@@ -68,8 +69,11 @@ class TrackManager {
   std::size_t total_tracks() const;
 
   /// Checkpointing: every track (with its M_CE) and per-sensor aggregates.
-  /// load() requires the same OnlineHmmConfig the saved instance had.
+  /// load() requires the same OnlineHmmConfig the saved instance had. The
+  /// stream overloads use the text codec on write, auto-detect on read.
+  void save(serialize::Writer& w) const;
   void save(std::ostream& os) const;
+  static TrackManager load(hmm::OnlineHmmConfig hmm_cfg, serialize::Reader& r);
   static TrackManager load(hmm::OnlineHmmConfig hmm_cfg, std::istream& is);
 
  private:

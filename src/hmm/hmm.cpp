@@ -142,11 +142,25 @@ ViterbiResult Hmm::viterbi(const Sequence& obs) const {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   const auto safe_log = [](double x) { return x > 0.0 ? std::log(x) : kNegInf; };
 
+  // log() is the dominant cost of the recursion; taking it once per matrix
+  // entry instead of inside the O(T*m^2) loop drops T redundant evaluations
+  // per entry without changing a single arithmetic result (same doubles, in
+  // the same order).
+  Matrix log_a(m, m, kNegInf);
+  Matrix log_b(m, num_symbols(), kNegInf);
+  std::vector<double> log_pi(m, kNegInf);
+  for (std::size_t i = 0; i < m; ++i) {
+    log_pi[i] = safe_log(pi_[i]);
+    for (std::size_t j = 0; j < m; ++j) log_a(i, j) = safe_log(a_(i, j));
+    for (std::size_t k = 0; k < num_symbols(); ++k) log_b(i, k) = safe_log(b_(i, k));
+  }
+
   Matrix delta(t_len, m, kNegInf);
   std::vector<std::vector<std::size_t>> psi(t_len, std::vector<std::size_t>(m, 0));
 
+  if (obs[0] >= num_symbols()) throw std::out_of_range("Hmm::viterbi: symbol out of range");
   for (std::size_t i = 0; i < m; ++i) {
-    delta(0, i) = safe_log(pi_[i]) + safe_log(b_(i, obs[0]));
+    delta(0, i) = log_pi[i] + log_b(i, obs[0]);
   }
   for (std::size_t t = 1; t < t_len; ++t) {
     if (obs[t] >= num_symbols()) throw std::out_of_range("Hmm::viterbi: symbol out of range");
@@ -154,13 +168,13 @@ ViterbiResult Hmm::viterbi(const Sequence& obs) const {
       double best = kNegInf;
       std::size_t arg = 0;
       for (std::size_t i = 0; i < m; ++i) {
-        const double v = delta(t - 1, i) + safe_log(a_(i, j));
+        const double v = delta(t - 1, i) + log_a(i, j);
         if (v > best) {
           best = v;
           arg = i;
         }
       }
-      delta(t, j) = best + safe_log(b_(j, obs[t]));
+      delta(t, j) = best + log_b(j, obs[t]);
       psi[t][j] = arg;
     }
   }
@@ -297,20 +311,30 @@ BaumWelchResult Hmm::baum_welch(const std::vector<Sequence>& sequences,
   return result;
 }
 
+void Hmm::save(serialize::Writer& w) const {
+  serialize::tag(w, "hmm");
+  serialize::put_matrix(w, a_);
+  serialize::put_matrix(w, b_);
+  serialize::put_vector(w, pi_);
+  w.newline();
+}
+
 void Hmm::save(std::ostream& os) const {
-  serialize::tag(os, "hmm");
-  serialize::put_matrix(os, a_);
-  serialize::put_matrix(os, b_);
-  serialize::put_vector(os, pi_);
-  os << '\n';
+  serialize::TextWriter w(os);
+  save(w);
+}
+
+Hmm Hmm::load(serialize::Reader& r) {
+  serialize::expect(r, "hmm");
+  Matrix a = serialize::get_matrix(r);
+  Matrix b = serialize::get_matrix(r);
+  auto pi = serialize::get_vector<double>(r);
+  return Hmm(std::move(a), std::move(b), std::move(pi));
 }
 
 Hmm Hmm::load(std::istream& is) {
-  serialize::expect(is, "hmm");
-  Matrix a = serialize::get_matrix(is);
-  Matrix b = serialize::get_matrix(is);
-  auto pi = serialize::get_vector<double>(is);
-  return Hmm(std::move(a), std::move(b), std::move(pi));
+  const auto r = serialize::make_reader(is);
+  return load(*r);
 }
 
 Hmm::Sample Hmm::sample(std::size_t length, Rng& rng) const {

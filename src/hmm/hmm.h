@@ -19,6 +19,7 @@
 
 #include "util/matrix.h"
 #include "util/rng.h"
+#include "util/serialize_fwd.h"
 
 namespace sentinel::hmm {
 
@@ -98,8 +99,11 @@ class Hmm {
   BaumWelchResult baum_welch(const std::vector<Sequence>& sequences,
                              const BaumWelchOptions& opts = {});
 
-  /// Checkpointing: full model (A, B, pi), text format.
+  /// Checkpointing: full model (A, B, pi). The stream overloads use the text
+  /// codec on write and auto-detect text vs binary on read (util/serialize.h).
+  void save(serialize::Writer& w) const;
   void save(std::ostream& os) const;
+  static Hmm load(serialize::Reader& r);
   static Hmm load(std::istream& is);
 
   /// Sample a (states, symbols) trajectory of given length.

@@ -171,48 +171,58 @@ double MarkovChain::entropy_rate() const {
   return h;
 }
 
-void MarkovChain::save(std::ostream& os) const {
-  serialize::tag(os, "markov-chain");
-  serialize::put_vector(os, ids_);
+void MarkovChain::save(serialize::Writer& w) const {
+  serialize::tag(w, "markov-chain");
+  serialize::put_vector(w, ids_);
   for (const auto& row : counts_) {
-    serialize::put(os, row.size());
+    serialize::put(w, row.size());
     for (const auto& [to, count] : row) {
-      serialize::put(os, to);
-      serialize::put(os, count);
+      serialize::put(w, to);
+      serialize::put(w, count);
     }
   }
-  serialize::put(os, visits_.size());
+  serialize::put(w, visits_.size());
   for (const auto& [id, count] : visits_) {
-    serialize::put(os, id);
-    serialize::put(os, count);
+    serialize::put(w, id);
+    serialize::put(w, count);
   }
-  serialize::put(os, total_transitions_);
-  os << '\n';
+  serialize::put(w, total_transitions_);
+  w.newline();
 }
 
-MarkovChain MarkovChain::load(std::istream& is) {
-  serialize::expect(is, "markov-chain");
+void MarkovChain::save(std::ostream& os) const {
+  serialize::TextWriter w(os);
+  save(w);
+}
+
+MarkovChain MarkovChain::load(serialize::Reader& r) {
+  serialize::expect(r, "markov-chain");
   MarkovChain mc;
-  mc.ids_ = serialize::get_vector<StateId>(is);
+  mc.ids_ = serialize::get_vector<StateId>(r);
   for (std::size_t i = 0; i < mc.ids_.size(); ++i) mc.index_[mc.ids_[i]] = i;
   mc.counts_.resize(mc.ids_.size());
   for (auto& row : mc.counts_) {
-    const auto n = serialize::get<std::size_t>(is);
+    const auto n = serialize::get<std::size_t>(r);
     for (std::size_t i = 0; i < n; ++i) {
-      const auto to = serialize::get<StateId>(is);
-      row[to] = serialize::get<std::size_t>(is);
+      const auto to = serialize::get<StateId>(r);
+      row[to] = serialize::get<std::size_t>(r);
     }
   }
-  const auto nv = serialize::get<std::size_t>(is);
+  const auto nv = serialize::get<std::size_t>(r);
   for (std::size_t i = 0; i < nv; ++i) {
-    const auto id = serialize::get<StateId>(is);
-    mc.visits_[id] = serialize::get<std::size_t>(is);
+    const auto id = serialize::get<StateId>(r);
+    mc.visits_[id] = serialize::get<std::size_t>(r);
   }
-  mc.total_transitions_ = serialize::get<std::size_t>(is);
+  mc.total_transitions_ = serialize::get<std::size_t>(r);
   if (mc.index_.size() != mc.ids_.size()) {
     throw std::runtime_error("checkpoint: duplicate markov-chain state ids");
   }
   return mc;
+}
+
+MarkovChain MarkovChain::load(std::istream& is) {
+  const auto r = serialize::make_reader(is);
+  return load(*r);
 }
 
 std::string MarkovChain::to_string() const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/serialize_fwd.h"
 
 namespace sentinel::hmm {
 
@@ -75,8 +76,11 @@ class MarkovChain {
 
   std::string to_string() const;
 
-  /// Checkpointing: counts, visits and id ordering, text format.
+  /// Checkpointing: counts, visits and id ordering. The stream overloads use
+  /// the text codec on write and auto-detect the codec on read.
+  void save(serialize::Writer& w) const;
   void save(std::ostream& os) const;
+  static MarkovChain load(serialize::Reader& r);
   static MarkovChain load(std::istream& is);
 
  private:

@@ -143,41 +143,46 @@ double OnlineHmm::emission(StateId hidden, StateId symbol) const {
 }
 
 
-void OnlineHmm::save(std::ostream& os) const {
-  serialize::tag(os, "online-hmm");
-  serialize::put_vector(os, hidden_ids_);
-  serialize::put_vector(os, symbol_ids_);
-  serialize::put_matrix(os, a_);
-  serialize::put_matrix(os, b_);
-  serialize::put_matrix(os, a_avg_);
-  serialize::put_matrix(os, b_avg_);
-  serialize::put_vector(os, a_row_counts_);
-  serialize::put_vector(os, b_row_counts_);
-  serialize::put_vector(os, symbol_totals_);
-  serialize::put(os, last_hidden_.has_value());
-  serialize::put(os, last_hidden_.value_or(0));
-  serialize::put(os, steps_);
-  os << '\n';
+void OnlineHmm::save(serialize::Writer& w) const {
+  serialize::tag(w, "online-hmm");
+  serialize::put_vector(w, hidden_ids_);
+  serialize::put_vector(w, symbol_ids_);
+  serialize::put_matrix(w, a_);
+  serialize::put_matrix(w, b_);
+  serialize::put_matrix(w, a_avg_);
+  serialize::put_matrix(w, b_avg_);
+  serialize::put_vector(w, a_row_counts_);
+  serialize::put_vector(w, b_row_counts_);
+  serialize::put_vector(w, symbol_totals_);
+  serialize::put(w, last_hidden_.has_value());
+  serialize::put(w, last_hidden_.value_or(0));
+  serialize::put(w, steps_);
+  w.newline();
 }
 
-OnlineHmm OnlineHmm::load(OnlineHmmConfig cfg, std::istream& is) {
-  serialize::expect(is, "online-hmm");
+void OnlineHmm::save(std::ostream& os) const {
+  serialize::TextWriter w(os);
+  save(w);
+}
+
+OnlineHmm OnlineHmm::load(OnlineHmmConfig cfg, serialize::Reader& r) {
+  serialize::expect(r, "online-hmm");
   OnlineHmm m(cfg);
-  m.hidden_ids_ = serialize::get_vector<StateId>(is);
-  m.symbol_ids_ = serialize::get_vector<StateId>(is);
+  m.hidden_ids_ = serialize::get_vector<StateId>(r);
+  m.symbol_ids_ = serialize::get_vector<StateId>(r);
   for (std::size_t i = 0; i < m.hidden_ids_.size(); ++i) m.hidden_index_[m.hidden_ids_[i]] = i;
   for (std::size_t i = 0; i < m.symbol_ids_.size(); ++i) m.symbol_index_[m.symbol_ids_[i]] = i;
-  m.a_ = serialize::get_matrix(is);
-  m.b_ = serialize::get_matrix(is);
-  m.a_avg_ = serialize::get_matrix(is);
-  m.b_avg_ = serialize::get_matrix(is);
-  m.a_row_counts_ = serialize::get_vector<double>(is);
-  m.b_row_counts_ = serialize::get_vector<double>(is);
-  m.symbol_totals_ = serialize::get_vector<double>(is);
-  const bool has_last = serialize::get_bool(is);
-  const auto last = serialize::get<StateId>(is);
+  m.a_ = serialize::get_matrix(r);
+  m.b_ = serialize::get_matrix(r);
+  m.a_avg_ = serialize::get_matrix(r);
+  m.b_avg_ = serialize::get_matrix(r);
+  m.a_row_counts_ = serialize::get_vector<double>(r);
+  m.b_row_counts_ = serialize::get_vector<double>(r);
+  m.symbol_totals_ = serialize::get_vector<double>(r);
+  const bool has_last = serialize::get_bool(r);
+  const auto last = serialize::get<StateId>(r);
   if (has_last) m.last_hidden_ = last;
-  m.steps_ = serialize::get<std::size_t>(is);
+  m.steps_ = serialize::get<std::size_t>(r);
 
   const std::size_t h = m.hidden_ids_.size();
   const std::size_t sy = m.symbol_ids_.size();
@@ -188,6 +193,11 @@ OnlineHmm OnlineHmm::load(OnlineHmmConfig cfg, std::istream& is) {
                          m.hidden_index_.size() == h && m.symbol_index_.size() == sy;
   if (!shapes_ok) throw std::runtime_error("checkpoint: inconsistent online-hmm shapes");
   return m;
+}
+
+OnlineHmm OnlineHmm::load(OnlineHmmConfig cfg, std::istream& is) {
+  const auto r = serialize::make_reader(is);
+  return load(cfg, *r);
 }
 
 }  // namespace sentinel::hmm

@@ -34,6 +34,7 @@
 
 #include "hmm/markov_chain.h"
 #include "util/matrix.h"
+#include "util/serialize_fwd.h"
 #include "util/sync.h"
 
 namespace sentinel::hmm {
@@ -98,9 +99,12 @@ class OnlineHmm {
 
   const OnlineHmmConfig& config() const { return cfg_; }
 
-  /// Checkpointing: full estimator state (both gain variants), text format.
-  /// load() requires the same OnlineHmmConfig the saved instance had.
+  /// Checkpointing: full estimator state (both gain variants). load()
+  /// requires the same OnlineHmmConfig the saved instance had. The stream
+  /// overloads use the text codec on write and auto-detect the codec on read.
+  void save(serialize::Writer& w) const;
   void save(std::ostream& os) const;
+  static OnlineHmm load(OnlineHmmConfig cfg, serialize::Reader& r);
   static OnlineHmm load(OnlineHmmConfig cfg, std::istream& is);
 
  private:

@@ -5,12 +5,21 @@
 // (wrong field count, non-numeric field) is *counted*, not fatal: the GDI
 // deployment the paper evaluates on had missing and malformed packets, and
 // the methodology is expected to tolerate them.
+//
+// Two readers share the per-line grammar below, so they accept identical
+// record sets: read_trace (istream + getline, the simple path) and the
+// zero-copy batch reader in trace/trace_reader.h (mmap + string_view slicing,
+// the fast path). read_trace_file() auto-detects the binary trace format
+// (trace/binary_trace.h) by its magic, so every file-path entry point takes
+// either format.
 
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/record.h"
@@ -23,13 +32,29 @@ struct TraceReadResult {
   std::size_t comment_lines = 0;
 };
 
+/// Validated double -> SensorId conversion. nullopt for NaN, negative,
+/// fractional, or out-of-range values -- casting such a double straight to an
+/// integer type is undefined behavior, so the range check must come first.
+std::optional<SensorId> to_sensor_id(double v);
+
+enum class LineParse { kRecord, kComment, kBlank, kMalformed };
+
+/// Parse one CSV line into `rec` without allocating in steady state: fields
+/// are string_views into `line` (split via `fields` scratch), numbers parse
+/// with from_chars, and rec.attrs is overwritten element-wise so it keeps its
+/// capacity across calls. `expected_dims` = 0 accepts any width >= 1 and is
+/// fixed by the first record. `rec` is only valid when kRecord is returned.
+LineParse parse_trace_line(std::string_view line, std::size_t& expected_dims, SensorRecord& rec,
+                           std::vector<std::string_view>& fields);
+
 /// Parse records from a stream. `expected_dims` = 0 accepts any width >= 1
 /// (first data line fixes it); otherwise rows with a different width count as
 /// malformed.
 TraceReadResult read_trace(std::istream& in, std::size_t expected_dims = 0);
 
-/// Convenience: read from a file path. Throws std::runtime_error if the file
-/// cannot be opened.
+/// Convenience: read a whole trace file, CSV or binary (auto-detected by
+/// magic). Throws std::runtime_error if the file cannot be opened or a
+/// binary file is corrupt.
 TraceReadResult read_trace_file(const std::string& path, std::size_t expected_dims = 0);
 
 /// Write records to a stream, with an optional schema comment header.

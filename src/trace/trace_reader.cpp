@@ -1,0 +1,110 @@
+#include "trace/trace_reader.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+
+namespace sentinel {
+
+namespace {
+
+constexpr std::size_t kStreamBufBytes = 1 << 20;  // 1 MiB refill buffer
+
+}  // namespace
+
+CsvTraceReader::CsvTraceReader(const std::string& path, std::size_t expected_dims)
+    : expected_dims_(expected_dims) {
+  map_ = util::MappedFile::map(path);
+  if (map_) {
+    rest_ = map_->view();
+    return;
+  }
+  in_.open(path, std::ios::binary);
+  if (!in_) throw std::runtime_error("CsvTraceReader: cannot open " + path);
+  buf_.resize(kStreamBufBytes);
+}
+
+/// Shift the unconsumed tail to the front of the buffer and read more bytes
+/// after it. Returns false when no new bytes arrived (true end of file).
+bool CsvTraceReader::refill() {
+  if (stream_eof_) return false;
+  const std::size_t tail = buf_end_ - buf_pos_;
+  if (tail > 0) std::memmove(buf_.data(), buf_.data() + buf_pos_, tail);
+  buf_pos_ = 0;
+  buf_end_ = tail;
+  // A line longer than the whole buffer: grow so it can ever complete.
+  if (buf_end_ == buf_.size()) buf_.resize(buf_.size() * 2);
+  in_.read(buf_.data() + buf_end_, static_cast<std::streamsize>(buf_.size() - buf_end_));
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  buf_end_ += got;
+  if (got == 0) stream_eof_ = true;
+  return got > 0;
+}
+
+std::optional<std::string_view> CsvTraceReader::next_line() {
+  if (map_) {
+    if (rest_.empty()) return std::nullopt;
+    const std::size_t nl = rest_.find('\n');
+    std::string_view line;
+    if (nl == std::string_view::npos) {
+      line = rest_;
+      rest_ = {};
+    } else {
+      line = rest_.substr(0, nl);
+      rest_.remove_prefix(nl + 1);
+    }
+    return line;
+  }
+  for (;;) {
+    const char* base = buf_.data() + buf_pos_;
+    const std::size_t avail = buf_end_ - buf_pos_;
+    const void* nl = std::memchr(base, '\n', avail);
+    if (nl != nullptr) {
+      const auto len = static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+      buf_pos_ += len + 1;
+      return std::string_view(base, len);
+    }
+    if (!refill()) {
+      // Final line without a trailing newline.
+      if (avail == 0) return std::nullopt;
+      buf_pos_ = buf_end_;
+      return std::string_view(buf_.data(), avail);
+    }
+  }
+}
+
+std::size_t CsvTraceReader::read_batch(std::vector<SensorRecord>& out, std::size_t max_records) {
+  std::size_t n = 0;
+  while (n < max_records) {
+    const auto line = next_line();
+    if (!line) break;
+    if (n == out.size()) out.emplace_back();
+    switch (parse_trace_line(*line, expected_dims_, out[n], fields_)) {
+      case LineParse::kRecord: ++n; break;
+      case LineParse::kComment: ++comments_; break;
+      case LineParse::kBlank: break;
+      case LineParse::kMalformed: ++malformed_; break;
+    }
+  }
+  out.resize(n);  // only shrinks on the final partial batch
+  return n;
+}
+
+std::unique_ptr<TraceReader> open_trace_reader(const std::string& path,
+                                               std::size_t expected_dims) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw std::runtime_error("open_trace_reader: cannot open " + path);
+  char magic[sizeof kBinaryTraceMagic] = {};
+  probe.read(magic, sizeof magic);
+  if (probe.gcount() == static_cast<std::streamsize>(sizeof magic) &&
+      std::memcmp(magic, kBinaryTraceMagic, sizeof magic) == 0) {
+    probe.close();
+    return std::make_unique<BinaryTraceReader>(path, expected_dims);
+  }
+  probe.close();
+  return std::make_unique<CsvTraceReader>(path, expected_dims);
+}
+
+}  // namespace sentinel

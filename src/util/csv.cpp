@@ -1,16 +1,25 @@
 #include "util/csv.h"
 
 #include <cctype>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 
 namespace sentinel::csv {
 
 namespace {
 
+// Branch-predictable whitespace test: same set as isspace in the C locale,
+// without the per-character libc call (trim runs on every field of every
+// line, so the call overhead was visible in the parse profile).
+constexpr bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r';
+}
+
 std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
   return s;
 }
 
@@ -28,14 +37,76 @@ std::vector<std::string> split(std::string_view line) {
   return out;
 }
 
+void split_into(std::string_view line, std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t start = 0;
+  for (;;) {
+    // memchr beats a per-character loop even at trace-line field widths.
+    const void* c = std::memchr(line.data() + start, ',', line.size() - start);
+    if (c == nullptr) {
+      out.push_back(trim(line.substr(start)));
+      return;
+    }
+    const auto pos = static_cast<std::size_t>(static_cast<const char*>(c) - line.data());
+    out.push_back(trim(line.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
 std::optional<double> parse_double(std::string_view field) {
   field = trim(field);
+  // from_chars does not take a leading '+' (strtod did); strip one, but only
+  // when a value follows it -- "+-3" and a bare "+" stay malformed.
+  if (!field.empty() && field.front() == '+') {
+    field.remove_prefix(1);
+    if (!field.empty() && (field.front() == '+' || field.front() == '-')) return std::nullopt;
+  }
   if (field.empty()) return std::nullopt;
-  // strtod needs a NUL-terminated buffer.
-  std::string buf(field);
-  char* end = nullptr;
-  const double v = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) return std::nullopt;
+
+  // Exact fast path (Clinger): fixed-notation values with <= 15 significant
+  // digits. The mantissa fits a double exactly (10^15 < 2^53) and so does
+  // 10^frac_digits, so one division yields the correctly-rounded result --
+  // identical to from_chars, several times cheaper. Nearly every field a
+  // trace file holds ("300.125", "21.53625") takes this path; anything with
+  // an exponent, a long mantissa, or a bare trailing point falls through.
+  {
+    const char* p = field.data();
+    const char* const end = p + field.size();
+    bool neg = false;
+    if (*p == '-') {
+      neg = true;
+      ++p;
+    }
+    std::uint64_t mant = 0;
+    int digits = 0;
+    int frac_digits = 0;
+    bool seen_point = false;
+    bool simple = p != end;
+    for (; p != end; ++p) {
+      const char c = *p;
+      if (c >= '0' && c <= '9') {
+        mant = mant * 10 + static_cast<std::uint64_t>(c - '0');  // overflow -> digits > 15
+        ++digits;
+        if (seen_point) ++frac_digits;
+      } else if (c == '.' && !seen_point) {
+        seen_point = true;
+      } else {
+        simple = false;
+        break;
+      }
+    }
+    if (simple && digits > 0 && digits <= 15 && !(seen_point && frac_digits == 0)) {
+      static constexpr double kPow10[] = {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7,
+                                          1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15};
+      const double v = static_cast<double>(mant) / kPow10[frac_digits];
+      return neg ? -v : v;
+    }
+  }
+
+  double v = 0.0;
+  const char* end = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(field.data(), end, v);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
   return v;
 }
 

@@ -16,8 +16,15 @@ namespace sentinel::csv {
 /// Split a line on commas; fields are trimmed of surrounding whitespace.
 std::vector<std::string> split(std::string_view line);
 
+/// Allocation-free variant: split into string_views over `line`'s buffer.
+/// `out` is cleared and reused; the views are valid only while the backing
+/// buffer of `line` is. This is the hot-path splitter -- the trace readers
+/// call it once per line with a reused scratch vector.
+void split_into(std::string_view line, std::vector<std::string_view>& out);
+
 /// Parse a field to double; nullopt on malformed content (empty, non-numeric,
-/// trailing junk).
+/// trailing junk). Allocation-free (std::from_chars); accepts an optional
+/// leading '+' and the usual inf/nan spellings, rejects hex floats.
 std::optional<double> parse_double(std::string_view field);
 
 /// Join fields with commas.

@@ -1,0 +1,40 @@
+// Read-only memory-mapped file.
+//
+// The trace readers parse straight out of the mapping (zero-copy: no read()
+// into a buffer, no per-line copies). Platforms or files where mmap is
+// unavailable (non-POSIX builds, pipes, /proc files reporting zero size)
+// return nullopt from map() and callers fall back to buffered stream reads,
+// so mapping is always an optimization, never a requirement.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sentinel::util {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. nullopt when the file cannot be opened or mapped;
+  /// an empty regular file maps successfully to an empty view.
+  static std::optional<MappedFile> map(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::string_view view() const { return {static_cast<const char*>(data_), size_}; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* data, std::size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;  // nullptr for an empty file
+  std::size_t size_ = 0;
+};
+
+}  // namespace sentinel::util

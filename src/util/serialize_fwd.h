@@ -1,0 +1,16 @@
+// Forward declarations for the checkpoint codec interfaces, so model headers
+// can declare Writer/Reader-based save/load without pulling in iostreams and
+// the codec implementations (util/serialize.h).
+
+#pragma once
+
+namespace sentinel::serialize {
+
+class Writer;
+class Reader;
+
+/// Checkpoint wire codec. Text is the default (diffable, byte-compatible
+/// with all prior checkpoints); binary is smaller and faster to parse.
+enum class Format { kText, kBinary };
+
+}  // namespace sentinel::serialize

@@ -1,0 +1,232 @@
+// SNTRB1 binary trace format tests: bit-exact round trips (including the
+// doubles CSV cannot preserve -- NaN payloads, infinities, subnormals,
+// full-precision values), and rejection of truncated, corrupt, and
+// wrong-magic files with diagnosable errors.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_reader.h"
+
+namespace sentinel {
+namespace {
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::vector<SensorRecord> read_all(const std::string& path, std::size_t expected_dims = 0) {
+  BinaryTraceReader reader(path, expected_dims);
+  std::vector<SensorRecord> all;
+  std::vector<SensorRecord> batch;
+  while (reader.read_batch(batch, 7) > 0) {  // odd batch size: exercise the tail
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  return all;
+}
+
+/// Bit-pattern equality: NaN == NaN fails under operator==, but a format
+/// that claims exact round trips must preserve the very bits.
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_bits_equal(const std::vector<SensorRecord>& a, const std::vector<SensorRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sensor, b[i].sensor) << "record " << i;
+    EXPECT_TRUE(bits_equal(a[i].time, b[i].time)) << "record " << i;
+    ASSERT_EQ(a[i].attrs.size(), b[i].attrs.size()) << "record " << i;
+    for (std::size_t d = 0; d < a[i].attrs.size(); ++d) {
+      EXPECT_TRUE(bits_equal(a[i].attrs[d], b[i].attrs[d])) << "record " << i << " attr " << d;
+    }
+  }
+}
+
+TEST(BinaryTrace, RoundTripPropertyWithHostileDoubles) {
+  std::mt19937_64 rng(20260806);
+  const double specials[] = {0.0,
+                             -0.0,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::signaling_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             -std::numeric_limits<double>::lowest(),
+                             1e300,
+                             -1e-300,
+                             0.1};  // not exactly representable
+  std::uniform_real_distribution<double> uniform(-1e6, 1e6);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dims = 1 + rng() % 4;
+    const std::size_t count = rng() % 200;
+    std::vector<SensorRecord> trace(count);
+    for (auto& rec : trace) {
+      rec.sensor = static_cast<SensorId>(rng());
+      rec.time = rng() % 3 == 0 ? specials[rng() % std::size(specials)] : uniform(rng);
+      rec.attrs.resize(dims);
+      for (auto& x : rec.attrs) {
+        x = rng() % 3 == 0 ? specials[rng() % std::size(specials)] : uniform(rng);
+      }
+    }
+    const auto path = temp_path("bt_prop_" + std::to_string(trial) + ".snt");
+    write_trace_binary_file(path, trace);
+    expect_bits_equal(read_all(path), trace);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(BinaryTrace, EmptyTraceRoundTrips) {
+  const auto path = temp_path("bt_empty.snt");
+  write_trace_binary_file(path, {});
+  BinaryTraceReader reader(path);
+  EXPECT_EQ(reader.total_records(), 0u);
+  std::vector<SensorRecord> batch;
+  EXPECT_EQ(reader.read_batch(batch, 16), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, ReadTraceFileAutoDetectsBinary) {
+  const std::vector<SensorRecord> trace{{3, 60.0, {1.5, 2.5}}, {4, 120.0, {3.5, 4.5}}};
+  const auto path = temp_path("bt_auto.snt");
+  write_trace_binary_file(path, trace);
+  const auto result = read_trace_file(path);
+  EXPECT_EQ(result.records, trace);
+  EXPECT_EQ(result.malformed_lines, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, WriterRejectsMixedDims) {
+  const auto path = temp_path("bt_mixed.snt");
+  BinaryTraceWriter w(path);
+  w.append(SensorRecord{0, 0.0, {1.0, 2.0}});
+  EXPECT_THROW(w.append(SensorRecord{0, 1.0, {1.0}}), std::runtime_error);
+  w.close();
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, WrongMagicRejected) {
+  const auto path = temp_path("bt_magic.snt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "XXXXXXXX and then some bytes that are long enough for a header";
+  }
+  EXPECT_THROW(
+      {
+        try {
+          BinaryTraceReader r(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The auto-detecting reader treats a non-magic file as CSV instead.
+  const auto reader = open_trace_reader(path);
+  EXPECT_NE(dynamic_cast<CsvTraceReader*>(reader.get()), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, TruncatedHeaderRejected) {
+  const auto path = temp_path("bt_short.snt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(kBinaryTraceMagic), 8);
+    // Header cut off after the magic.
+  }
+  EXPECT_THROW(
+      {
+        try {
+          BinaryTraceReader r(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, TruncatedPayloadRejected) {
+  const std::vector<SensorRecord> trace{{0, 0.0, {1.0, 2.0}}, {1, 60.0, {3.0, 4.0}}};
+  const auto path = temp_path("bt_trunc.snt");
+  write_trace_binary_file(path, trace);
+
+  // Chop off the last record's final bytes: the header's count now promises
+  // more records than the file holds.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 5);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+
+  EXPECT_THROW(
+      {
+        try {
+          BinaryTraceReader r(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+  // And the convenience entry point surfaces the same failure.
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, CorruptDimsRejected) {
+  const auto path = temp_path("bt_dims.snt");
+  write_trace_binary_file(path, {{0, 0.0, {1.0}}});
+  // Overwrite the dims field (offset 8) with 0.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);
+  const char zeros[4] = {};
+  f.write(zeros, 4);
+  f.close();
+  EXPECT_THROW(BinaryTraceReader r(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, ExpectedDimsMismatchRejected) {
+  const auto path = temp_path("bt_want3.snt");
+  write_trace_binary_file(path, {{0, 0.0, {1.0, 2.0}}});
+  EXPECT_NO_THROW(BinaryTraceReader(path, 2));
+  EXPECT_THROW(BinaryTraceReader(path, 3), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryTrace, CsvTranscodePreservesParsedValues) {
+  // CSV -> records -> binary -> records must be lossless on the parsed
+  // values (the CSV parse itself is where precision is decided).
+  const std::string csv =
+      "0,0,21.53625,70.124\n"
+      "1,300.125,21.7,69.5\n"
+      "2,600.0625,-0.0001,1e-12\n";
+  const auto csv_path = temp_path("bt_from.csv");
+  {
+    std::ofstream out(csv_path);
+    out << csv;
+  }
+  const auto parsed = read_trace_file(csv_path);
+  const auto bin_path = temp_path("bt_from.snt");
+  write_trace_binary_file(bin_path, parsed.records);
+  expect_bits_equal(read_all(bin_path, 2), parsed.records);
+  std::remove(csv_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+}  // namespace
+}  // namespace sentinel

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "trace/trace_io.h"
@@ -56,6 +57,36 @@ TEST(TraceIo, ExpectedDimsEnforced) {
 
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(read_trace_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+// Regression for the sensor-id validation: values a double can hold but a
+// uint32 cannot (1e300, 2^32, NaN, inf) must be *rejected*, never cast --
+// the cast itself is undefined behavior for out-of-range values.
+TEST(TraceIo, OutOfRangeSensorIdsAreMalformedNotUb) {
+  std::stringstream ss;
+  ss << "1e300,0,21.5,70\n"         // far beyond uint32
+     << "4294967296,60,21.5,70\n"   // exactly 2^32 (first unrepresentable)
+     << "4294967295,120,21.5,70\n"  // uint32 max: valid
+     << "nan,180,21.5,70\n"
+     << "inf,240,21.5,70\n"
+     << "2.5,300,21.5,70\n"         // fractional id
+     << "7,360,21.5,70\n";
+  const auto result = read_trace(ss);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].sensor, 4294967295u);
+  EXPECT_EQ(result.records[1].sensor, 7u);
+  EXPECT_EQ(result.malformed_lines, 5u);
+}
+
+TEST(TraceIo, ToSensorIdValidates) {
+  EXPECT_EQ(to_sensor_id(0.0), SensorId{0});
+  EXPECT_EQ(to_sensor_id(4294967295.0), SensorId{4294967295u});
+  EXPECT_FALSE(to_sensor_id(4294967296.0));
+  EXPECT_FALSE(to_sensor_id(-1.0));
+  EXPECT_FALSE(to_sensor_id(0.5));
+  EXPECT_FALSE(to_sensor_id(1e300));
+  EXPECT_FALSE(to_sensor_id(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(to_sensor_id(std::numeric_limits<double>::infinity()));
 }
 
 TEST(ObservationSetTest, OverallMeanAndRepresentatives) {
@@ -118,6 +149,24 @@ TEST(Windower, LateRecordsDropped) {
 TEST(Windower, RejectsNonPositiveWindow) {
   EXPECT_THROW(Windower(0.0), std::invalid_argument);
   EXPECT_THROW(Windower(-5.0), std::invalid_argument);
+}
+
+TEST(Windower, DegenerateTimesHaveDefinedWindows) {
+  // Negative and NaN times clamp into window 1 (before-deployment noise must
+  // not reach the negative-double-to-size_t cast, which would be UB).
+  Windower w(100.0);
+  EXPECT_TRUE(w.add({0, -250.0, {1.0}}).empty());
+  EXPECT_TRUE(w.add({0, std::numeric_limits<double>::quiet_NaN(), {2.0}}).empty());
+  const auto done = w.add({0, 150.0, {3.0}});  // window 2: closes window 1
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].window_index, 1u);
+  EXPECT_EQ(done[0].raw.size(), 2u);  // both degenerate records landed there
+
+  // A huge time clamps instead of overflowing the cast. The gap loop is not
+  // exercised (that would emit ~2^63 empty windows); only the index math is.
+  Windower w2(100.0);
+  (void)w2.add({0, 1e300, {1.0}});
+  EXPECT_TRUE(w2.flush().has_value());
 }
 
 TEST(WindowTrace, SortsAndFlushes) {

@@ -196,9 +196,34 @@ TEST(Csv, SplitTrimsFields) {
 TEST(Csv, ParseDouble) {
   EXPECT_EQ(csv::parse_double("3.25"), 3.25);
   EXPECT_EQ(csv::parse_double(" -7 "), -7.0);
+  EXPECT_EQ(csv::parse_double("+2.5"), 2.5);
+  EXPECT_EQ(csv::parse_double("1e10"), 1e10);
   EXPECT_FALSE(csv::parse_double("abc").has_value());
   EXPECT_FALSE(csv::parse_double("1.5x").has_value());
   EXPECT_FALSE(csv::parse_double("").has_value());
+  EXPECT_FALSE(csv::parse_double("+").has_value());
+  EXPECT_FALSE(csv::parse_double("+-3").has_value());
+  EXPECT_FALSE(csv::parse_double("1.0 2.0").has_value());
+}
+
+TEST(Csv, SplitIntoYieldsViewsWithoutAllocatingPerField) {
+  const std::string line = " a, b ,c ,, 1.5";
+  std::vector<std::string_view> fields;
+  csv::split_into(line, fields);
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[3], "");
+  EXPECT_EQ(fields[4], "1.5");
+  // Views alias the input string -- no copies.
+  EXPECT_GE(fields[0].data(), line.data());
+  EXPECT_LT(fields[4].data(), line.data() + line.size());
+
+  // Reuse clears previous contents and matches split() field-for-field.
+  csv::split_into("x,y", fields);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x");
+  EXPECT_EQ(fields[1], "y");
 }
 
 TEST(Csv, JoinAndFormat) {

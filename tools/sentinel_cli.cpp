@@ -21,8 +21,19 @@
 //   sentinel_cli health <trace.csv> [--period SECONDS]
 //       Per-sensor trace health report: completeness, gaps, noise.
 //
+//   sentinel_cli convert <in> <out> [--to csv|binary]
+//       Transcode a trace between CSV and the SNTRB1 binary format. The
+//       input format is auto-detected by magic bytes; the output format
+//       follows --to, or the output extension (.snt/.bin = binary) when the
+//       flag is absent. Streams batch-by-batch: converts traces larger than
+//       RAM.
+//
 //   sentinel_cli scenarios
 //       List the canonical injection scenarios.
+//
+// Every command that reads a trace (analyze, inject, health, convert)
+// accepts CSV or binary input interchangeably -- detection is by file
+// content, never by extension.
 
 #include <cstdio>
 #include <cstring>
@@ -36,8 +47,10 @@
 #include "core/autotune.h"
 #include "core/offline_kmeans.h"
 #include "core/pipeline.h"
+#include "trace/binary_trace.h"
 #include "trace/health.h"
 #include "trace/trace_io.h"
+#include "trace/trace_reader.h"
 #include "util/vecn.h"
 
 namespace {
@@ -52,6 +65,7 @@ int usage() {
                "               [--checkpoint IN] [--save-checkpoint OUT]\n"
                "  sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]\n"
                "  sentinel_cli health <trace.csv> [--period SECONDS]\n"
+               "  sentinel_cli convert <in> <out> [--to csv|binary]\n"
                "  sentinel_cli scenarios\n");
   return 2;
 }
@@ -69,12 +83,12 @@ std::optional<Args> parse(int argc, char** argv) {
   args.command = argv[1];
   int i = 2;
   if (args.command == "simulate" || args.command == "analyze" || args.command == "health" ||
-      args.command == "inject") {
+      args.command == "inject" || args.command == "convert") {
     if (argc < 3 || argv[2][0] == '-') return std::nullopt;
     args.path = argv[2];
     i = 3;
   }
-  if (args.command == "inject") {
+  if (args.command == "inject" || args.command == "convert") {
     if (argc < 4 || argv[3][0] == '-') return std::nullopt;
     args.path2 = argv[3];
     i = 4;
@@ -286,6 +300,51 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+int cmd_convert(const Args& args) {
+  std::string to = opt_str(args, "--to", "");
+  if (to.empty()) {
+    // Infer the target format from the output extension.
+    const auto dot = args.path2.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : args.path2.substr(dot);
+    to = (ext == ".snt" || ext == ".bin") ? "binary" : "csv";
+  }
+  if (to != "csv" && to != "binary") {
+    std::fprintf(stderr, "unknown target format '%s' (expected csv or binary)\n", to.c_str());
+    return 2;
+  }
+
+  const auto reader = open_trace_reader(args.path);
+  std::vector<SensorRecord> batch;
+  std::size_t total = 0;
+  if (to == "binary") {
+    BinaryTraceWriter writer(args.path2);
+    while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
+      writer.append(batch);
+      total += batch.size();
+    }
+    writer.close();
+  } else {
+    std::ofstream out(args.path2);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.path2.c_str());
+      return 1;
+    }
+    while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
+      write_trace(out, batch);
+      total += batch.size();
+    }
+    if (!out) {
+      std::fprintf(stderr, "write failed for %s\n", args.path2.c_str());
+      return 1;
+    }
+  }
+  if (reader->malformed_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n", reader->malformed_lines());
+  }
+  std::printf("wrote %zu records to %s (%s)\n", total, args.path2.c_str(), to.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,6 +356,7 @@ int main(int argc, char** argv) {
     if (args->command == "analyze") return cmd_analyze(*args);
     if (args->command == "health") return cmd_health(*args);
     if (args->command == "inject") return cmd_inject(*args);
+    if (args->command == "convert") return cmd_convert(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
