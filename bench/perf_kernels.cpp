@@ -1,0 +1,166 @@
+// P4 -- google-benchmark: the dispatched SIMD kernel layer in isolation.
+//
+// Unlike the other perf benches this one registers every benchmark once per
+// *supported* kernel level (scalar always; sse2/avx2 when the CPU has them),
+// bypassing the process-wide dispatch so one run compares the levels head to
+// head: "BM_Dist2Block<avx2>/8/40" vs "BM_Dist2Block<scalar>/8/40". The
+// shapes mirror the real call sites: dims 2-3 are the paper's attribute
+// vectors (stride 4 after padding), dims 8 the autotune sweep's upper end;
+// state counts 4-40 span the pipeline's model sizes and the HMM benches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/kernels.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sentinel;
+
+std::vector<double> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, "perf-kernels");
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+void BM_Dist2Block(benchmark::State& state, const kern::Kernels& k) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const std::size_t stride = kern::padded(dims);
+  // Padded rows with +0.0 pad cells, exactly like ModelStateSet storage.
+  std::vector<double> block(count * stride, 0.0);
+  const auto fill = random_vec(count * dims, 1);
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::size_t d = 0; d < dims; ++d) block[s * stride + d] = fill[s * dims + d];
+  }
+  std::vector<double> query(stride, 0.0);
+  const auto q = random_vec(dims, 2);
+  for (std::size_t d = 0; d < dims; ++d) query[d] = q[d];
+  std::vector<double> out(count, 0.0);
+  for (auto _ : state) {
+    k.dist2_block(block.data(), count, stride, query.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+
+void BM_VecMat(benchmark::State& state, const kern::Kernels& k) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride = kern::padded(m);
+  const auto mat = random_vec(m * stride, 3);
+  const auto x = random_vec(m, 4);
+  std::vector<double> out(m, 0.0);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0);
+    k.vec_mat(x.data(), mat.data(), m, m, stride, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * m));
+}
+
+void BM_MatVec(benchmark::State& state, const kern::Kernels& k) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride = kern::padded(m);
+  const auto mat = random_vec(m * stride, 5);
+  const auto x = random_vec(m, 6);
+  std::vector<double> out(m, 0.0);
+  for (auto _ : state) {
+    k.mat_vec(mat.data(), x.data(), m, m, stride, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m * m));
+}
+
+void BM_Normalize(benchmark::State& state, const kern::Kernels& k) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto src = random_vec(n, 7);
+  std::vector<double> v(src);
+  for (auto _ : state) {
+    v = src;  // normalize mutates; restore so magnitudes stay sane
+    benchmark::DoNotOptimize(k.normalize(v.data(), n));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_MulAxpy(benchmark::State& state, const kern::Kernels& k) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 8);
+  const auto b = random_vec(n, 9);
+  std::vector<double> y(n, 0.0);
+  for (auto _ : state) {
+    k.mul_axpy(y.data(), a.data(), b.data(), n, 1e-3);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_MaxPlus(benchmark::State& state, const kern::Kernels& k) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n, 10);
+  const auto y = random_vec(n, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.max_plus(x.data(), y.data(), n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void register_for_level(kern::Level level) {
+  if (!kern::level_supported(level)) return;
+  const kern::Kernels& k = kern::table(level);
+  const std::string tag = std::string("<") + kern::level_name(level) + ">";
+  for (const long dims : {2L, 3L, 8L}) {
+    for (const long count : {4L, 8L, 16L, 40L}) {
+      benchmark::RegisterBenchmark(("BM_Dist2Block" + tag).c_str(),
+                                   [&k](benchmark::State& s) { BM_Dist2Block(s, k); })
+          ->Args({dims, count});
+    }
+  }
+  for (const long m : {4L, 8L, 16L, 40L}) {
+    benchmark::RegisterBenchmark(("BM_VecMat" + tag).c_str(),
+                                 [&k](benchmark::State& s) { BM_VecMat(s, k); })
+        ->Arg(m);
+    benchmark::RegisterBenchmark(("BM_MatVec" + tag).c_str(),
+                                 [&k](benchmark::State& s) { BM_MatVec(s, k); })
+        ->Arg(m);
+  }
+  for (const long n : {8L, 40L, 256L}) {
+    benchmark::RegisterBenchmark(("BM_Normalize" + tag).c_str(),
+                                 [&k](benchmark::State& s) { BM_Normalize(s, k); })
+        ->Arg(n);
+    benchmark::RegisterBenchmark(("BM_MulAxpy" + tag).c_str(),
+                                 [&k](benchmark::State& s) { BM_MulAxpy(s, k); })
+        ->Arg(n);
+    benchmark::RegisterBenchmark(("BM_MaxPlus" + tag).c_str(),
+                                 [&k](benchmark::State& s) { BM_MaxPlus(s, k); })
+        ->Arg(n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const kern::Level level : {kern::Level::scalar, kern::Level::sse2, kern::Level::avx2}) {
+    register_for_level(level);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

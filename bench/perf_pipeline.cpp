@@ -104,6 +104,13 @@ void run_window_bench(benchmark::State& state, const core::PipelineConfig& cfg,
   state.counters["allocs_per_window"] = benchmark::Counter(
       hot_windows == 0 ? 0.0
                        : static_cast<double>(hot_allocs) / static_cast<double>(hot_windows));
+  // Raw sensor records ingested per second (both the warm-up and counted
+  // replay touch every record), the unit fleet capacity planning uses.
+  std::size_t records = 0;
+  for (const auto& w : windows) records += w.raw.size();
+  state.counters["records_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * 2 * records),
+                         benchmark::Counter::kIsRate);
 }
 
 void BM_PipelineWindow(benchmark::State& state) {

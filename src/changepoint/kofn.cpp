@@ -1,27 +1,32 @@
 #include "changepoint/kofn.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 namespace sentinel::changepoint {
 
-KofNFilter::KofNFilter(std::size_t k, std::size_t n) : k_(k), n_(n) {
+KofNFilter::KofNFilter(std::size_t k, std::size_t n) : k_(k), n_(n), window_(n, 0) {
   if (k == 0 || n == 0 || k > n) throw std::invalid_argument("KofNFilter: need 1 <= k <= n");
 }
 
 bool KofNFilter::update(bool raw_alarm) {
-  window_.push_back(raw_alarm);
-  if (raw_alarm) ++count_;
-  if (window_.size() > n_) {
-    if (window_.front()) --count_;
-    window_.pop_front();
+  if (filled_ == n_) {
+    count_ -= window_[head_];
+  } else {
+    ++filled_;
   }
+  window_[head_] = raw_alarm ? 1 : 0;
+  if (raw_alarm) ++count_;
+  head_ = head_ + 1 == n_ ? 0 : head_ + 1;
   active_ = count_ >= k_;
   return active_;
 }
 
 void KofNFilter::reset() {
-  window_.clear();
+  std::fill(window_.begin(), window_.end(), 0);
+  head_ = 0;
+  filled_ = 0;
   count_ = 0;
   active_ = false;
 }

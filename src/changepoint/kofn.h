@@ -5,8 +5,9 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "changepoint/alarm_filter.h"
 
@@ -28,7 +29,12 @@ class KofNFilter final : public AlarmFilter {
  private:
   std::size_t k_;
   std::size_t n_;
-  std::deque<bool> window_;
+  /// Last-n raw alarms as a fixed ring buffer (head_ = oldest slot). The
+  /// filter runs once per sensor per window, so update() stays a handful of
+  /// array ops instead of deque bookkeeping.
+  std::vector<std::uint8_t> window_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
   std::size_t count_ = 0;
   bool active_ = false;
 };

@@ -1,5 +1,6 @@
 #include "core/alarms.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sentinel::core {
@@ -29,35 +30,59 @@ changepoint::AlarmFilterFactory make_filter_factory(const AlarmFilterConfig& cfg
 
 AlarmBank::AlarmBank(const AlarmFilterConfig& cfg) : factory_(make_filter_factory(cfg)) {}
 
+AlarmBank::Entry& AlarmBank::entry(SensorId sensor) {
+  if (sensor < kDenseLimit) {
+    if (sensor >= dense_.size()) {
+      // Grow geometrically: ascending first-window ids would otherwise
+      // reallocate once per sensor.
+      dense_.resize(std::max<std::size_t>(sensor + 1, dense_.size() * 2));
+    }
+    Entry& e = dense_[sensor];
+    if (!e.filter) e.filter = factory_();
+    return e;
+  }
+  auto it = sparse_.find(sensor);
+  if (it == sparse_.end()) it = sparse_.emplace(sensor, Entry{factory_(), 0, 0}).first;
+  return it->second;
+}
+
+const AlarmBank::Entry* AlarmBank::find_entry(SensorId sensor) const {
+  if (sensor < kDenseLimit) {
+    if (sensor < dense_.size() && dense_[sensor].filter) return &dense_[sensor];
+    return nullptr;
+  }
+  const auto it = sparse_.find(sensor);
+  return it == sparse_.end() ? nullptr : &it->second;
+}
+
 AlarmUpdate AlarmBank::update(SensorId sensor, bool raw_alarm) {
-  auto it = filters_.find(sensor);
-  if (it == filters_.end()) it = filters_.emplace(sensor, factory_()).first;
+  Entry& e = entry(sensor);
 
   AlarmUpdate out;
   out.raw = raw_alarm;
-  const bool before = it->second->active();
-  out.filtered = it->second->update(raw_alarm);
+  const bool before = e.filter->active();
+  out.filtered = e.filter->update(raw_alarm);
   out.raised_edge = !before && out.filtered;
   out.cleared_edge = before && !out.filtered;
 
-  if (raw_alarm) ++raw_counts_[sensor];
-  ++window_counts_[sensor];
+  if (raw_alarm) ++e.raw_count;
+  ++e.window_count;
   return out;
 }
 
 bool AlarmBank::filtered_active(SensorId sensor) const {
-  const auto it = filters_.find(sensor);
-  return it != filters_.end() && it->second->active();
+  const Entry* e = find_entry(sensor);
+  return e != nullptr && e->filter->active();
 }
 
 std::size_t AlarmBank::raw_count(SensorId sensor) const {
-  const auto it = raw_counts_.find(sensor);
-  return it == raw_counts_.end() ? 0 : it->second;
+  const Entry* e = find_entry(sensor);
+  return e == nullptr ? 0 : e->raw_count;
 }
 
 std::size_t AlarmBank::window_count(SensorId sensor) const {
-  const auto it = window_counts_.find(sensor);
-  return it == window_counts_.end() ? 0 : it->second;
+  const Entry* e = find_entry(sensor);
+  return e == nullptr ? 0 : e->window_count;
 }
 
 }  // namespace sentinel::core

@@ -44,10 +44,25 @@ class AlarmBank {
   std::size_t window_count(SensorId sensor) const;
 
  private:
+  /// One entry per sensor: filter + counters live together so the hot
+  /// update() touches a single entry per sensor per window.
+  struct Entry {
+    changepoint::AlarmFilterPtr filter;  // null = sensor never seen (dense slots)
+    std::size_t raw_count = 0;
+    std::size_t window_count = 0;
+  };
+
+  /// Small sensor ids (every real deployment) index a flat vector -- update()
+  /// is then array indexing instead of a tree walk; pathological ids fall
+  /// back to the ordered map.
+  static constexpr SensorId kDenseLimit = 1u << 16;
+
+  Entry& entry(SensorId sensor);
+  const Entry* find_entry(SensorId sensor) const;
+
   changepoint::AlarmFilterFactory factory_;
-  std::map<SensorId, changepoint::AlarmFilterPtr> filters_;
-  std::map<SensorId, std::size_t> raw_counts_;
-  std::map<SensorId, std::size_t> window_counts_;
+  std::vector<Entry> dense_;
+  std::map<SensorId, Entry> sparse_;
 };
 
 }  // namespace sentinel::core

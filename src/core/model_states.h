@@ -12,13 +12,18 @@
 // id's last centroid stays queryable so emission matrices built against it
 // remain interpretable.
 //
-// Storage is flat: one contiguous dimension-strided centroid buffer in slot
-// order plus an id->slot hash index. Slot order always equals ascending-id
-// order (spawns append monotonically increasing ids; merges keep the older
-// id, i.e. the earlier slot), which keeps every distance scan and tie-break
-// identical to the original per-state-struct layout while map() runs as a
-// tight loop over consecutive memory and is_active()/centroid()/resolve()
-// are O(1) lookups.
+// Storage is flat: one contiguous centroid buffer in slot order plus an
+// id->slot hash index. Slot order always equals ascending-id order (spawns
+// append monotonically increasing ids; merges keep the older id, i.e. the
+// earlier slot), which keeps every distance scan and tie-break identical to
+// the original per-state-struct layout while map() runs as a tight loop over
+// consecutive memory and is_active()/centroid()/resolve() are O(1) lookups.
+//
+// The per-slot stride is dims() rounded up to the 4-lane kernel width
+// (util/kernels.h) and padding cells are zero, so map()/maybe_spawn() scan
+// whole blocks of slots with the SIMD dist2_block kernel. Zero pads add
+// exactly +0.0 to a reduction lane, so padded distances are bit-identical to
+// the unpadded ones.
 
 #pragma once
 
@@ -27,6 +32,7 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -66,6 +72,15 @@ class ModelStateSet {
     return maybe_spawn(std::span<const AttrVec>(points));
   }
 
+  /// Spawn pass that also records each point's nearest slot from the same
+  /// scan. When the returned list is empty (the steady state), `slots[j]` is
+  /// exactly map_slot(points[j]) under the final centroids, so the caller's
+  /// eq. (3) mapping pass can skip its scans. When states *were* created a
+  /// later spawn may be nearer to an earlier point than its recorded slot --
+  /// callers must remap (identify_states does its own scans then).
+  std::vector<StateId> maybe_spawn_mapped(std::span<const AttrVec> points,
+                                          std::vector<std::size_t>& slots);
+
   /// eqs. (5)+(6): EMA-update each state's centroid from the observations
   /// mapped to it, then merge states closer than merge_threshold.
   void update(const std::vector<AttrVec>& points);
@@ -85,7 +100,7 @@ class ModelStateSet {
   const std::vector<StateId>& ids() const { return ids_; }
   /// Centroid of the state in storage slot `slot` (no bounds check).
   std::span<const double> centroid_at(std::size_t slot) const {
-    return {centroids_.data() + slot * dims_, dims_};
+    return {centroids_.data() + slot * stride_, dims_};
   }
 
   /// Centroid by id; falls back to the last known centroid of a merged-away
@@ -117,11 +132,15 @@ class ModelStateSet {
  private:
   void merge_close_states();
   void append_state(StateId id, std::span<const double> centroid);
+  /// Slot and squared distance of the active state nearest to p (strict-<
+  /// first-min, identical to the historical sequential scan).
+  std::pair<std::size_t, double> scan_nearest(std::span<const double> p) const;
 
   ModelStateConfig cfg_;
   std::size_t dims_ = 0;
+  std::size_t stride_ = 0;          // kern::padded(dims_): per-slot stride
   std::vector<StateId> ids_;        // slot -> id, ascending
-  std::vector<double> centroids_;   // slot-major, dims_ stride
+  std::vector<double> centroids_;   // slot-major, stride_ stride, zero pads
   std::unordered_map<StateId, std::size_t> slot_of_;  // active id -> slot
   std::unordered_map<StateId, AttrVec> historical_;   // last centroid of every id ever
   std::unordered_map<StateId, StateId> merged_into_;  // raw lineage (serialized as-is)

@@ -93,30 +93,53 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
   }
 
   // Per-sensor representatives drive every step: each sensor gets one vote
-  // per window, so a chatty sensor cannot outvote the rest. Copied into the
+  // per window, so a chatty sensor cannot outvote the rest. The windower
+  // caches them as flat arrays; hand-built windows are copied into the
   // reusable scratch (element-wise, so the AttrVecs keep their capacity).
-  points_.resize(window.per_sensor.size());
-  {
+  std::span<const AttrVec> points;
+  std::span<const SensorId> sensors;
+  if (!window.rep_points.empty()) {
+    points = window.rep_points;
+    sensors = window.rep_sensors;
+  } else {
+    points_.resize(window.per_sensor.size());
+    sensors_.resize(window.per_sensor.size());
     std::size_t i = 0;
     for (const auto& [id, p] : window.per_sensor) {
+      sensors_[i] = id;
       points_[i].assign(p.begin(), p.end());
       ++i;
     }
+    points = points_;
+    sensors = sensors_;
   }
-  vecn::mean_into(window.raw, window_mean_);
+  // The windower caches the overall mean at finalization (same accumulation
+  // order, so the bits match); only hand-built windows pay the re-walk here.
+  const AttrVec* window_mean = &window.cached_mean;
+  if (window_mean->empty()) {
+    vecn::mean_into(window.raw, window_mean_);
+    window_mean = &window_mean_;
+  }
 
   // (1) Make fresh regimes representable before mapping (section 3.1's
   // "creating a new state s_{M+1} = p_j"). The window mean is a spawn
   // candidate too: under a coalition attack the network-level observable
   // (eq. 2 maps the mean) can sit far from every individual reading -- the
   // fabricated state of a Dynamic Creation attack must become a model state
-  // for B^CO to expose it. Two calls, same candidate order as one.
-  states_.maybe_spawn(std::span<const AttrVec>(points_));
-  states_.maybe_spawn(std::span<const AttrVec>(&window_mean_, 1));
+  // for B^CO to expose it. Two calls, same candidate order as one. The spawn
+  // scan doubles as the eq. (3) mapping scan: when nothing spawned, the
+  // recorded slots are exact under the final centroids.
+  const bool spawned_points = !states_.maybe_spawn_mapped(points, spawn_slots_).empty();
+  const bool spawned_mean =
+      !states_.maybe_spawn(std::span<const AttrVec>(window_mean, 1)).empty();
 
-  // (2) o_i, c_i, l_j.
+  // (2) o_i, c_i, l_j -- over the flat copies made above, so the window's
+  // per-sensor map is walked exactly once per window.
   WindowStates& ws = window_states_;
-  identify_states_into(window, states_, window_mean_, ws, ident_scratch_);
+  identify_states_into(sensors, points, states_, *window_mean, ws, ident_scratch_,
+                       (spawned_points || spawned_mean)
+                           ? std::span<const std::size_t>{}
+                           : std::span<const std::size_t>(spawn_slots_));
 
   // (3) Alarms and tracks.
   WindowSummary summary;
@@ -167,7 +190,7 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
 
   // (6) Centroid EMA update + merge, reusing the eq. (3) labels: nothing
   // moved a centroid since identify_states_into, so the slots are exact.
-  states_.update_labeled(points_, ident_scratch_.point_slots);
+  states_.update_labeled(points, ident_scratch_.point_slots);
 
   ++windows_processed_;
   if (cfg_.record_history) history_.push_back(std::move(summary));

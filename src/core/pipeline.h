@@ -187,8 +187,10 @@ class DetectionPipeline {
 
   // Per-window scratch, reused so the steady-state hot path allocates
   // nothing (see docs/PERFORMANCE.md).
-  std::vector<AttrVec> points_;  // per-sensor representatives, window order
-  AttrVec window_mean_;          // eq. (2) input, shared by spawn + identify
+  std::vector<AttrVec> points_;     // per-sensor representatives, window order
+  std::vector<SensorId> sensors_;   // sensor ids matching points_
+  AttrVec window_mean_;             // eq. (2) input, shared by spawn + identify
+  std::vector<std::size_t> spawn_slots_;  // per-point slots from the spawn scan
   WindowStates window_states_;
   StateIdentScratch ident_scratch_;
 

@@ -16,33 +16,13 @@ StateId WindowStates::mapped(SensorId sensor) const {
   return it->second;
 }
 
-void identify_states_into(const ObservationSet& window, const ModelStateSet& states,
-                          std::span<const double> window_mean, WindowStates& out,
-                          StateIdentScratch& scratch) {
-  if (window.per_sensor.empty()) {
-    throw std::invalid_argument("identify_states: empty window");
-  }
+namespace {
 
-  out.mapping.clear();
-  out.sensors = window.per_sensor.size();
-
-  // eq. (2): o_i = argmin_k || s_k - mean(all observations) ||.
-  out.observable = states.ids()[states.map_slot(window_mean)];
-
-  // eq. (3): l_j per sensor representative. per_sensor iterates ascending by
-  // sensor id, so mapping[] comes out sorted.
-  scratch.point_slots.clear();
-  scratch.cluster_sizes.assign(states.size(), 0);
-  for (const auto& [sensor, p] : window.per_sensor) {
-    const std::size_t slot = states.map_slot(p);
-    out.mapping.emplace_back(sensor, states.ids()[slot]);
-    scratch.point_slots.push_back(slot);
-    ++scratch.cluster_sizes[slot];
-  }
-
-  // eq. (4): c_i = the state with the largest cluster of observations.
-  // Slots ascend by state id, so scanning them skipping empty clusters visits
-  // the same (id, size) sequence the original std::map iteration produced.
+// eq. (4): c_i = the state with the largest cluster of observations.
+// Slots ascend by state id, so scanning them skipping empty clusters visits
+// the same (id, size) sequence the original std::map iteration produced.
+void pick_correct_state(const ModelStateSet& states, WindowStates& out,
+                        const StateIdentScratch& scratch) {
   StateId best = out.mapping.front().second;
   std::size_t best_size = 0;
   for (std::size_t slot = 0; slot < states.size(); ++slot) {
@@ -62,6 +42,73 @@ void identify_states_into(const ObservationSet& window, const ModelStateSet& sta
   }
   out.correct = best;
   out.majority_size = best_size;
+}
+
+}  // namespace
+
+void identify_states_into(const ObservationSet& window, const ModelStateSet& states,
+                          std::span<const double> window_mean, WindowStates& out,
+                          StateIdentScratch& scratch,
+                          std::span<const std::size_t> precomputed_slots) {
+  if (window.per_sensor.empty()) {
+    throw std::invalid_argument("identify_states: empty window");
+  }
+  if (!precomputed_slots.empty() && precomputed_slots.size() != window.per_sensor.size()) {
+    throw std::invalid_argument("identify_states: precomputed slot count mismatch");
+  }
+
+  out.mapping.clear();
+  out.sensors = window.per_sensor.size();
+
+  // eq. (2): o_i = argmin_k || s_k - mean(all observations) ||.
+  out.observable = states.ids()[states.map_slot(window_mean)];
+
+  // eq. (3): l_j per sensor representative. per_sensor iterates ascending by
+  // sensor id, so mapping[] comes out sorted.
+  scratch.point_slots.clear();
+  scratch.cluster_sizes.assign(states.size(), 0);
+  std::size_t j = 0;
+  for (const auto& [sensor, p] : window.per_sensor) {
+    const std::size_t slot =
+        precomputed_slots.empty() ? states.map_slot(p) : precomputed_slots[j];
+    ++j;
+    out.mapping.emplace_back(sensor, states.ids()[slot]);
+    scratch.point_slots.push_back(slot);
+    ++scratch.cluster_sizes[slot];
+  }
+
+  pick_correct_state(states, out, scratch);
+}
+
+void identify_states_into(std::span<const SensorId> sensors, std::span<const AttrVec> points,
+                          const ModelStateSet& states, std::span<const double> window_mean,
+                          WindowStates& out, StateIdentScratch& scratch,
+                          std::span<const std::size_t> precomputed_slots) {
+  if (sensors.empty()) {
+    throw std::invalid_argument("identify_states: empty window");
+  }
+  if (sensors.size() != points.size()) {
+    throw std::invalid_argument("identify_states: sensor/point count mismatch");
+  }
+  if (!precomputed_slots.empty() && precomputed_slots.size() != sensors.size()) {
+    throw std::invalid_argument("identify_states: precomputed slot count mismatch");
+  }
+
+  out.mapping.clear();
+  out.sensors = sensors.size();
+  out.observable = states.ids()[states.map_slot(window_mean)];
+
+  scratch.point_slots.clear();
+  scratch.cluster_sizes.assign(states.size(), 0);
+  for (std::size_t j = 0; j < sensors.size(); ++j) {
+    const std::size_t slot =
+        precomputed_slots.empty() ? states.map_slot(points[j]) : precomputed_slots[j];
+    out.mapping.emplace_back(sensors[j], states.ids()[slot]);
+    scratch.point_slots.push_back(slot);
+    ++scratch.cluster_sizes[slot];
+  }
+
+  pick_correct_state(states, out, scratch);
 }
 
 WindowStates identify_states(const ObservationSet& window, const ModelStateSet& states) {

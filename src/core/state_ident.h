@@ -54,8 +54,24 @@ WindowStates identify_states(const ObservationSet& window, const ModelStateSet& 
 /// reused; their capacity persists across windows). `window_mean` must be
 /// the window's overall mean (eq. (2) input), precomputed by the caller so
 /// the same mean also serves the spawn pass.
+///
+/// `precomputed_slots`, when nonempty, must hold map_slot() of each
+/// per-sensor representative (in per_sensor order) under the *current*
+/// centroids -- e.g. from ModelStateSet::maybe_spawn_mapped when it created
+/// no states -- and lets eq. (3) skip its distance scans entirely. Throws if
+/// its size disagrees with the window's representative count.
 void identify_states_into(const ObservationSet& window, const ModelStateSet& states,
                           std::span<const double> window_mean, WindowStates& out,
-                          StateIdentScratch& scratch);
+                          StateIdentScratch& scratch,
+                          std::span<const std::size_t> precomputed_slots = {});
+
+/// Flat-array variant for callers that already copied the representatives out
+/// of the window (the pipeline's hot path): `sensors[j]`/`points[j]` must be
+/// the per-sensor representatives in ascending sensor order. Identical
+/// results to the ObservationSet overload, without re-walking its map.
+void identify_states_into(std::span<const SensorId> sensors, std::span<const AttrVec> points,
+                          const ModelStateSet& states, std::span<const double> window_mean,
+                          WindowStates& out, StateIdentScratch& scratch,
+                          std::span<const std::size_t> precomputed_slots = {});
 
 }  // namespace sentinel::core

@@ -1,14 +1,25 @@
 #include "core/tracks.h"
 
+#include <algorithm>
+
 #include "util/serialize.h"
 
 namespace sentinel::core {
+
+void TrackManager::set_active_flag(SensorId sensor, bool active) {
+  if (sensor >= kDenseLimit) return;
+  if (sensor >= active_dense_.size()) {
+    active_dense_.resize(std::max<std::size_t>(sensor + 1, active_dense_.size() * 2), 0);
+  }
+  active_dense_[sensor] = active ? 1 : 0;
+}
 
 void TrackManager::open(SensorId sensor, std::size_t window) {
   auto& list = tracks_[sensor];
   if (!list.empty() && list.back().active()) return;
   list.emplace_back(hmm_cfg_);
   list.back().opened_window = window;
+  set_active_flag(sensor, true);
 }
 
 void TrackManager::close(SensorId sensor, std::size_t window) {
@@ -16,9 +27,13 @@ void TrackManager::close(SensorId sensor, std::size_t window) {
   if (it == tracks_.end() || it->second.empty()) return;
   auto& last = it->second.back();
   if (last.active()) last.closed_window = window;
+  set_active_flag(sensor, false);
 }
 
 bool TrackManager::has_active_track(SensorId sensor) const {
+  if (sensor < kDenseLimit) {
+    return sensor < active_dense_.size() && active_dense_[sensor] != 0;
+  }
   const auto it = tracks_.find(sensor);
   return it != tracks_.end() && !it->second.empty() && it->second.back().active();
 }
@@ -126,6 +141,7 @@ TrackManager TrackManager::load(hmm::OnlineHmmConfig hmm_cfg, serialize::Reader&
       track.m_ce = hmm::OnlineHmm::load(hmm_cfg, r);
       list.push_back(std::move(track));
     }
+    if (!list.empty() && list.back().active()) tm.set_active_flag(sensor, true);
   }
   const auto n_aggs = serialize::get<std::size_t>(r);
   for (std::size_t i = 0; i < n_aggs; ++i) {

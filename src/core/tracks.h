@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -84,9 +85,16 @@ class TrackManager {
     explicit Aggregate(hmm::OnlineHmmConfig cfg) : m_ce(cfg) {}
   };
 
+  /// Small sensor ids answer has_active_track() from a flat flag array (the
+  /// pipeline asks for every sensor every window); larger ids walk the map.
+  static constexpr SensorId kDenseLimit = 1u << 16;
+
+  void set_active_flag(SensorId sensor, bool active);
+
   hmm::OnlineHmmConfig hmm_cfg_;
   std::map<SensorId, std::vector<Track>> tracks_;
   std::map<SensorId, Aggregate> aggregates_;
+  std::vector<std::uint8_t> active_dense_;  // 1 = active track, ids < kDenseLimit
 };
 
 }  // namespace sentinel::core

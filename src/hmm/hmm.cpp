@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/kernels.h"
 #include "util/serialize.h"
 
 namespace sentinel::hmm {
@@ -77,29 +78,27 @@ ForwardResult Hmm::forward(const Sequence& obs) const {
     if (o >= num_symbols()) throw std::out_of_range("Hmm::forward: symbol out of range");
   }
 
-  // t = 0
-  double c0 = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    const double v = pi_[i] * b_(i, obs[0]);
-    r.scaled_alpha(0, i) = v;
-    c0 += v;
-  }
-  if (c0 <= 0.0) c0 = std::numeric_limits<double>::min();
-  r.scales[0] = 1.0 / c0;
-  for (std::size_t i = 0; i < m; ++i) r.scaled_alpha(0, i) *= r.scales[0];
+  // B transposed once per pass: row o of bt is the emission column b(:, o),
+  // so each time step streams one contiguous row instead of a strided column.
+  const auto& kk = kern::k();
+  const Matrix bt = b_.transposed();
+  const std::size_t astride = a_.stride();
+  const std::size_t bstride = bt.stride();
+
+  // t = 0: alpha_hat(0, i) = pi_i * b_i(o_0), rescaled to sum to 1.
+  double* a0 = r.scaled_alpha.data();
+  kk.mul(a0, pi_.data(), bt.data() + obs[0] * bstride, m);
+  r.scales[0] = kk.normalize(a0, m);
 
   for (std::size_t t = 1; t < t_len; ++t) {
-    double ct = 0.0;
-    for (std::size_t j = 0; j < m; ++j) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < m; ++i) s += r.scaled_alpha(t - 1, i) * a_(i, j);
-      const double v = s * b_(j, obs[t]);
-      r.scaled_alpha(t, j) = v;
-      ct += v;
-    }
-    if (ct <= 0.0) ct = std::numeric_limits<double>::min();
-    r.scales[t] = 1.0 / ct;
-    for (std::size_t j = 0; j < m; ++j) r.scaled_alpha(t, j) *= r.scales[t];
+    const double* prev = r.scaled_alpha.data() + (t - 1) * r.scaled_alpha.stride();
+    double* cur = r.scaled_alpha.data() + t * r.scaled_alpha.stride();
+    // cur[j] = sum_i alpha_hat(t-1, i) a(i, j), accumulated row-by-row in
+    // ascending i -- the same per-output addition order as the classic
+    // nested loop.
+    kk.vec_mat(prev, a_.data(), m, m, astride, cur);
+    kk.mul(cur, cur, bt.data() + obs[t] * bstride, m);
+    r.scales[t] = kk.normalize(cur, m);
   }
 
   double ll = 0.0;
@@ -114,17 +113,21 @@ Matrix Hmm::backward(const Sequence& obs, const std::vector<double>& scales) con
   const std::size_t t_len = obs.size();
   const std::size_t m = num_states();
 
+  const auto& kk = kern::k();
+  const Matrix bt = b_.transposed();
   Matrix beta(t_len, m);
-  for (std::size_t i = 0; i < m; ++i) beta(t_len - 1, i) = scales[t_len - 1];
+  double* last = beta.data() + (t_len - 1) * beta.stride();
+  std::fill(last, last + m, scales[t_len - 1]);
 
+  std::vector<double> tmp(m);
   for (std::size_t t = t_len - 1; t-- > 0;) {
-    for (std::size_t i = 0; i < m; ++i) {
-      double s = 0.0;
-      for (std::size_t j = 0; j < m; ++j) {
-        s += a_(i, j) * b_(j, obs[t + 1]) * beta(t + 1, j);
-      }
-      beta(t, i) = s * scales[t];
-    }
+    const double* next = beta.data() + (t + 1) * beta.stride();
+    double* cur = beta.data() + t * beta.stride();
+    // tmp[j] = b_j(o_{t+1}) * beta_hat(t+1, j) is shared by every i, so the
+    // inner recursion collapses to one row-dot per state.
+    kk.mul(tmp.data(), bt.data() + obs[t + 1] * bt.stride(), next, m);
+    kk.mat_vec(a_.data(), tmp.data(), m, m, a_.stride(), cur);
+    kk.scale(cur, m, scales[t]);
   }
   return beta;
 }
@@ -145,37 +148,39 @@ ViterbiResult Hmm::viterbi(const Sequence& obs) const {
   // log() is the dominant cost of the recursion; taking it once per matrix
   // entry instead of inside the O(T*m^2) loop drops T redundant evaluations
   // per entry without changing a single arithmetic result (same doubles, in
-  // the same order).
-  Matrix log_a(m, m, kNegInf);
-  Matrix log_b(m, num_symbols(), kNegInf);
+  // the same order). The tables are built *transposed* -- log_at row j holds
+  // log a(:, j), log_bt row k holds log b(:, k) -- so the recursion streams
+  // contiguous rows through the max_plus kernel, whose strict-> striped
+  // argmax reproduces the sequential first-max index exactly (kernels.h).
+  const auto& kk = kern::k();
+  const std::size_t n = num_symbols();
+  Matrix log_at(m, m, kNegInf);
+  Matrix log_bt(n, m, kNegInf);
   std::vector<double> log_pi(m, kNegInf);
   for (std::size_t i = 0; i < m; ++i) {
     log_pi[i] = safe_log(pi_[i]);
-    for (std::size_t j = 0; j < m; ++j) log_a(i, j) = safe_log(a_(i, j));
-    for (std::size_t k = 0; k < num_symbols(); ++k) log_b(i, k) = safe_log(b_(i, k));
+    for (std::size_t j = 0; j < m; ++j) log_at(j, i) = safe_log(a_(i, j));
+    for (std::size_t k = 0; k < n; ++k) log_bt(k, i) = safe_log(b_(i, k));
   }
 
   Matrix delta(t_len, m, kNegInf);
-  std::vector<std::vector<std::size_t>> psi(t_len, std::vector<std::size_t>(m, 0));
+  std::vector<std::size_t> psi(t_len * m, 0);
 
-  if (obs[0] >= num_symbols()) throw std::out_of_range("Hmm::viterbi: symbol out of range");
-  for (std::size_t i = 0; i < m; ++i) {
-    delta(0, i) = log_pi[i] + log_b(i, obs[0]);
+  if (obs[0] >= n) throw std::out_of_range("Hmm::viterbi: symbol out of range");
+  {
+    const double* lb = log_bt.data() + obs[0] * log_bt.stride();
+    double* d0 = delta.data();
+    for (std::size_t i = 0; i < m; ++i) d0[i] = log_pi[i] + lb[i];
   }
   for (std::size_t t = 1; t < t_len; ++t) {
-    if (obs[t] >= num_symbols()) throw std::out_of_range("Hmm::viterbi: symbol out of range");
+    if (obs[t] >= n) throw std::out_of_range("Hmm::viterbi: symbol out of range");
+    const double* prev = delta.data() + (t - 1) * delta.stride();
+    double* cur = delta.data() + t * delta.stride();
+    const double* lb = log_bt.data() + obs[t] * log_bt.stride();
     for (std::size_t j = 0; j < m; ++j) {
-      double best = kNegInf;
-      std::size_t arg = 0;
-      for (std::size_t i = 0; i < m; ++i) {
-        const double v = delta(t - 1, i) + log_a(i, j);
-        if (v > best) {
-          best = v;
-          arg = i;
-        }
-      }
-      delta(t, j) = best + log_b(j, obs[t]);
-      psi[t][j] = arg;
+      const auto mp = kk.max_plus(prev, log_at.data() + j * log_at.stride(), m);
+      cur[j] = mp.value + lb[j];
+      psi[t * m + j] = mp.index;
     }
   }
 
@@ -190,7 +195,7 @@ ViterbiResult Hmm::viterbi(const Sequence& obs) const {
   }
   r.log_probability = best;
   for (std::size_t t = t_len - 1; t-- > 0;) {
-    r.path[t] = psi[t + 1][r.path[t + 1]];
+    r.path[t] = psi[(t + 1) * m + r.path[t + 1]];
   }
   return r;
 }
@@ -198,16 +203,16 @@ ViterbiResult Hmm::viterbi(const Sequence& obs) const {
 Matrix Hmm::posterior(const Sequence& obs) const {
   const auto fwd = forward(obs);
   const Matrix beta = backward(obs, fwd.scales);
-  Matrix gamma(obs.size(), num_states());
+  const auto& kk = kern::k();
+  const std::size_t m = num_states();
+  Matrix gamma(obs.size(), m);
   for (std::size_t t = 0; t < obs.size(); ++t) {
-    double norm = 0.0;
-    for (std::size_t i = 0; i < num_states(); ++i) {
-      gamma(t, i) = fwd.scaled_alpha(t, i) * beta(t, i) / fwd.scales[t];
-      norm += gamma(t, i);
-    }
-    if (norm > 0.0) {
-      for (std::size_t i = 0; i < num_states(); ++i) gamma(t, i) /= norm;
-    }
+    double* g = gamma.data() + t * gamma.stride();
+    kk.mul(g, fwd.scaled_alpha.data() + t * fwd.scaled_alpha.stride(),
+           beta.data() + t * beta.stride(), m);
+    kk.div_scale(g, m, fwd.scales[t]);
+    const double norm = kk.sum(g, m);
+    if (norm > 0.0) kk.div_scale(g, m, norm);
   }
   return gamma;
 }
@@ -224,13 +229,23 @@ BaumWelchResult Hmm::baum_welch(const std::vector<Sequence>& sequences,
   BaumWelchResult result;
   double prev_ll = -std::numeric_limits<double>::infinity();
 
+  // Scratch reused across every (iteration, sequence, t): the E-step inner
+  // loops run allocation-free.
+  const auto& kk = kern::k();
+  std::vector<double> g(m);
+  std::vector<double> tmp(m);
+  std::vector<double> row_dots(m);
+
   for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
     Matrix a_num(m, m, 0.0);
     std::vector<double> a_den(m, 0.0);
-    Matrix b_num(m, n, 0.0);
+    // b accumulator is kept transposed (row k = symbol k) so each time step
+    // updates one contiguous row with axpy.
+    Matrix bt_num(n, m, 0.0);
     std::vector<double> b_den(m, 0.0);
     std::vector<double> pi_acc(m, 0.0);
     double total_ll = 0.0;
+    const Matrix bt = b_.transposed();
 
     for (const auto& obs : sequences) {
       const auto fwd = forward(obs);
@@ -242,37 +257,37 @@ BaumWelchResult Hmm::baum_welch(const std::vector<Sequence>& sequences,
       // with this scaling it is already normalized per t after dividing by
       // the row sum (numerically safer than relying on exact cancellation).
       for (std::size_t t = 0; t < t_len; ++t) {
-        double norm = 0.0;
-        std::vector<double> g(m);
-        for (std::size_t i = 0; i < m; ++i) {
-          g[i] = fwd.scaled_alpha(t, i) * beta(t, i) / fwd.scales[t];
-          norm += g[i];
-        }
+        kk.mul(g.data(), fwd.scaled_alpha.data() + t * fwd.scaled_alpha.stride(),
+               beta.data() + t * beta.stride(), m);
+        kk.div_scale(g.data(), m, fwd.scales[t]);
+        const double norm = kk.sum(g.data(), m);
         if (norm <= 0.0) continue;
-        for (std::size_t i = 0; i < m; ++i) {
-          const double gi = g[i] / norm;
-          if (t == 0) pi_acc[i] += gi;
-          b_num(i, obs[t]) += gi;
-          b_den[i] += gi;
-          if (t + 1 < t_len) a_den[i] += gi;
-        }
+        kk.div_scale(g.data(), m, norm);
+        if (t == 0) kk.axpy(pi_acc.data(), g.data(), m, 1.0);
+        kk.axpy(bt_num.data() + obs[t] * bt_num.stride(), g.data(), m, 1.0);
+        kk.axpy(b_den.data(), g.data(), m, 1.0);
+        if (t + 1 < t_len) kk.axpy(a_den.data(), g.data(), m, 1.0);
       }
 
       // xi(t,i,j) proportional to alpha_hat(t,i) a_ij b_j(o_{t+1}) beta_hat(t+1,j).
+      // tmp[j] = b_j(o_{t+1}) beta_hat(t+1,j) is independent of i, so
+      // sum_j xi(t,i,j) collapses to alpha_hat(t,i) * <a_row_i, tmp> and the
+      // accumulation into a_num to one fused multiply-axpy per row -- xi is
+      // never materialized.
       for (std::size_t t = 0; t + 1 < t_len; ++t) {
+        const double* alpha_t = fwd.scaled_alpha.data() + t * fwd.scaled_alpha.stride();
+        kk.mul(tmp.data(), bt.data() + obs[t + 1] * bt.stride(),
+               beta.data() + (t + 1) * beta.stride(), m);
         double norm = 0.0;
-        Matrix xi(m, m);
         for (std::size_t i = 0; i < m; ++i) {
-          for (std::size_t j = 0; j < m; ++j) {
-            const double v =
-                fwd.scaled_alpha(t, i) * a_(i, j) * b_(j, obs[t + 1]) * beta(t + 1, j);
-            xi(i, j) = v;
-            norm += v;
-          }
+          row_dots[i] = kk.dot(a_.data() + i * a_.stride(), tmp.data(), m);
+          norm += alpha_t[i] * row_dots[i];
         }
         if (norm <= 0.0) continue;
+        const double inv = 1.0 / norm;
         for (std::size_t i = 0; i < m; ++i) {
-          for (std::size_t j = 0; j < m; ++j) a_num(i, j) += xi(i, j) / norm;
+          kk.mul_axpy(a_num.data() + i * a_num.stride(), a_.data() + i * a_.stride(),
+                      tmp.data(), m, alpha_t[i] * inv);
         }
       }
     }
@@ -287,7 +302,7 @@ BaumWelchResult Hmm::baum_welch(const std::vector<Sequence>& sequences,
         a_(i, j) = std::max(a_(i, j), opts.floor);
       }
       for (std::size_t k = 0; k < n; ++k) {
-        b_(i, k) = b_den[i] > 0.0 ? b_num(i, k) / b_den[i] : b_(i, k);
+        b_(i, k) = b_den[i] > 0.0 ? bt_num(k, i) / b_den[i] : b_(i, k);
         b_(i, k) = std::max(b_(i, k), opts.floor);
       }
     }

@@ -1,8 +1,10 @@
 #include "hmm/markov_chain.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "util/kernels.h"
 #include "util/serialize.h"
 
 namespace sentinel::hmm {
@@ -78,8 +80,9 @@ std::vector<double> MarkovChain::occupancy() const {
   for (const auto& [id, c] : visits_) total += static_cast<double>(c);
   if (total <= 0.0) return occ;
   for (std::size_t i = 0; i < ids_.size(); ++i) {
-    occ[i] = static_cast<double>(visit_count(ids_[i])) / total;
+    occ[i] = static_cast<double>(visit_count(ids_[i]));
   }
+  kern::k().div_scale(occ.data(), occ.size(), total);
   return occ;
 }
 
@@ -87,14 +90,14 @@ std::vector<double> MarkovChain::stationary(std::size_t iterations, double tol) 
   const std::size_t m = ids_.size();
   if (m == 0) return {};
   const Matrix t = transition_matrix();
+  const auto& kk = kern::k();
   std::vector<double> p(m, 1.0 / static_cast<double>(m));
   std::vector<double> next(m);
   for (std::size_t it = 0; it < iterations; ++it) {
-    for (std::size_t j = 0; j < m; ++j) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < m; ++i) s += p[i] * t(i, j);
-      next[j] = s;
-    }
+    // next = p * T, accumulated row-by-row in ascending i: the same
+    // per-output addition order as the classic j-outer loop.
+    std::fill(next.begin(), next.end(), 0.0);
+    kk.vec_mat(p.data(), t.data(), m, m, t.stride(), next.data());
     double delta = 0.0;
     for (std::size_t j = 0; j < m; ++j) delta = std::max(delta, std::abs(next[j] - p[j]));
     p.swap(next);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/kernels.h"
 #include "util/serialize.h"
 
 namespace sentinel::hmm {
@@ -51,13 +52,17 @@ void OnlineHmm::observe(StateId hidden, StateId symbol) {
   const std::size_t j = intern_hidden(hidden, symbol);
   const std::size_t l = intern_symbol(symbol);
 
+  // The EMA row updates decay the whole row then add the learning rate to
+  // the observed column: (1-rate)*row[k] + (k==target ? rate : 0). Entries
+  // are probabilities (never -0.0), so decay-then-bump is bit-identical to
+  // the literal per-element formula -- checkpoint bytes are unchanged.
+  const auto& kk = kern::k();
   if (last_hidden_ && *last_hidden_ != hidden) {
     // Transition update on the previous state's row.
     const std::size_t i = hidden_index_.at(*last_hidden_);
     auto row = a_.row(i);
-    for (std::size_t k = 0; k < row.size(); ++k) {
-      row[k] = (1.0 - cfg_.beta) * row[k] + (k == j ? cfg_.beta : 0.0);
-    }
+    kk.scale(row.data(), row.size(), 1.0 - cfg_.beta);
+    row[j] += cfg_.beta;
     a_avg_(i, j) += 1.0;
     a_row_counts_[i] += 1.0;
   }
@@ -67,9 +72,8 @@ void OnlineHmm::observe(StateId hidden, StateId symbol) {
   std::size_t emit_row = j;
   if (cfg_.update_previous_row && last_hidden_) emit_row = hidden_index_.at(*last_hidden_);
   auto brow = b_.row(emit_row);
-  for (std::size_t k = 0; k < brow.size(); ++k) {
-    brow[k] = (1.0 - cfg_.gamma) * brow[k] + (k == l ? cfg_.gamma : 0.0);
-  }
+  kk.scale(brow.data(), brow.size(), 1.0 - cfg_.gamma);
+  brow[l] += cfg_.gamma;
   b_avg_(emit_row, l) += 1.0;
   b_row_counts_[emit_row] += 1.0;
   symbol_totals_[l] += 1.0;
@@ -80,13 +84,15 @@ void OnlineHmm::observe(StateId hidden, StateId symbol) {
 }
 
 void OnlineHmm::refresh_avg_caches_locked() const {
+  const auto& kk = kern::k();
   Matrix a = a_avg_;
   for (std::size_t r = 0; r < a.rows(); ++r) {
     if (a_row_counts_[r] <= 0.0) {
       a(r, r) = 1.0;  // never left: identity row, like the EMA init
       continue;
     }
-    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) /= a_row_counts_[r];
+    auto row = a.row(r);
+    kk.div_scale(row.data(), row.size(), a_row_counts_[r]);
   }
   a_avg_cache_ = std::move(a);
 
@@ -98,7 +104,8 @@ void OnlineHmm::refresh_avg_caches_locked() const {
       for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) = b_(r, c);
       continue;
     }
-    for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) /= b_row_counts_[r];
+    auto row = b.row(r);
+    kk.div_scale(row.data(), row.size(), b_row_counts_[r]);
   }
   b_avg_cache_ = std::move(b);
   avg_dirty_ = false;

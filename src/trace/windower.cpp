@@ -8,6 +8,7 @@ namespace sentinel {
 
 AttrVec ObservationSet::overall_mean() const {
   if (raw.empty()) throw std::logic_error("ObservationSet::overall_mean on empty window");
+  if (!cached_mean.empty()) return cached_mean;
   return vecn::mean(raw);
 }
 
@@ -39,9 +40,15 @@ ObservationSet Windower::finalize_current() {
     set.raw.push_back(rec.attrs);
     by_sensor[rec.sensor].push_back(std::move(rec.attrs));
   }
+  set.rep_sensors.reserve(by_sensor.size());
+  set.rep_points.reserve(by_sensor.size());
   for (auto& [id, samples] : by_sensor) {
-    set.per_sensor.emplace(id, vecn::mean(samples));
+    auto rep = vecn::mean(samples);
+    set.per_sensor.emplace(id, rep);
+    set.rep_sensors.push_back(id);
+    set.rep_points.push_back(std::move(rep));
   }
+  if (!set.raw.empty()) vecn::mean_into(set.raw, set.cached_mean);
   return set;
 }
 

@@ -34,6 +34,21 @@ struct ObservationSet {
   /// Sensors with no surviving packets this window are absent.
   std::map<SensorId, AttrVec> per_sensor;
 
+  /// Mean over all raw observations, filled by the windower at finalization
+  /// (same accumulation order as vecn::mean over `raw`, so the bits match).
+  /// Empty for hand-built windows; overall_mean() computes it on demand then.
+  /// Caching it means window replay (the fleet's dominant workload) never
+  /// re-walks the raw vectors.
+  AttrVec cached_mean;
+
+  /// Flat copy of per_sensor in ascending sensor order, also filled at
+  /// finalization: rep_points[j] is sensor rep_sensors[j]'s representative.
+  /// The pipeline's per-window passes (spawn scan, eq. (3) mapping, eq. (5)
+  /// update) all iterate these arrays instead of re-walking the map. Empty
+  /// for hand-built windows (the pipeline copies out of per_sensor then).
+  std::vector<SensorId> rep_sensors;
+  std::vector<AttrVec> rep_points;
+
   bool empty() const { return raw.empty(); }
 
   /// Mean over all raw observations (the input to observable-state

@@ -1,0 +1,225 @@
+// SSE2 kernel level. Two 128-bit accumulators model the four reduction lanes
+// of kernels.h (acc01 = lanes 0/1, acc23 = lanes 2/3); tails fall back to the
+// scalar lane updates, so results are bit-identical to the scalar reference.
+// Compiled with -msse2 -ffp-contract=off.
+
+#include "util/kernels.h"
+
+#include <cfloat>
+#include <emmintrin.h>
+#include <limits>
+
+namespace sentinel::kern {
+
+namespace {
+
+struct Lanes {
+  __m128d a01;
+  __m128d a23;
+};
+
+inline double reduce_tree(Lanes l) {
+  // (lane0 + lane1) + (lane2 + lane3)
+  const __m128d s01 = _mm_add_sd(l.a01, _mm_unpackhi_pd(l.a01, l.a01));
+  const __m128d s23 = _mm_add_sd(l.a23, _mm_unpackhi_pd(l.a23, l.a23));
+  return _mm_cvtsd_f64(_mm_add_sd(s01, s23));
+}
+
+inline void store_lanes(Lanes l, double out[4]) {
+  _mm_storeu_pd(out, l.a01);
+  _mm_storeu_pd(out + 2, l.a23);
+}
+
+inline double finish_reduction(double lane[4]) {
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double dist2_sse2(const double* a, const double* b, std::size_t n) {
+  Lanes acc{_mm_setzero_pd(), _mm_setzero_pd()};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d d01 = _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    const __m128d d23 = _mm_sub_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2));
+    acc.a01 = _mm_add_pd(acc.a01, _mm_mul_pd(d01, d01));
+    acc.a23 = _mm_add_pd(acc.a23, _mm_mul_pd(d23, d23));
+  }
+  if (i == n) return reduce_tree(acc);
+  double lane[4];
+  store_lanes(acc, lane);
+  for (int l = 0; i < n; ++i, ++l) {
+    const double d = a[i] - b[i];
+    lane[l] += d * d;
+  }
+  return finish_reduction(lane);
+}
+
+void dist2_block_sse2(const double* block, std::size_t count, std::size_t stride,
+                      const double* p, double* out) {
+  for (std::size_t s = 0; s < count; ++s) {
+    out[s] = dist2_sse2(block + s * stride, p, stride);
+  }
+}
+
+double dot_sse2(const double* a, const double* b, std::size_t n) {
+  Lanes acc{_mm_setzero_pd(), _mm_setzero_pd()};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc.a01 = _mm_add_pd(acc.a01, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+    acc.a23 = _mm_add_pd(acc.a23, _mm_mul_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
+  }
+  if (i == n) return reduce_tree(acc);
+  double lane[4];
+  store_lanes(acc, lane);
+  for (int l = 0; i < n; ++i, ++l) lane[l] += a[i] * b[i];
+  return finish_reduction(lane);
+}
+
+double sum_sse2(const double* a, std::size_t n) {
+  Lanes acc{_mm_setzero_pd(), _mm_setzero_pd()};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc.a01 = _mm_add_pd(acc.a01, _mm_loadu_pd(a + i));
+    acc.a23 = _mm_add_pd(acc.a23, _mm_loadu_pd(a + i + 2));
+  }
+  if (i == n) return reduce_tree(acc);
+  double lane[4];
+  store_lanes(acc, lane);
+  for (int l = 0; i < n; ++i, ++l) lane[l] += a[i];
+  return finish_reduction(lane);
+}
+
+void vec_mat_sse2(const double* x, const double* m, std::size_t rows, std::size_t cols,
+                  std::size_t stride, double* out) {
+  // Column-tiled like the AVX2 level; per output element the additions stay
+  // in ascending-r order, so results match the classic nested loop exactly.
+  std::size_t j = 0;
+  for (; j + 2 <= cols; j += 2) {
+    __m128d acc = _mm_loadu_pd(out + j);
+    const double* mj = m + j;
+    for (std::size_t r = 0; r < rows; ++r) {
+      acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(x[r]), _mm_loadu_pd(mj + r * stride)));
+    }
+    _mm_storeu_pd(out + j, acc);
+  }
+  for (; j < cols; ++j) {
+    double acc = out[j];
+    for (std::size_t r = 0; r < rows; ++r) acc += x[r] * m[r * stride + j];
+    out[j] = acc;
+  }
+}
+
+void mat_vec_sse2(const double* m, const double* x, std::size_t rows, std::size_t cols,
+                  std::size_t stride, double* out) {
+  for (std::size_t r = 0; r < rows; ++r) out[r] = dot_sse2(m + r * stride, x, cols);
+}
+
+void scale_sse2(double* v, std::size_t n, double s) {
+  const __m128d k = _mm_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) _mm_storeu_pd(v + i, _mm_mul_pd(_mm_loadu_pd(v + i), k));
+  for (; i < n; ++i) v[i] *= s;
+}
+
+void div_scale_sse2(double* v, std::size_t n, double d) {
+  const __m128d k = _mm_set1_pd(d);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) _mm_storeu_pd(v + i, _mm_div_pd(_mm_loadu_pd(v + i), k));
+  for (; i < n; ++i) v[i] /= d;
+}
+
+void axpy_sse2(double* y, const double* x, std::size_t n, double a) {
+  const __m128d k = _mm_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d yy = _mm_loadu_pd(y + i);
+    _mm_storeu_pd(y + i, _mm_add_pd(yy, _mm_mul_pd(k, _mm_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void mul_axpy_sse2(double* y, const double* a, const double* b, std::size_t n, double s) {
+  const __m128d k = _mm_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d p = _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+    const __m128d yy = _mm_loadu_pd(y + i);
+    _mm_storeu_pd(y + i, _mm_add_pd(yy, _mm_mul_pd(k, p)));
+  }
+  for (; i < n; ++i) y[i] += s * (a[i] * b[i]);
+}
+
+void mul_sse2(double* out, const double* a, const double* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(out + i, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+double normalize_sse2(double* v, std::size_t n) {
+  double c = sum_sse2(v, n);
+  if (c <= 0.0) c = DBL_MIN;
+  const double inv = 1.0 / c;
+  scale_sse2(v, n, inv);
+  return inv;
+}
+
+MaxPlusResult max_plus_sse2(const double* x, const double* y, std::size_t n) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  __m128d bv01 = _mm_set1_pd(kNegInf);
+  __m128d bv23 = _mm_set1_pd(kNegInf);
+  __m128d bi01 = _mm_setzero_pd();
+  __m128d bi23 = _mm_setzero_pd();
+  __m128d idx01 = _mm_set_pd(1.0, 0.0);
+  __m128d idx23 = _mm_set_pd(3.0, 2.0);
+  const __m128d four = _mm_set1_pd(4.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d v01 = _mm_add_pd(_mm_loadu_pd(x + i), _mm_loadu_pd(y + i));
+    const __m128d v23 = _mm_add_pd(_mm_loadu_pd(x + i + 2), _mm_loadu_pd(y + i + 2));
+    // v > best, quiet on NaN (cmpgt raises no update for NaN operands).
+    const __m128d m01 = _mm_cmpgt_pd(v01, bv01);
+    const __m128d m23 = _mm_cmpgt_pd(v23, bv23);
+    bv01 = _mm_or_pd(_mm_and_pd(m01, v01), _mm_andnot_pd(m01, bv01));
+    bv23 = _mm_or_pd(_mm_and_pd(m23, v23), _mm_andnot_pd(m23, bv23));
+    bi01 = _mm_or_pd(_mm_and_pd(m01, idx01), _mm_andnot_pd(m01, bi01));
+    bi23 = _mm_or_pd(_mm_and_pd(m23, idx23), _mm_andnot_pd(m23, bi23));
+    idx01 = _mm_add_pd(idx01, four);
+    idx23 = _mm_add_pd(idx23, four);
+  }
+  double bv[4];
+  double bi[4];
+  _mm_storeu_pd(bv, bv01);
+  _mm_storeu_pd(bv + 2, bv23);
+  _mm_storeu_pd(bi, bi01);
+  _mm_storeu_pd(bi + 2, bi23);
+  for (int l = 0; i < n; ++i, ++l) {
+    const double v = x[i] + y[i];
+    if (v > bv[l]) {
+      bv[l] = v;
+      bi[l] = static_cast<double>(i);
+    }
+  }
+  MaxPlusResult r{bv[0], static_cast<std::size_t>(bi[0])};
+  for (int l = 1; l < 4; ++l) {
+    const auto cand = static_cast<std::size_t>(bi[l]);
+    if (bv[l] > r.value || (bv[l] == r.value && cand < r.index)) {
+      r.value = bv[l];
+      r.index = cand;
+    }
+  }
+  return r;
+}
+
+constexpr Kernels kSse2Kernels{
+    "sse2",        dist2_block_sse2, dist2_sse2, dot_sse2,       sum_sse2,
+    vec_mat_sse2,  mat_vec_sse2,     scale_sse2, div_scale_sse2,
+    axpy_sse2,     mul_sse2,         mul_axpy_sse2,
+    normalize_sse2, max_plus_sse2,
+};
+
+}  // namespace
+
+const Kernels& sse2_kernels() { return kSse2Kernels; }
+
+}  // namespace sentinel::kern

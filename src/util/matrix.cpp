@@ -5,10 +5,16 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/kernels.h"
+
 namespace sentinel {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
-    : rows_(rows), cols_(cols), row_cap_(rows), col_cap_(cols), data_(rows * cols, fill) {}
+    : rows_(rows),
+      cols_(cols),
+      row_cap_(rows),
+      col_cap_(kern::padded(cols)),
+      data_(rows * col_cap_, fill) {}
 
 Matrix Matrix::identity(std::size_t n) {
   Matrix m(n, n, 0.0);
@@ -65,7 +71,7 @@ void Matrix::grow(std::size_t rows, std::size_t cols, double fill) {
     // Reallocate with geometric headroom so a stream of single-state spawns
     // (the clusterer's usual pattern) doesn't copy A/B on every spawn.
     const std::size_t nrc = std::max(rows, std::max<std::size_t>(1, row_cap_ * 2));
-    const std::size_t ncc = std::max(cols, std::max<std::size_t>(1, col_cap_ * 2));
+    const std::size_t ncc = kern::padded(std::max(cols, std::max<std::size_t>(1, col_cap_ * 2)));
     std::vector<double> nd(nrc * ncc, fill);
     for (std::size_t r = 0; r < rows_; ++r) {
       std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r * col_cap_),
@@ -92,7 +98,7 @@ void Matrix::grow(std::size_t rows, std::size_t cols, double fill) {
 void Matrix::reserve(std::size_t rows, std::size_t cols) {
   if (rows <= row_cap_ && cols <= col_cap_) return;
   const std::size_t nrc = std::max(rows, row_cap_);
-  const std::size_t ncc = std::max(cols, col_cap_);
+  const std::size_t ncc = kern::padded(std::max(cols, col_cap_));
   std::vector<double> nd(nrc * ncc, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     std::copy(data_.begin() + static_cast<std::ptrdiff_t>(r * col_cap_),

@@ -8,6 +8,13 @@
 // time the clusterer spawns a state or a new symbol is interned — can grow
 // capacity geometrically and make the common spawn a cheap fill of the newly
 // exposed cells instead of a full reallocate-and-copy of A and B.
+//
+// The column capacity (row stride) is always rounded up to the 4-lane kernel
+// width (util/kernels.h), so every row starts 32-byte-strided and the SIMD
+// kernels stream rows without straddling. Kernels only read the logical
+// `cols()` prefix of a row — padding cells are capacity slack, never data —
+// and serialization/equality work on the logical shape, so checkpoint bytes
+// are unchanged by the padding.
 
 #pragma once
 
@@ -40,6 +47,13 @@ class Matrix {
 
   std::span<double> row(std::size_t r);
   std::span<const double> row(std::size_t r) const;
+
+  /// Raw storage for the SIMD kernels: row r starts at data() + r * stride().
+  /// Only the first cols() entries of each row are data; the rest is slack.
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  /// Row stride of the underlying buffer (the padded column capacity).
+  std::size_t stride() const { return col_cap_; }
 
   std::vector<double> col(std::size_t c) const;
 

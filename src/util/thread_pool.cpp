@@ -1,13 +1,61 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 namespace sentinel::util {
 
+std::size_t quota_from_cfs(long long quota_us, long long period_us) {
+  if (quota_us <= 0 || period_us <= 0) return 0;  // -1 (or absent) = no quota
+  return std::max<long long>(1, quota_us / period_us);
+}
+
+std::size_t quota_from_cpu_max(const std::string& text) {
+  std::istringstream is(text);
+  std::string quota;
+  long long period = 0;
+  if (!(is >> quota)) return 0;
+  if (quota == "max") return 0;
+  long long q = 0;
+  try {
+    q = std::stoll(quota);
+  } catch (...) {
+    return 0;
+  }
+  if (!(is >> period)) period = 100000;  // kernel default when omitted
+  return quota_from_cfs(q, period);
+}
+
+namespace {
+
+std::size_t cgroup_cpu_quota() {
+  // cgroup v2 unified hierarchy.
+  if (std::ifstream f("/sys/fs/cgroup/cpu.max"); f) {
+    std::string line;
+    std::getline(f, line);
+    if (const std::size_t q = quota_from_cpu_max(line)) return q;
+  }
+  // cgroup v1 cpu controller.
+  long long quota = -1;
+  long long period = 0;
+  if (std::ifstream f("/sys/fs/cgroup/cpu/cpu.cfs_quota_us"); f) f >> quota;
+  if (std::ifstream f("/sys/fs/cgroup/cpu/cpu.cfs_period_us"); f) f >> period;
+  return quota_from_cfs(quota, period);
+}
+
+}  // namespace
+
+std::size_t default_concurrency() {
+  std::size_t n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (const std::size_t q = cgroup_cpu_quota()) n = std::min(n, q);
+  return n;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0) threads = default_concurrency();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

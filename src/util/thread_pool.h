@@ -18,15 +18,33 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace sentinel::util {
 
+/// Usable parallelism for sizing pools: std::thread::hardware_concurrency()
+/// capped by the container's cgroup CPU quota (v2 cpu.max, v1
+/// cpu.cfs_quota_us / cpu.cfs_period_us). hardware_concurrency() reports the
+/// host's cores even inside a quota-limited container, and a pool sized to
+/// the host oversubscribes the quota and stalls on throttling. Quotas floor-
+/// divide (2.5 CPUs -> 2 workers) with a minimum of 1; always at least 1.
+std::size_t default_concurrency();
+
+/// Parse a cgroup v2 cpu.max payload ("<quota> <period>" or "max <period>").
+/// Returns 0 when unlimited or unparseable, else max(1, quota / period).
+std::size_t quota_from_cpu_max(const std::string& text);
+
+/// Derive the CPU cap from cgroup v1 cfs values (quota_us == -1 means
+/// unlimited). Returns 0 when unlimited or invalid, else max(1, quota/period).
+std::size_t quota_from_cfs(long long quota_us, long long period_us);
+
 class ThreadPool {
  public:
-  /// threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  /// threads == 0 picks default_concurrency() -- hardware threads capped by
+  /// the cgroup CPU quota (at least 1).
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 

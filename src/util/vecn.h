@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/kernels.h"
+
 namespace sentinel {
 
 using AttrVec = std::vector<double>;
@@ -27,26 +29,18 @@ inline void check_same_size(std::span<const double> a, std::span<const double> b
   }
 }
 
-/// Euclidean distance ||a - b||.
+/// Euclidean distance ||a - b||. Reduction uses the fixed lane-striped tree
+/// of util/kernels.h (identical to sequential accumulation for n <= 3, the
+/// attribute dimensions the paper's deployments use).
 inline double dist(std::span<const double> a, std::span<const double> b) {
   check_same_size(a, b);
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return std::sqrt(s);
+  return std::sqrt(kern::k().dist2(a.data(), b.data(), a.size()));
 }
 
 /// Squared Euclidean distance; cheaper when only comparisons are needed.
 inline double dist2(std::span<const double> a, std::span<const double> b) {
   check_same_size(a, b);
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return kern::k().dist2(a.data(), b.data(), a.size());
 }
 
 /// Euclidean norm ||a||.
@@ -117,13 +111,18 @@ inline void mean_into(std::span<const AttrVec> points, AttrVec& out) {
 /// argmin_k ||s_k - p|| used by eqs. (2) and (3). Throws if `centers` is empty.
 inline std::size_t nearest(std::span<const AttrVec> centers, std::span<const double> p) {
   if (centers.empty()) throw std::invalid_argument("vecn::nearest with no centers");
+  // Validate dimensions once per scan (cheap integer compares) so the
+  // distance loop below runs without per-candidate throw machinery.
+  for (const AttrVec& c : centers) check_same_size(c, p);
+  const auto& k = kern::k();
+  const std::size_t n = p.size();
   std::size_t best = 0;
-  double best_d = dist2(centers[0], p);
-  for (std::size_t k = 1; k < centers.size(); ++k) {
-    const double d = dist2(centers[k], p);
+  double best_d = k.dist2(centers[0].data(), p.data(), n);
+  for (std::size_t i = 1; i < centers.size(); ++i) {
+    const double d = k.dist2(centers[i].data(), p.data(), n);
     if (d < best_d) {
       best_d = d;
-      best = k;
+      best = i;
     }
   }
   return best;

@@ -79,5 +79,46 @@ TEST(ThreadPool, SharedPoolIsUsable) {
   EXPECT_EQ(sum, 28);
 }
 
+TEST(ThreadPoolQuota, CpuMaxUnlimited) {
+  EXPECT_EQ(quota_from_cpu_max("max 100000"), 0u);
+  EXPECT_EQ(quota_from_cpu_max("max 100000\n"), 0u);
+}
+
+TEST(ThreadPoolQuota, CpuMaxQuotaDivides) {
+  EXPECT_EQ(quota_from_cpu_max("200000 100000"), 2u);
+  EXPECT_EQ(quota_from_cpu_max("200000 100000\n"), 2u);
+  EXPECT_EQ(quota_from_cpu_max("400000 100000"), 4u);
+}
+
+TEST(ThreadPoolQuota, CpuMaxFractionalQuotaFloorsWithMinimumOne) {
+  EXPECT_EQ(quota_from_cpu_max("50000 100000"), 1u);   // half a CPU -> 1
+  EXPECT_EQ(quota_from_cpu_max("250000 100000"), 2u);  // 2.5 CPUs -> 2
+}
+
+TEST(ThreadPoolQuota, CpuMaxGarbageIsUnlimited) {
+  EXPECT_EQ(quota_from_cpu_max(""), 0u);
+  EXPECT_EQ(quota_from_cpu_max("banana"), 0u);
+  EXPECT_EQ(quota_from_cpu_max("100000 0"), 0u);       // zero period
+  EXPECT_EQ(quota_from_cpu_max("-1 100000"), 0u);      // negative quota
+}
+
+TEST(ThreadPoolQuota, CpuMaxMissingPeriodUsesKernelDefault) {
+  EXPECT_EQ(quota_from_cpu_max("100000"), 1u);   // period defaults to 100000
+  EXPECT_EQ(quota_from_cpu_max("300000"), 3u);
+}
+
+TEST(ThreadPoolQuota, CfsValues) {
+  EXPECT_EQ(quota_from_cfs(-1, 100000), 0u);       // -1 means unlimited
+  EXPECT_EQ(quota_from_cfs(0, 100000), 0u);        // degenerate quota
+  EXPECT_EQ(quota_from_cfs(100000, 0), 0u);        // degenerate period
+  EXPECT_EQ(quota_from_cfs(200000, 100000), 2u);
+  EXPECT_EQ(quota_from_cfs(250000, 100000), 2u);   // 2.5 CPUs -> 2
+  EXPECT_EQ(quota_from_cfs(50000, 100000), 1u);    // half a CPU -> 1
+}
+
+TEST(ThreadPoolQuota, DefaultConcurrencyAtLeastOne) {
+  EXPECT_GE(default_concurrency(), 1u);
+}
+
 }  // namespace
 }  // namespace sentinel::util
