@@ -1,0 +1,59 @@
+// Shared bench main: BENCHMARK_MAIN() plus an observability tail. After the
+// benchmarks run, the process-global metrics registry is dumped as a text
+// block (so perf logs show queue depths, drops, and stage timers next to the
+// timings) and, when `--metrics-json=PATH` was passed, written to PATH as
+// JSON for CI artifacts. The flag is stripped before google-benchmark parses
+// the remaining arguments.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace sentinel::bench_main {
+
+inline int run(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<char*> pass;
+  pass.reserve(static_cast<std::size_t>(argc) + 1);
+  constexpr std::string_view kFlag = "--metrics-json=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0) {
+      metrics_path = std::string(arg.substr(kFlag.size()));
+      continue;
+    }
+    pass.push_back(argv[i]);
+  }
+  pass.push_back(nullptr);  // argv contract: argv[argc] == nullptr
+  int pargc = static_cast<int>(pass.size()) - 1;
+
+  benchmark::Initialize(&pargc, pass.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, pass.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto snap = sentinel::util::metrics().snapshot();
+  if (!snap.counters.empty() || !snap.histograms.empty()) {
+    std::printf("\n-- metrics --\n%s", snap.to_text().c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (out) out << snap.to_json() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics json %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace sentinel::bench_main

@@ -12,6 +12,7 @@
 
 #include "common/scenario.h"
 #include "core/fleet.h"
+#include "metrics_main.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
 
@@ -119,4 +120,4 @@ BENCHMARK(BM_FleetIngestDiagnose)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return sentinel::bench_main::run(argc, argv); }

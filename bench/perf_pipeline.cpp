@@ -17,6 +17,7 @@
 #include <new>
 
 #include "common/scenario.h"
+#include "metrics_main.h"
 #include "trace/windower.h"
 
 namespace {
@@ -28,6 +29,14 @@ std::atomic<std::uint64_t> g_alloc_count{0};
 // Count every heap allocation in the process. Deliberately minimal: no
 // tracking of frees or sizes -- the bench only needs "how many times did the
 // hot loop hit the allocator".
+//
+// GCC reasons about allocator pairing from the *builtin* semantics of
+// operator new and flags the free() in the delete overrides as mismatched;
+// with these overrides the pairing is malloc/free by construction, so the
+// warning is a false positive here (and would break the -Werror CI job).
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
@@ -128,6 +137,17 @@ void BM_PipelineWindowNoHistory(benchmark::State& state) {
   run_window_bench(state, cfg, windows);
 }
 
+void BM_PipelineWindowStageTimers(benchmark::State& state) {
+  // Same workload as BM_PipelineWindow with the per-stage wall-clock
+  // histograms enabled: the delta against the plain rows is the full cost of
+  // the observability layer when switched on (two clock reads per stage).
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const auto windows = make_windows(sensors, 7.0, 42);
+  auto cfg = config_for(6, 42);
+  cfg.stage_timers = true;
+  run_window_bench(state, cfg, windows);
+}
+
 void BM_PipelineStates(benchmark::State& state) {
   const auto states_n = static_cast<std::size_t>(state.range(0));
   const auto windows = make_windows(10, 7.0, 42);
@@ -166,7 +186,9 @@ void BM_DiagnoseCold(benchmark::State& state) {
 
 BENCHMARK(BM_PipelineWindow)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
 BENCHMARK(BM_PipelineWindowNoHistory)->Arg(10)->Arg(100);
+BENCHMARK(BM_PipelineWindowStageTimers)->Arg(10)->Arg(100);
 BENCHMARK(BM_PipelineStates)->Arg(4)->Arg(6)->Arg(8)->Arg(12);
 BENCHMARK(BM_Diagnose);
 BENCHMARK(BM_DiagnoseCold);
-BENCHMARK_MAIN();
+
+int main(int argc, char** argv) { return sentinel::bench_main::run(argc, argv); }

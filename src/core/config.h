@@ -128,6 +128,14 @@ struct PipelineConfig {
   /// e.g. fleet regions at scale -- can turn it off, leaving history() empty.
   /// Detection and diagnosis results are unaffected either way.
   bool record_history = true;
+
+  /// Record coarse per-stage wall-clock histograms (spawn scan, state
+  /// identification, alarm filtering, HMM updates, centroid update) into the
+  /// process-global metrics registry. Off by default: with the toggle off the
+  /// pipeline takes no clock reads at all, so the hot path is untouched.
+  /// Purely observational -- reports and checkpoints are byte-identical
+  /// either way.
+  bool stage_timers = false;
 };
 
 }  // namespace sentinel::core

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "trace/trace_reader.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/vecn.h"
 
@@ -50,12 +51,32 @@ std::size_t resolve_threads(std::size_t threads) {
   return threads;
 }
 
+/// Human-readable message of a captured exception, for attributed statuses.
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 bool models_structurally_similar(const hmm::MarkovChain& a, const CentroidLookup& lookup_a,
                                  const hmm::MarkovChain& b, const CentroidLookup& lookup_b,
                                  double tol) {
   return covered_by(a, lookup_a, b, lookup_b, tol) && covered_by(b, lookup_b, a, lookup_a, tol);
+}
+
+const char* to_string(RegionHealth h) {
+  switch (h) {
+    case RegionHealth::kHealthy: return "healthy";
+    case RegionHealth::kDegraded: return "degraded";
+    case RegionHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
 }
 
 std::string to_string(const FleetReport& r) {
@@ -72,6 +93,22 @@ std::string to_string(const FleetReport& r) {
     for (const auto& name : r.structural_outliers) os << ' ' << name;
     os << '\n';
   }
+  // Health lines only when something is off: an all-healthy fleet renders
+  // byte-identically to a report predating the health lifecycle.
+  bool any_unhealthy = false;
+  for (const auto& [name, st] : r.health) {
+    if (st.health != RegionHealth::kHealthy) any_unhealthy = true;
+  }
+  if (any_unhealthy) {
+    os << "region health:\n";
+    for (const auto& [name, st] : r.health) {
+      os << "[region " << name << "] " << to_string(st.health);
+      if (!st.status.is_ok()) os << ": " << st.status.to_string();
+      os << " (ingested " << st.records_ingested << ", dropped " << st.records_dropped;
+      if (st.malformed.total() > 0) os << ", " << to_string(st.malformed);
+      os << ")\n";
+    }
+  }
   return os.str();
 }
 
@@ -80,16 +117,23 @@ std::string to_string(const FleetReport& r) {
 /// which is the single-writer invariant the parallel path relies on.
 /// producer_buf belongs to the (single) producer thread and is handed off
 /// under the lock once per FleetConfig::batch_records, so the per-record
-/// cost of add_record is one push_back.
+/// cost of add_record is one push_back. Workers never touch health_
+/// directly: a failure is parked in `error`/`dropped` under the lock and the
+/// producer folds it into the region's health record at the next flush or
+/// drain -- keeping every health transition on the caller thread, hence
+/// deterministic at any thread count.
 struct FleetMonitor::Shard {
-  explicit Shard(DetectionPipeline& p) : pipeline(&p) {}
+  Shard(std::string region_name, DetectionPipeline& p)
+      : name(std::move(region_name)), pipeline(&p) {}
 
+  std::string name;
   std::vector<SensorRecord> producer_buf;  // producer-thread-only
   std::mutex mu;
   std::condition_variable cv;  // queue shrank, drain finished, or error set
   std::deque<SensorRecord> queue;
   bool draining = false;       // a pool task owns this shard's pipeline
-  std::exception_ptr error;    // first pipeline exception, rethrown to callers
+  std::exception_ptr error;    // first pipeline exception, folded into health
+  std::size_t dropped = 0;     // records discarded behind a failure
   DetectionPipeline* pipeline;
 };
 
@@ -103,12 +147,38 @@ FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
   if (cfg_.batch_records == 0) {
     throw std::invalid_argument("FleetMonitor: batch_records must be >= 1");
   }
+  const auto& h = cfg_.health;
+  if (!(h.degraded_malformed_ratio >= 0.0) || !(h.quarantine_malformed_ratio >= 0.0) ||
+      h.degraded_malformed_ratio > 1.0 || h.quarantine_malformed_ratio > 1.0 ||
+      h.degraded_malformed_ratio > h.quarantine_malformed_ratio) {
+    throw std::invalid_argument(
+        "FleetMonitor: malformed ratios must satisfy 0 <= degraded <= quarantine <= 1");
+  }
   cfg_.threads = resolve_threads(cfg_.threads);
   if (cfg_.threads > 1) pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+
+  auto& reg = util::metrics();
+  m_enqueued_ = &reg.counter("fleet.records_enqueued");
+  m_handoffs_ = &reg.counter("fleet.handoff_batches");
+  m_backpressure_ = &reg.counter("fleet.backpressure_waits");
+  m_drained_ = &reg.counter("fleet.records_drained");
+  m_drain_batches_ = &reg.counter("fleet.drain_batches");
+  m_dropped_ = &reg.counter("fleet.records_dropped_quarantined");
+  m_queue_depth_ = &reg.histogram("fleet.queue_depth",
+                                  util::Histogram::exponential_bounds(64, 2.0, 10));
 }
 
+namespace {
+FleetConfig serial_fleet_config(double state_match_tol) {
+  FleetConfig c;
+  c.state_match_tol = state_match_tol;
+  c.threads = 1;
+  return c;
+}
+}  // namespace
+
 FleetMonitor::FleetMonitor(double state_match_tol)
-    : FleetMonitor(FleetConfig{.state_match_tol = state_match_tol, .threads = 1}) {}
+    : FleetMonitor(serial_fleet_config(state_match_tol)) {}
 
 // Out of line so ~unique_ptr<Shard> sees the complete type. pool_ is the
 // last member, hence destroyed first: its destructor drains pending shard
@@ -116,12 +186,13 @@ FleetMonitor::FleetMonitor(double state_match_tol)
 FleetMonitor::~FleetMonitor() = default;
 
 void FleetMonitor::register_shard(const std::string& name, DetectionPipeline& pipeline) {
-  shards_.emplace(name, std::make_unique<Shard>(pipeline));
+  shards_.emplace(name, std::make_unique<Shard>(name, pipeline));
 }
 
 void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg) {
   const auto [it, inserted] = regions_.try_emplace(name, std::move(cfg));
   if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+  health_.emplace(name, RegionState{});
   if (pool_) register_shard(name, it->second);
 }
 
@@ -129,76 +200,223 @@ void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg,
                               std::istream& checkpoint) {
   const auto [it, inserted] = regions_.try_emplace(name, std::move(cfg), checkpoint);
   if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+  health_.emplace(name, RegionState{});
   if (pool_) register_shard(name, it->second);
 }
 
-void FleetMonitor::add_record(const std::string& region, const SensorRecord& rec) {
-  if (!pool_) {
-    const auto it = regions_.find(region);
-    if (it == regions_.end()) {
-      throw std::invalid_argument("FleetMonitor: unknown region " + region);
+RegionState& FleetMonitor::state_of(const std::string& name) const {
+  const auto it = health_.find(name);
+  if (it == health_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + name);
+  return it->second;
+}
+
+const RegionState& FleetMonitor::region_health(const std::string& name) const {
+  return state_of(name);
+}
+
+void FleetMonitor::quarantine(const std::string& name, util::Status status,
+                              std::exception_ptr error) const {
+  RegionState& st = state_of(name);
+  if (st.health == RegionHealth::kQuarantined) return;  // keep the first cause
+  st.health = RegionHealth::kQuarantined;
+  st.status = std::move(status);
+  st.error = std::move(error);
+}
+
+void FleetMonitor::degrade(const std::string& name, util::Status status) const {
+  RegionState& st = state_of(name);
+  if (st.health != RegionHealth::kHealthy) return;  // monotonic, keep first cause
+  st.health = RegionHealth::kDegraded;
+  st.status = std::move(status);
+}
+
+void FleetMonitor::absorb_shard_faults() const {
+  for (const auto& [name, shard] : shards_) {
+    Shard& sh = *shard;
+    std::exception_ptr err;
+    std::size_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(sh.mu);
+      err = sh.error;
+      dropped = sh.dropped;
+      sh.dropped = 0;
     }
-    it->second.add_record(rec);
-    return;
+    RegionState& st = state_of(name);
+    if (dropped > 0) {
+      st.records_dropped += dropped;
+      m_dropped_->add(dropped);
+    }
+    if (err && st.health != RegionHealth::kQuarantined) {
+      quarantine(name,
+                 util::Status(util::StatusCode::kInternal,
+                              "region " + name + ": pipeline failed: " + describe(err)),
+                 err);
+    }
   }
-  const auto it = shards_.find(region);
-  if (it == shards_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + region);
-  Shard& sh = *it->second;
-  sh.producer_buf.push_back(rec);
-  if (sh.producer_buf.size() >= cfg_.batch_records) flush_shard(sh);
+}
+
+void FleetMonitor::add_record(const std::string& region, const SensorRecord& rec) {
+  add_records(region, std::span<const SensorRecord>(&rec, 1));
 }
 
 void FleetMonitor::add_records(const std::string& region, std::span<const SensorRecord> recs) {
   if (recs.empty()) return;
-  if (!pool_) {
-    const auto it = regions_.find(region);
-    if (it == regions_.end()) {
-      throw std::invalid_argument("FleetMonitor: unknown region " + region);
-    }
-    for (const auto& rec : recs) it->second.add_record(rec);
+  RegionState& st = state_of(region);  // throws on unknown region
+  if (st.health == RegionHealth::kQuarantined) {
+    st.records_dropped += recs.size();
+    m_dropped_->add(recs.size());
     return;
   }
-  const auto it = shards_.find(region);
-  if (it == shards_.end()) throw std::invalid_argument("FleetMonitor: unknown region " + region);
-  Shard& sh = *it->second;
+  if (!pool_) {
+    auto& pipeline = regions_.find(region)->second;
+    std::size_t i = 0;
+    try {
+      for (; i < recs.size(); ++i) {
+        pipeline.add_record(recs[i]);
+        ++st.records_ingested;
+      }
+    } catch (...) {
+      const auto err = std::current_exception();
+      st.records_dropped += recs.size() - i;
+      m_dropped_->add(recs.size() - i);
+      quarantine(region,
+                 util::Status(util::StatusCode::kInternal,
+                              "region " + region + ": pipeline failed: " + describe(err)),
+                 err);
+    }
+    return;
+  }
+  Shard& sh = *shards_.find(region)->second;
   sh.producer_buf.insert(sh.producer_buf.end(), recs.begin(), recs.end());
+  st.records_ingested += recs.size();
   if (sh.producer_buf.size() >= cfg_.batch_records) flush_shard(sh);
 }
 
-std::size_t FleetMonitor::ingest(const std::string& region, TraceReader& reader,
-                                 std::size_t batch_records) {
+FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, TraceReader& reader,
+                                                 std::size_t batch_records) {
   if (batch_records == 0) batch_records = TraceReader::kDefaultBatch;
-  std::size_t total = 0;
+  RegionState& st = state_of(region);  // throws on unknown region
+  IngestSummary sum;
   std::vector<SensorRecord> batch;
-  while (reader.read_batch(batch, batch_records) > 0) {
-    add_records(region, batch);
-    total += batch.size();
+  const MalformedCounts before = st.malformed;
+  for (;;) {
+    if (st.health == RegionHealth::kQuarantined) break;
+    std::size_t n = 0;
+    try {
+      n = reader.read_batch(batch, batch_records);
+    } catch (...) {
+      const auto err = std::current_exception();
+      quarantine(region,
+                 util::Status(util::StatusCode::kDataLoss,
+                              "region " + region + ": reader failed: " + describe(err)),
+                 err);
+      break;
+    }
+    if (n > 0) {
+      add_records(region, batch);
+      sum.records += n;
+    }
+
+    // Malformed-rate check per batch so a hostile feed is cut off early
+    // instead of after millions of lines. Rates only count once the sample
+    // is large enough to mean something. Checked even on the final empty
+    // batch: a feed whose entire tail (or entirety) is malformed reaches
+    // EOF with n == 0 and must still be condemned by rate, not merely
+    // flagged as silent at finish().
+    const std::size_t mal = reader.malformed().total();
+    const std::size_t lines = sum.records + mal;
+    if (mal > 0 && lines >= cfg_.health.min_lines_for_rate) {
+      const double ratio = static_cast<double>(mal) / static_cast<double>(lines);
+      if (ratio >= cfg_.health.quarantine_malformed_ratio) {
+        quarantine(region,
+                   util::Status(util::StatusCode::kDataLoss,
+                                "region " + region + ": malformed-line rate too high: " +
+                                    to_string(reader.malformed()) + " in " +
+                                    std::to_string(lines) + " lines"),
+                   nullptr);
+        break;
+      }
+      if (ratio >= cfg_.health.degraded_malformed_ratio) {
+        degrade(region,
+                util::Status(util::StatusCode::kDataLoss,
+                             "region " + region + ": elevated malformed-line rate: " +
+                                 to_string(reader.malformed()) + " in " +
+                                 std::to_string(lines) + " lines"));
+      }
+    }
+    if (n == 0) break;
   }
-  return total;
+  // A broken source (truncated binary payload, mid-stream read error) ends
+  // the feed with a sticky reader status; the region's learned state only
+  // covers an unknown prefix, so it stops voting.
+  const util::Status rs = reader.status();
+  if (!rs.is_ok() && st.health != RegionHealth::kQuarantined) {
+    quarantine(region, util::Status(rs.code(), "region " + region + ": " + rs.message()),
+               nullptr);
+  }
+  st.malformed = before;
+  st.malformed += reader.malformed();
+  st.comment_lines += reader.comment_lines();
+  sum.status = st.status;
+  return sum;
+}
+
+FleetMonitor::IngestSummary FleetMonitor::ingest_file(const std::string& region,
+                                                      const std::string& path,
+                                                      std::size_t expected_dims) {
+  state_of(region);  // unknown region is caller misuse: throw before touching the file
+  std::unique_ptr<TraceReader> reader;
+  try {
+    reader = open_trace_reader(path, expected_dims);
+  } catch (...) {
+    const auto err = std::current_exception();
+    quarantine(region,
+               util::Status(util::StatusCode::kInvalidArgument,
+                            "region " + region + ": cannot open trace: " + describe(err)),
+               err);
+    IngestSummary sum;
+    sum.status = state_of(region).status;
+    return sum;
+  }
+  return ingest(region, *reader);
 }
 
 /// Hand the producer buffer to the shard queue and make sure a drain task
-/// is (or will be) running. Called by the producer thread only.
+/// is (or will be) running. Called by the producer thread only. A parked
+/// worker error makes this a drop-and-fold instead of a handoff.
 void FleetMonitor::flush_shard(Shard& sh) const {
   if (sh.producer_buf.empty()) return;
   bool start_drain = false;
+  bool failed = false;
   {
     std::unique_lock<std::mutex> lock(sh.mu);
-    if (sh.error) std::rethrow_exception(sh.error);
-    // Backpressure: block while the region's queue is at capacity.
-    sh.cv.wait(lock, [&] { return sh.queue.size() < cfg_.max_queue_records || sh.error; });
-    if (sh.error) std::rethrow_exception(sh.error);
-    sh.queue.insert(sh.queue.end(), std::make_move_iterator(sh.producer_buf.begin()),
-                    std::make_move_iterator(sh.producer_buf.end()));
-    if (!sh.draining) {
-      sh.draining = true;
-      start_drain = true;
+    if (!sh.error) {
+      // Backpressure: block while the region's queue is at capacity. A full
+      // queue is a documented-healthy state (the producer simply outran the
+      // pipeline), counted so operators can size max_queue_records.
+      if (sh.queue.size() >= cfg_.max_queue_records) m_backpressure_->inc();
+      sh.cv.wait(lock, [&] { return sh.queue.size() < cfg_.max_queue_records || sh.error; });
+    }
+    if (sh.error) {
+      sh.dropped += sh.producer_buf.size();
+      failed = true;
+    } else {
+      sh.queue.insert(sh.queue.end(), std::make_move_iterator(sh.producer_buf.begin()),
+                      std::make_move_iterator(sh.producer_buf.end()));
+      m_queue_depth_->record(sh.queue.size());
+      if (!sh.draining) {
+        sh.draining = true;
+        start_drain = true;
+      }
     }
   }
+  m_handoffs_->inc();
+  if (!failed) m_enqueued_->add(sh.producer_buf.size());
   sh.producer_buf.clear();
   if (start_drain) {
     pool_->post([this, &sh] { drain_shard(sh); });
   }
+  if (failed) absorb_shard_faults();
 }
 
 void FleetMonitor::drain_shard(Shard& sh) const {
@@ -214,11 +432,22 @@ void FleetMonitor::drain_shard(Shard& sh) const {
       batch.swap(sh.queue);
     }
     sh.cv.notify_all();  // queue emptied; unblock backpressured producers
+    std::size_t applied = 0;
     try {
-      for (const auto& rec : batch) sh.pipeline->add_record(rec);
+      for (const auto& rec : batch) {
+        sh.pipeline->add_record(rec);
+        ++applied;
+      }
+      m_drained_->add(batch.size());
+      m_drain_batches_->inc();
     } catch (...) {
+      // Park the failure for the producer to fold into the region's health;
+      // everything behind the poison record is discarded (the pipeline's
+      // state after a throw is unknown, so applying more would be worse).
       std::lock_guard<std::mutex> lock(sh.mu);
       sh.error = std::current_exception();
+      sh.dropped += (batch.size() - applied) + sh.queue.size();
+      sh.queue.clear();
       sh.draining = false;
       sh.cv.notify_all();
       return;
@@ -227,40 +456,74 @@ void FleetMonitor::drain_shard(Shard& sh) const {
 }
 
 void FleetMonitor::drain() const {
-  // Quiesce every shard before rethrowing: even when one region is
-  // poisoned, the caller must be able to inspect the healthy regions after
-  // drain() returns or throws -- no worker may still be running.
-  std::exception_ptr first_error;
-  for (const auto& [name, shard] : shards_) {
-    try {
-      flush_shard(*shard);
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
+  // Quiesce every shard, then fold worker faults into the health records.
+  // Even when one region is poisoned, the caller must be able to inspect
+  // the healthy regions after drain() returns -- no worker still running,
+  // no exception escaping.
+  for (const auto& [name, shard] : shards_) flush_shard(*shard);
   for (const auto& [name, shard] : shards_) {
     Shard& sh = *shard;
     std::unique_lock<std::mutex> lock(sh.mu);
     sh.cv.wait(lock, [&] { return sh.error || (!sh.draining && sh.queue.empty()); });
-    if (sh.error && !first_error) first_error = sh.error;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  absorb_shard_faults();
 }
 
 void FleetMonitor::finish() {
   drain();
+  // Flush partial windows for live regions only; a quarantined pipeline's
+  // state is suspect and is left untouched so healthy-region results match
+  // a fleet that never contained it.
+  const auto live = [this](const std::string& name) {
+    return state_of(name).health != RegionHealth::kQuarantined;
+  };
   if (!pool_ || regions_.size() <= 1) {
-    for (auto& [name, pipeline] : regions_) pipeline.finish();
-    return;
+    for (auto& [name, pipeline] : regions_) {
+      if (!live(name)) continue;
+      try {
+        pipeline.finish();
+      } catch (...) {
+        const auto err = std::current_exception();
+        quarantine(name,
+                   util::Status(util::StatusCode::kInternal,
+                                "region " + name + ": finish failed: " + describe(err)),
+                   err);
+      }
+    }
+  } else {
+    std::vector<std::pair<const std::string*, std::future<std::exception_ptr>>> jobs;
+    jobs.reserve(regions_.size());
+    for (auto& [name, pipeline] : regions_) {
+      if (!live(name)) continue;
+      jobs.emplace_back(&name, pool_->submit([&pipeline]() -> std::exception_ptr {
+        try {
+          pipeline.finish();
+        } catch (...) {
+          return std::current_exception();
+        }
+        return nullptr;
+      }));
+    }
+    // Join everything first, then apply outcomes in region-name order so
+    // the resulting health transitions are deterministic.
+    for (auto& [name, job] : jobs) job.wait();
+    for (auto& [name, job] : jobs) {
+      if (const auto err = job.get()) {
+        quarantine(*name,
+                   util::Status(util::StatusCode::kInternal,
+                                "region " + *name + ": finish failed: " + describe(err)),
+                   err);
+      }
+    }
   }
-  std::vector<std::future<void>> jobs;
-  jobs.reserve(regions_.size());
-  for (auto& [name, pipeline] : regions_) {
-    jobs.push_back(pool_->submit([&pipeline] { pipeline.finish(); }));
+  if (cfg_.health.flag_silent_regions) {
+    for (auto& [name, st] : health_) {
+      if (st.health == RegionHealth::kHealthy && st.records_ingested == 0) {
+        degrade(name, util::Status(util::StatusCode::kUnavailable,
+                                   "region " + name + ": no records ingested"));
+      }
+    }
   }
-  // Join everything before rethrowing so no task still references a region.
-  for (auto& j : jobs) j.wait();
-  for (auto& j : jobs) j.get();
 }
 
 DetectionPipeline& FleetMonitor::region(const std::string& name) {
@@ -285,21 +548,32 @@ std::vector<std::string> FleetMonitor::region_names() const {
 FleetReport FleetMonitor::diagnose() const {
   drain();
   FleetReport fleet;
+  fleet.health = health_;
+  // Quarantined regions are out: they neither report nor vote, so the
+  // remaining entries are identical to a fleet that never held them.
+  std::vector<std::pair<const std::string*, const DetectionPipeline*>> live;
+  live.reserve(regions_.size());
+  for (const auto& [name, pipeline] : regions_) {
+    if (state_of(name).health != RegionHealth::kQuarantined) {
+      live.emplace_back(&name, &pipeline);
+    }
+  }
+
   // Per-region diagnoses, and cached pruned models. Each job reads one
   // quiescent pipeline through const accessors only, so jobs are
   // independent; results are assembled in region-name order, making the
   // report identical to the serial path's.
   std::map<std::string, hmm::MarkovChain> models;
-  if (pool_ && regions_.size() > 1) {
+  if (pool_ && live.size() > 1) {
     struct RegionDiag {
       DiagnosisReport report;
       hmm::MarkovChain model;
     };
     std::vector<std::pair<const std::string*, std::future<RegionDiag>>> jobs;
-    jobs.reserve(regions_.size());
-    for (const auto& [name, pipeline] : regions_) {
-      jobs.emplace_back(&name, pool_->submit([&pipeline] {
-        return RegionDiag{pipeline.diagnose(), pipeline.correct_model()};
+    jobs.reserve(live.size());
+    for (const auto& [name, pipeline] : live) {
+      jobs.emplace_back(name, pool_->submit([pipeline] {
+        return RegionDiag{pipeline->diagnose(), pipeline->correct_model()};
       }));
     }
     for (auto& [name, job] : jobs) job.wait();
@@ -309,9 +583,9 @@ FleetReport FleetMonitor::diagnose() const {
       models.emplace(*name, std::move(rd.model));
     }
   } else {
-    for (const auto& [name, pipeline] : regions_) {
-      fleet.regions.emplace(name, pipeline.diagnose());
-      models.emplace(name, pipeline.correct_model());
+    for (const auto& [name, pipeline] : live) {
+      fleet.regions.emplace(*name, pipeline->diagnose());
+      models.emplace(*name, pipeline->correct_model());
     }
   }
   for (const auto& [name, report] : fleet.regions) {
@@ -324,16 +598,17 @@ FleetReport FleetMonitor::diagnose() const {
   }
 
   // Cross-region structural check: a region is an outlier when it disagrees
-  // with more than half of the other regions. One job per region; each job
-  // compares its region's model against every other (the O(regions^2) part).
-  if (regions_.size() >= 3) {
+  // with more than half of the other live regions. One job per region; each
+  // job compares its region's model against every other (the O(regions^2)
+  // part).
+  if (live.size() >= 3) {
     const auto is_outlier = [&](const std::string& name, const DetectionPipeline& pipeline) {
       std::size_t disagreements = 0, others = 0;
-      for (const auto& [other_name, other] : regions_) {
-        if (other_name == name) continue;
+      for (const auto& [other_name, other] : live) {
+        if (*other_name == name) continue;
         ++others;
         if (!models_structurally_similar(models.at(name), pipeline.centroid_lookup(),
-                                         models.at(other_name), other.centroid_lookup(),
+                                         models.at(*other_name), other->centroid_lookup(),
                                          cfg_.state_match_tol)) {
           ++disagreements;
         }
@@ -342,20 +617,19 @@ FleetReport FleetMonitor::diagnose() const {
     };
     if (pool_) {
       std::vector<std::pair<const std::string*, std::future<bool>>> jobs;
-      jobs.reserve(regions_.size());
-      for (const auto& [name, pipeline] : regions_) {
-        jobs.emplace_back(
-            &name, pool_->submit([&is_outlier, &name, &pipeline] {
-              return is_outlier(name, pipeline);
-            }));
+      jobs.reserve(live.size());
+      for (const auto& [name, pipeline] : live) {
+        jobs.emplace_back(name, pool_->submit([&is_outlier, name, pipeline] {
+          return is_outlier(*name, *pipeline);
+        }));
       }
       for (auto& [name, job] : jobs) job.wait();
       for (auto& [name, job] : jobs) {
         if (job.get()) fleet.structural_outliers.push_back(*name);
       }
     } else {
-      for (const auto& [name, pipeline] : regions_) {
-        if (is_outlier(name, pipeline)) fleet.structural_outliers.push_back(name);
+      for (const auto& [name, pipeline] : live) {
+        if (is_outlier(*name, *pipeline)) fleet.structural_outliers.push_back(*name);
       }
     }
   }

@@ -16,9 +16,20 @@
 // single-writer invariant; see docs/CONCURRENCY.md), so the parallel
 // FleetReport is bit-identical to the serial one. threads = 1 bypasses the
 // pool entirely and preserves the original serial behavior exactly.
+//
+// Fault isolation: one region's bad feed must not take the fleet down. Each
+// region carries a health state (Healthy -> Degraded -> Quarantined,
+// monotonic); a pipeline exception, a broken reader, or a malformed-rate
+// breach quarantines that region -- its remaining input is dropped and
+// counted, its captured error rides along in the FleetReport, and every
+// other region ingests, finishes, and diagnoses exactly as if the sick
+// region had never been added. ingest/drain/finish therefore never throw
+// for data-dependent failures; caller misuse (unknown region, bad config)
+// still throws. See docs/OBSERVABILITY.md for the health-state machine.
 
 #pragma once
 
+#include <exception>
 #include <map>
 #include <memory>
 #include <span>
@@ -26,14 +37,18 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "trace/trace_io.h"
+#include "util/status.h"
 
 namespace sentinel {
 class TraceReader;
 }
 
 namespace sentinel::util {
+class Counter;
+class Histogram;
 class ThreadPool;
-}
+}  // namespace sentinel::util
 
 namespace sentinel::core {
 
@@ -45,16 +60,67 @@ bool models_structurally_similar(const hmm::MarkovChain& a, const CentroidLookup
                                  const hmm::MarkovChain& b, const CentroidLookup& lookup_b,
                                  double tol);
 
+/// Region health lifecycle. Transitions are monotonic (a region never
+/// recovers within a session -- its learned state is suspect once poisoned)
+/// and are applied only on the caller thread, so the sequence of states is
+/// deterministic at any FleetConfig::threads.
+enum class RegionHealth {
+  kHealthy,      // ingesting normally
+  kDegraded,     // suspicious but still voting: elevated malformed rate, or
+                 // silent (zero records) at finish()
+  kQuarantined,  // excluded from diagnosis and the structural vote; further
+                 // records dropped and counted
+};
+
+const char* to_string(RegionHealth h);
+
+/// Everything the fleet knows about one region's condition. Plain data,
+/// copied into FleetReport so a report outlives the monitor.
+struct RegionState {
+  RegionHealth health = RegionHealth::kHealthy;
+  /// Why the region left kHealthy (ok while healthy).
+  util::Status status;
+  /// The captured pipeline/reader exception when one caused the transition;
+  /// null for threshold-driven transitions. Message is attributed with the
+  /// region name; rethrowable for callers that want the original type.
+  std::exception_ptr error;
+  std::size_t records_ingested = 0;  // accepted by add_record/ingest
+  std::size_t records_dropped = 0;   // dropped: quarantined region, or queued
+                                     // behind a failed worker batch
+  /// Malformed-line causes accumulated from this region's readers.
+  MalformedCounts malformed;
+  std::size_t comment_lines = 0;
+};
+
 struct FleetReport {
+  /// Diagnoses of non-quarantined regions only: a quarantined region's
+  /// learned state is suspect, so it neither reports nor votes.
   std::map<std::string, DiagnosisReport> regions;
   /// Regions whose pruned M_C disagrees (by centroid-matched structure) with
-  /// the majority of the other regions.
+  /// the majority of the other non-quarantined regions.
   std::vector<std::string> structural_outliers;
-  /// Worst verdict across regions (attack > error > normal).
+  /// Worst verdict across non-quarantined regions (attack > error > normal).
   Verdict overall = Verdict::kNormal;
+  /// Health of every region, quarantined ones included (with their captured
+  /// error), so one sick feed stays visible without poisoning the rest.
+  std::map<std::string, RegionState> health;
 };
 
 std::string to_string(const FleetReport& r);
+
+/// Thresholds for the data-quality health transitions.
+struct RegionHealthConfig {
+  /// Malformed-line rate (malformed / total lines seen) beyond which a
+  /// region is marked Degraded / Quarantined during ingest(). Rates are only
+  /// evaluated once min_lines_for_rate lines were seen, so a single early
+  /// bad line cannot quarantine a region.
+  double degraded_malformed_ratio = 0.05;
+  double quarantine_malformed_ratio = 0.50;
+  std::size_t min_lines_for_rate = 64;
+  /// Mark regions that saw zero records Degraded at finish() -- a silent
+  /// cluster head is a finding, not business as usual.
+  bool flag_silent_regions = true;
+};
 
 struct FleetConfig {
   /// Attribute distance within which two regions' model states count as the
@@ -69,6 +135,8 @@ struct FleetConfig {
   /// region's queue is this deep -- backpressure instead of unbounded memory
   /// when producers outrun the pipelines. Deeper queues cost memory
   /// (~100 B/record) but reduce producer stalls on oversubscribed machines.
+  /// Backpressure is a documented-healthy state: the wait is counted
+  /// (fleet.backpressure_waits), not a health transition.
   std::size_t max_queue_records = 16384;
   /// Producer-side batch: add_record appends to an unlocked per-region
   /// buffer and only takes the shard lock every `batch_records` records.
@@ -76,6 +144,8 @@ struct FleetConfig {
   /// window), so unbatched handoff would spend more on locking and worker
   /// wakeups than on detection. 1 = hand off every record immediately.
   std::size_t batch_records = 256;
+  /// Health-transition thresholds (see RegionHealthConfig).
+  RegionHealthConfig health;
 };
 
 class FleetMonitor {
@@ -99,12 +169,12 @@ class FleetMonitor {
   /// checkpoint format).
   void add_region(const std::string& name, PipelineConfig cfg, std::istream& checkpoint);
 
-  /// Route a record to its region's pipeline. Throws on unknown region.
-  /// With threads > 1 this batches into the region's bounded queue and a
-  /// pool worker applies it; a pipeline exception from earlier records of
-  /// the same region is rethrown here (or from drain()/finish()). The
-  /// ingestion API (add_record/drain/finish) is meant for one producer
-  /// thread; the parallelism is the fleet's, across regions.
+  /// Route a record to its region's pipeline. Throws on unknown region
+  /// (caller misuse); a record for a quarantined region is dropped and
+  /// counted, never an error. A pipeline exception raised by this or
+  /// earlier records quarantines the region instead of propagating. The
+  /// ingestion API (add_record/ingest/drain/finish) is meant for one
+  /// producer thread; the parallelism is the fleet's, across regions.
   void add_record(const std::string& region, const SensorRecord& rec);
 
   /// Bulk variant: one region lookup for the whole span. Prefer this when
@@ -113,22 +183,40 @@ class FleetMonitor {
   /// ingest cost at fleet scale.
   void add_records(const std::string& region, std::span<const SensorRecord> recs);
 
+  /// What ingest()/ingest_file() report back: how much arrived and the
+  /// region's status afterwards (ok unless the feed degraded/quarantined
+  /// the region).
+  struct IngestSummary {
+    std::size_t records = 0;  // records accepted into the region
+    util::Status status;      // region status after this ingest
+  };
+
   /// Streaming ingestion: pump `reader` dry into `region` in batches of
   /// `batch_records` (0 = TraceReader::kDefaultBatch). Peak memory is one
   /// batch regardless of trace size, and the records flow through the same
   /// add_records path as bulk ingestion, so the resulting FleetReport is
-  /// byte-identical to reading the whole trace up front. Returns the number
-  /// of records ingested.
-  std::size_t ingest(const std::string& region, TraceReader& reader,
-                     std::size_t batch_records = 0);
+  /// byte-identical to reading the whole trace up front. Malformed lines
+  /// are attributed to the region per cause; a malformed-rate breach or a
+  /// non-ok reader status (truncation, mid-stream loss) transitions the
+  /// region's health instead of throwing.
+  IngestSummary ingest(const std::string& region, TraceReader& reader,
+                       std::size_t batch_records = 0);
+
+  /// Open `path` (CSV or SNTRB1 by probe) and ingest it. A file that cannot
+  /// even be opened as a trace (missing, garbage header) quarantines the
+  /// region with the captured error -- the fleet keeps running.
+  IngestSummary ingest_file(const std::string& region, const std::string& path,
+                            std::size_t expected_dims = 0);
 
   /// Block until every queued record has been applied to its pipeline.
-  /// Rethrows the first pipeline exception captured by a worker. No-op in
-  /// serial mode.
+  /// A worker failure quarantines its region (error captured in the health
+  /// record) rather than rethrowing. No-op in serial mode.
   void drain() const;
 
   /// Flush all regions' partial windows (parallel across regions when a
-  /// pool is configured). Implies drain().
+  /// pool is configured). Implies drain(). A finish()-time pipeline
+  /// exception quarantines its region; silent regions are flagged per
+  /// RegionHealthConfig::flag_silent_regions.
   void finish();
 
   /// Direct pipeline access. With threads > 1, call drain() first unless
@@ -137,9 +225,15 @@ class FleetMonitor {
   const DetectionPipeline& region(const std::string& name) const;
   std::vector<std::string> region_names() const;
 
+  /// Health record of one region (throws on unknown region) / all regions.
+  const RegionState& region_health(const std::string& name) const;
+  const std::map<std::string, RegionState>& health() const { return health_; }
+
   /// Combined fleet diagnosis. Drains first, then runs per-region
-  /// diagnose()/correct_model() and the O(regions^2) structural cross-check
-  /// on the pool. Deterministic: identical to the serial result.
+  /// diagnose()/correct_model() and the structural cross-check on the pool,
+  /// quarantined regions excluded throughout. Deterministic: identical to
+  /// the serial result, and healthy regions' entries are identical to a
+  /// fleet that never contained the quarantined ones.
   FleetReport diagnose() const;
 
   const FleetConfig& config() const { return cfg_; }
@@ -150,11 +244,35 @@ class FleetMonitor {
   void register_shard(const std::string& name, DetectionPipeline& pipeline);
   void flush_shard(Shard& shard) const;
   void drain_shard(Shard& shard) const;
+  /// Fold a captured shard/worker error into the region's health record
+  /// (caller thread only).
+  void quarantine(const std::string& name, util::Status status,
+                  std::exception_ptr error) const;
+  void degrade(const std::string& name, util::Status status) const;
+  /// Pull sh.error/sh.dropped into health_ for every shard (caller thread).
+  void absorb_shard_faults() const;
+  RegionState& state_of(const std::string& name) const;
 
   FleetConfig cfg_;
   std::map<std::string, DetectionPipeline> regions_;
   std::map<std::string, std::unique_ptr<Shard>> shards_;  // empty in serial mode
   std::unique_ptr<util::ThreadPool> pool_;                // null in serial mode
+
+  /// Health records, keyed like regions_. Only the caller (producer) thread
+  /// reads or writes these -- workers report through their Shard and the
+  /// caller folds that in -- so transitions are deterministic and lock-free.
+  /// Mutable: drain()/diagnose() are logically const but must be able to
+  /// absorb worker faults discovered while quiescing.
+  mutable std::map<std::string, RegionState> health_;
+
+  // Fleet-level metric handles (process-global registry; resolved once).
+  util::Counter* m_enqueued_ = nullptr;
+  util::Counter* m_handoffs_ = nullptr;
+  util::Counter* m_backpressure_ = nullptr;
+  util::Counter* m_drained_ = nullptr;
+  util::Counter* m_drain_batches_ = nullptr;
+  util::Counter* m_dropped_ = nullptr;
+  util::Histogram* m_queue_depth_ = nullptr;
 };
 
 }  // namespace sentinel::core

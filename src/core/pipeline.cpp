@@ -7,6 +7,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/vecn.h"
 
@@ -21,6 +22,14 @@ hmm::OnlineHmmConfig hmm_config(const PipelineConfig& cfg) {
   return hc;
 }
 
+// Stage-timer bucket bounds: 250 ns .. ~4 ms, geometric. All pipelines share
+// the same named histograms in the global registry; the registry rejects a
+// bounds mismatch, so resolve them through one helper.
+util::Histogram& stage_histogram(const char* name) {
+  return util::metrics().histogram(
+      name, util::Histogram::exponential_bounds(250, 2.0, 14));
+}
+
 }  // namespace
 
 DetectionPipeline::DetectionPipeline(PipelineConfig cfg)
@@ -32,6 +41,13 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg)
       m_co_(hmm_config(cfg_)) {
   if (cfg_.min_sensors_per_window == 0) {
     throw std::invalid_argument("DetectionPipeline: min_sensors_per_window must be >= 1");
+  }
+  if (cfg_.stage_timers) {
+    t_spawn_ = &stage_histogram("pipeline.stage.spawn_ns");
+    t_identify_ = &stage_histogram("pipeline.stage.identify_ns");
+    t_alarms_ = &stage_histogram("pipeline.stage.alarms_ns");
+    t_hmm_ = &stage_histogram("pipeline.stage.hmm_ns");
+    t_centroid_ = &stage_histogram("pipeline.stage.centroid_ns");
   }
 }
 
@@ -129,17 +145,24 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
   // for B^CO to expose it. Two calls, same candidate order as one. The spawn
   // scan doubles as the eq. (3) mapping scan: when nothing spawned, the
   // recorded slots are exact under the final centroids.
-  const bool spawned_points = !states_.maybe_spawn_mapped(points, spawn_slots_).empty();
-  const bool spawned_mean =
-      !states_.maybe_spawn(std::span<const AttrVec>(window_mean, 1)).empty();
+  bool spawned_points = false;
+  bool spawned_mean = false;
+  {
+    util::ScopedTimerNs t(t_spawn_);
+    spawned_points = !states_.maybe_spawn_mapped(points, spawn_slots_).empty();
+    spawned_mean = !states_.maybe_spawn(std::span<const AttrVec>(window_mean, 1)).empty();
+  }
 
   // (2) o_i, c_i, l_j -- over the flat copies made above, so the window's
   // per-sensor map is walked exactly once per window.
   WindowStates& ws = window_states_;
-  identify_states_into(sensors, points, states_, *window_mean, ws, ident_scratch_,
-                       (spawned_points || spawned_mean)
-                           ? std::span<const std::size_t>{}
-                           : std::span<const std::size_t>(spawn_slots_));
+  {
+    util::ScopedTimerNs t(t_identify_);
+    identify_states_into(sensors, points, states_, *window_mean, ws, ident_scratch_,
+                         (spawned_points || spawned_mean)
+                             ? std::span<const std::size_t>{}
+                             : std::span<const std::size_t>(spawn_slots_));
+  }
 
   // (3) Alarms and tracks.
   WindowSummary summary;
@@ -151,46 +174,65 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
     summary.majority_size = ws.majority_size;
     summary.sensors.reserve(ws.mapping.size());
   }
-  for (const auto& [sensor, l] : ws.mapping) {
-    const bool raw = l != ws.correct;
-    const AlarmUpdate u = alarms_.update(sensor, raw);
-    if (u.raised_edge) tracks_.open(sensor, window.window_index);
-    if (u.cleared_edge) tracks_.close(sensor, window.window_index);
+  {
+    util::ScopedTimerNs t(t_alarms_);
+    for (const auto& [sensor, l] : ws.mapping) {
+      const bool raw = l != ws.correct;
+      const AlarmUpdate u = alarms_.update(sensor, raw);
+      if (raw) ++raw_alarms_;
+      if (u.filtered) ++filtered_alarms_;
+      if (u.raised_edge) {
+        tracks_.open(sensor, window.window_index);
+        ++track_opens_;
+      }
+      if (u.cleared_edge) {
+        tracks_.close(sensor, window.window_index);
+        ++track_closes_;
+      }
 
-    if (tracks_.has_active_track(sensor)) {
-      const StateId e = raw ? l : hmm::kBottomSymbol;
-      tracks_.observe(sensor, ws.correct, e);
+      if (tracks_.has_active_track(sensor)) {
+        const StateId e = raw ? l : hmm::kBottomSymbol;
+        tracks_.observe(sensor, ws.correct, e);
+        ++hmm_updates_;
+      }
+
+      if (cfg_.record_history) {
+        SensorWindowInfo info;
+        info.mapped = l;
+        info.raw_alarm = raw;
+        info.filtered_alarm = u.filtered;
+        summary.sensors.append(sensor, info);
+      }
     }
+  }
 
-    if (cfg_.record_history) {
-      SensorWindowInfo info;
-      info.mapped = l;
-      info.raw_alarm = raw;
-      info.filtered_alarm = u.filtered;
-      summary.sensors.append(sensor, info);
+  {
+    util::ScopedTimerNs t(t_hmm_);
+    // (4) Network HMM M_CO.
+    m_co_.observe(ws.correct, ws.observable);
+    ++hmm_updates_;
+
+    // (5) Markov models M_C and M_O.
+    if (prev_correct_) {
+      m_c_.add_transition(*prev_correct_, ws.correct);
+    } else {
+      m_c_.add_visit(ws.correct);
     }
+    if (prev_observable_) {
+      m_o_.add_transition(*prev_observable_, ws.observable);
+    } else {
+      m_o_.add_visit(ws.observable);
+    }
+    prev_correct_ = ws.correct;
+    prev_observable_ = ws.observable;
   }
-
-  // (4) Network HMM M_CO.
-  m_co_.observe(ws.correct, ws.observable);
-
-  // (5) Markov models M_C and M_O.
-  if (prev_correct_) {
-    m_c_.add_transition(*prev_correct_, ws.correct);
-  } else {
-    m_c_.add_visit(ws.correct);
-  }
-  if (prev_observable_) {
-    m_o_.add_transition(*prev_observable_, ws.observable);
-  } else {
-    m_o_.add_visit(ws.observable);
-  }
-  prev_correct_ = ws.correct;
-  prev_observable_ = ws.observable;
 
   // (6) Centroid EMA update + merge, reusing the eq. (3) labels: nothing
   // moved a centroid since identify_states_into, so the slots are exact.
-  states_.update_labeled(points, ident_scratch_.point_slots);
+  {
+    util::ScopedTimerNs t(t_centroid_);
+    states_.update_labeled(points, ident_scratch_.point_slots);
+  }
 
   ++windows_processed_;
   if (cfg_.record_history) history_.push_back(std::move(summary));
@@ -200,6 +242,22 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
     std::lock_guard<std::mutex> lock(diag_mu_.get());
     diag_cache_.reset();
   }
+}
+
+PipelineCounters DetectionPipeline::counters() const {
+  PipelineCounters c;
+  c.windows_processed = windows_processed_;
+  c.windows_skipped = windows_skipped_;
+  c.state_spawns = states_.spawn_count();
+  c.state_merges = states_.merge_count();
+  c.raw_alarms = raw_alarms_;
+  c.filtered_alarms = filtered_alarms_;
+  c.track_opens = track_opens_;
+  c.track_closes = track_closes_;
+  c.hmm_updates = hmm_updates_;
+  c.late_records = windower_.late_records();
+  c.clamped_records = windower_.clamped_records();
+  return c;
 }
 
 DetectionPipeline::CoalitionInfo DetectionPipeline::compute_coalition() const {

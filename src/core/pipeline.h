@@ -55,7 +55,30 @@
 #include "util/serialize_fwd.h"
 #include "util/sync.h"
 
+namespace sentinel::util {
+class Histogram;
+}  // namespace sentinel::util
+
 namespace sentinel::core {
+
+/// Pipeline activity counters, maintained inline on the single-writer hot
+/// path (plain integers -- no atomics needed) and read via counters() once
+/// the pipeline is quiescent. Observational only: exporters fold them into a
+/// util::MetricsSnapshot with a per-region prefix; nothing here feeds back
+/// into detection.
+struct PipelineCounters {
+  std::size_t windows_processed = 0;
+  std::size_t windows_skipped = 0;
+  std::size_t state_spawns = 0;
+  std::size_t state_merges = 0;
+  std::size_t raw_alarms = 0;        // per-sensor raw alarm windows (a^j set)
+  std::size_t filtered_alarms = 0;   // per-sensor filtered alarm windows (b^j set)
+  std::size_t track_opens = 0;
+  std::size_t track_closes = 0;
+  std::size_t hmm_updates = 0;       // M_CO + per-track M_CE observe() calls
+  std::size_t late_records = 0;      // dropped: older than an emitted window
+  std::size_t clamped_records = 0;   // degenerate timestamps clamped (windower)
+};
 
 /// Per-window, per-sensor alarm record (Fig. 12's raw-alarm series).
 struct SensorWindowInfo {
@@ -130,6 +153,8 @@ class DetectionPipeline {
   std::vector<StateId> correct_sequence() const;
   std::size_t windows_processed() const { return windows_processed_; }
   std::size_t windows_skipped() const { return windows_skipped_; }
+  /// Activity counters (see PipelineCounters). Safe on a quiescent pipeline.
+  PipelineCounters counters() const;
 
   /// Correct-state ids whose occupancy in M_C clears the spurious-state bar.
   /// Cached between windows (recomputed after the next processed window).
@@ -184,6 +209,20 @@ class DetectionPipeline {
   std::vector<WindowSummary> history_;
   std::size_t windows_processed_ = 0;
   std::size_t windows_skipped_ = 0;
+  std::size_t raw_alarms_ = 0;
+  std::size_t filtered_alarms_ = 0;
+  std::size_t track_opens_ = 0;
+  std::size_t track_closes_ = 0;
+  std::size_t hmm_updates_ = 0;
+
+  // Stage-timer histograms, resolved from the global registry at
+  // construction when cfg_.stage_timers is set; null otherwise, and a null
+  // histogram makes ScopedTimerNs skip the clock read entirely.
+  util::Histogram* t_spawn_ = nullptr;
+  util::Histogram* t_identify_ = nullptr;
+  util::Histogram* t_alarms_ = nullptr;
+  util::Histogram* t_hmm_ = nullptr;
+  util::Histogram* t_centroid_ = nullptr;
 
   // Per-window scratch, reused so the steady-state hot path allocates
   // nothing (see docs/PERFORMANCE.md).

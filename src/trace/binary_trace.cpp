@@ -169,10 +169,13 @@ void BinaryTraceReader::parse_header(const unsigned char* header, std::size_t fi
     corrupt(path, "record size " + std::to_string(record_bytes_) + " too small for " +
                       std::to_string(dims_) + " dims");
   }
+  // Truncation is deferred, not thrown: serve the complete records, then
+  // surface the shortfall through status(). The consumer (fleet ingest)
+  // quarantines the feed; the partial prefix is still usable for forensics.
   const std::uint64_t payload = file_size - kBinaryTraceHeaderBytes;
+  avail_ = count_;
   if (count_ > payload / record_bytes_) {
-    corrupt(path, "truncated: header promises " + std::to_string(count_) +
-                      " records, file holds " + std::to_string(payload / record_bytes_));
+    avail_ = payload / record_bytes_;
   }
 }
 
@@ -185,8 +188,8 @@ void BinaryTraceReader::decode(const unsigned char* p, SensorRecord& rec) const 
 
 std::size_t BinaryTraceReader::read_batch(std::vector<SensorRecord>& out,
                                           std::size_t max_records) {
-  const std::uint64_t remaining = count_ - next_;
-  const std::size_t n = static_cast<std::size_t>(
+  const std::uint64_t remaining = avail_ - next_;
+  std::size_t n = static_cast<std::size_t>(
       remaining < max_records ? remaining : static_cast<std::uint64_t>(max_records));
   if (out.size() < n) out.resize(n);
   if (map_) {
@@ -196,14 +199,27 @@ std::size_t BinaryTraceReader::read_batch(std::vector<SensorRecord>& out,
   } else {
     chunk_.resize(n * record_bytes_);
     in_.read(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
-    if (in_.gcount() != static_cast<std::streamsize>(chunk_.size())) {
-      throw std::runtime_error("binary trace: unexpected end of stream");
+    const auto got_records =
+        static_cast<std::size_t>(in_.gcount()) / record_bytes_;  // whole records only
+    if (got_records < n) {
+      // Mid-batch stream failure (file shrank under us, device error):
+      // serve the complete records we got, end the stream with a status.
+      n = got_records;
+      avail_ = next_ + n;
+      status_ = util::Status(util::StatusCode::kDataLoss,
+                             "binary trace: unexpected end of stream");
     }
     const auto* base = reinterpret_cast<const unsigned char*>(chunk_.data());
     for (std::size_t i = 0; i < n; ++i) decode(base + i * record_bytes_, out[i]);
   }
   next_ += n;
   out.resize(n);
+  if (next_ == avail_ && avail_ < count_ && status_.is_ok()) {
+    status_ = util::Status(
+        util::StatusCode::kDataLoss,
+        "binary trace: truncated: header promises " + std::to_string(count_) +
+            " records, file holds " + std::to_string(avail_));
+  }
   return n;
 }
 

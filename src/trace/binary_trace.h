@@ -79,9 +79,14 @@ class BinaryTraceWriter {
 void write_trace_binary_file(const std::string& path, const std::vector<SensorRecord>& records);
 
 /// Batch reader for SNTRB1 files; mmap with buffered-stream fallback, same
-/// interface as CsvTraceReader. Header problems (wrong magic, impossible
-/// dims/record_bytes, count disagreeing with the file size) throw
-/// std::runtime_error with a message naming the file and the defect.
+/// interface as CsvTraceReader. Structural header problems (wrong magic,
+/// impossible dims/record_bytes, dims mismatch) throw std::runtime_error
+/// from the constructor with a message naming the file and the defect --
+/// such a file was never a readable trace. A *truncated* file (header
+/// promises more records than the bytes hold: a writer crash, a partial
+/// upload) is data loss, not misuse: the reader serves every complete
+/// record, then ends the stream with a non-fatal status() so the consumer
+/// can count, attribute, and keep its other feeds alive.
 class BinaryTraceReader final : public TraceReader {
  public:
   /// `expected_dims` = 0 accepts the file's dimensionality; nonzero must
@@ -89,10 +94,12 @@ class BinaryTraceReader final : public TraceReader {
   explicit BinaryTraceReader(const std::string& path, std::size_t expected_dims = 0);
 
   std::size_t read_batch(std::vector<SensorRecord>& out, std::size_t max_records) override;
-  std::size_t malformed_lines() const override { return 0; }
+  util::Status status() const override { return status_; }
   std::size_t comment_lines() const override { return 0; }
   std::size_t dims() const override { return dims_; }
 
+  /// Records the header promises (>= the count actually readable when the
+  /// file is truncated).
   std::size_t total_records() const { return count_; }
 
  private:
@@ -106,8 +113,10 @@ class BinaryTraceReader final : public TraceReader {
 
   std::size_t dims_ = 0;
   std::size_t record_bytes_ = 0;
-  std::uint64_t count_ = 0;
-  std::uint64_t next_ = 0;  // index of the next record to hand out
+  std::uint64_t count_ = 0;  // header's promise
+  std::uint64_t avail_ = 0;  // records the file actually holds (<= count_)
+  std::uint64_t next_ = 0;   // index of the next record to hand out
+  util::Status status_;
 };
 
 }  // namespace sentinel

@@ -100,6 +100,13 @@ bool parse_simple_line(std::string_view line, std::size_t dims, SensorRecord& re
 
 }  // namespace
 
+std::string to_string(const MalformedCounts& m) {
+  return std::to_string(m.total()) + " malformed (field-count " +
+         std::to_string(m.bad_field_count) + ", dims " + std::to_string(m.dims_mismatch) +
+         ", sensor-id " + std::to_string(m.bad_sensor_id) + ", number " +
+         std::to_string(m.bad_number) + ")";
+}
+
 LineParse parse_trace_line(std::string_view line, std::size_t& expected_dims, SensorRecord& rec,
                            std::vector<std::string_view>& fields) {
   if (line.empty()) return LineParse::kBlank;
@@ -108,12 +115,12 @@ LineParse parse_trace_line(std::string_view line, std::size_t& expected_dims, Se
     return LineParse::kRecord;
   }
   csv::split_into(line, fields);
-  if (fields.size() < 3) return LineParse::kMalformed;
+  if (fields.size() < 3) return LineParse::kBadFieldCount;
   const std::size_t dims = fields.size() - 2;
   if (expected_dims == 0) {
     expected_dims = dims;
   }
-  if (dims != expected_dims) return LineParse::kMalformed;
+  if (dims != expected_dims) return LineParse::kDimsMismatch;
   // Sensor-id fast path: the field is almost always a plain decimal integer,
   // which from_chars validates and range-checks in one step. Anything else
   // ("7.0", "1e2", out-of-range) takes the double route and the checked
@@ -123,19 +130,19 @@ LineParse parse_trace_line(std::string_view line, std::size_t& expected_dims, Se
       std::from_chars(fields[0].data(), fields[0].data() + fields[0].size(), sensor);
   if (id_ec != std::errc{} || id_ptr != fields[0].data() + fields[0].size()) {
     const auto id = csv::parse_double(fields[0]);
-    if (!id) return LineParse::kMalformed;
+    if (!id) return LineParse::kBadSensorId;
     const auto checked = to_sensor_id(*id);
-    if (!checked) return LineParse::kMalformed;
+    if (!checked) return LineParse::kBadSensorId;
     sensor = *checked;
   }
   const auto t = csv::parse_double(fields[1]);
-  if (!t) return LineParse::kMalformed;
+  if (!t) return LineParse::kBadNumber;
   rec.sensor = sensor;
   rec.time = *t;
   rec.attrs.resize(dims);
   for (std::size_t i = 0; i < dims; ++i) {
     const auto v = csv::parse_double(fields[i + 2]);
-    if (!v) return LineParse::kMalformed;
+    if (!v) return LineParse::kBadNumber;
     rec.attrs[i] = *v;
   }
   return LineParse::kRecord;
@@ -147,13 +154,15 @@ TraceReadResult read_trace(std::istream& in, std::size_t expected_dims) {
   std::vector<std::string_view> fields;
   SensorRecord rec;
   while (std::getline(in, line)) {
-    switch (parse_trace_line(line, expected_dims, rec, fields)) {
+    const LineParse p = parse_trace_line(line, expected_dims, rec, fields);
+    switch (p) {
       case LineParse::kRecord: result.records.push_back(rec); break;
       case LineParse::kComment: ++result.comment_lines; break;
       case LineParse::kBlank: break;
-      case LineParse::kMalformed: ++result.malformed_lines; break;
+      default: result.malformed.count(p); break;
     }
   }
+  result.malformed_lines = result.malformed.total();
   return result;
 }
 
@@ -164,8 +173,10 @@ TraceReadResult read_trace_file(const std::string& path, std::size_t expected_di
   while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
     result.records.insert(result.records.end(), batch.begin(), batch.end());
   }
-  result.malformed_lines = reader->malformed_lines();
+  result.malformed = reader->malformed();
+  result.malformed_lines = result.malformed.total();
   result.comment_lines = reader->comment_lines();
+  result.status = reader->status();
   return result;
 }
 

@@ -23,21 +23,77 @@
 #include <vector>
 
 #include "trace/record.h"
+#include "util/status.h"
 
 namespace sentinel {
-
-struct TraceReadResult {
-  std::vector<SensorRecord> records;
-  std::size_t malformed_lines = 0;
-  std::size_t comment_lines = 0;
-};
 
 /// Validated double -> SensorId conversion. nullopt for NaN, negative,
 /// fractional, or out-of-range values -- casting such a double straight to an
 /// integer type is undefined behavior, so the range check must come first.
 std::optional<SensorId> to_sensor_id(double v);
 
-enum class LineParse { kRecord, kComment, kBlank, kMalformed };
+/// Per-line parse outcome. The malformed variants attribute the *cause*, so
+/// every reader (getline, mmap, buffered-stream) reports identical per-cause
+/// drop counts on the same bytes -- a feed that is 90% bad-sensor-ids is a
+/// different operational problem than one that is 90% short lines.
+enum class LineParse {
+  kRecord,
+  kComment,
+  kBlank,
+  kBadFieldCount,  // fewer than sensor,time,x_1
+  kDimsMismatch,   // width disagrees with the trace's fixed dimensionality
+  kBadSensorId,    // id field not a valid uint32 (negative, fractional, huge)
+  kBadNumber,      // unparseable time or attribute field
+};
+
+constexpr bool is_malformed(LineParse p) {
+  return p == LineParse::kBadFieldCount || p == LineParse::kDimsMismatch ||
+         p == LineParse::kBadSensorId || p == LineParse::kBadNumber;
+}
+
+/// Malformed-line tally broken down by cause. Every CSV reader keeps one;
+/// equality across readers on the same input is test-enforced.
+struct MalformedCounts {
+  std::size_t bad_field_count = 0;
+  std::size_t dims_mismatch = 0;
+  std::size_t bad_sensor_id = 0;
+  std::size_t bad_number = 0;
+
+  std::size_t total() const {
+    return bad_field_count + dims_mismatch + bad_sensor_id + bad_number;
+  }
+  void count(LineParse p) {
+    switch (p) {
+      case LineParse::kBadFieldCount: ++bad_field_count; break;
+      case LineParse::kDimsMismatch: ++dims_mismatch; break;
+      case LineParse::kBadSensorId: ++bad_sensor_id; break;
+      case LineParse::kBadNumber: ++bad_number; break;
+      default: break;
+    }
+  }
+  MalformedCounts& operator+=(const MalformedCounts& o) {
+    bad_field_count += o.bad_field_count;
+    dims_mismatch += o.dims_mismatch;
+    bad_sensor_id += o.bad_sensor_id;
+    bad_number += o.bad_number;
+    return *this;
+  }
+  friend bool operator==(const MalformedCounts&, const MalformedCounts&) = default;
+};
+
+std::string to_string(const MalformedCounts& m);
+
+struct TraceReadResult {
+  std::vector<SensorRecord> records;
+  /// Total malformed lines (== malformed.total(); kept as a field because
+  /// most callers only care about the headline number).
+  std::size_t malformed_lines = 0;
+  std::size_t comment_lines = 0;
+  MalformedCounts malformed;
+  /// Non-ok when the source failed mid-stream (e.g. a truncated binary
+  /// trace): `records` holds everything read up to the failure.
+  util::Status status;
+};
 
 /// Parse one CSV line into `rec` without allocating in steady state: fields
 /// are string_views into `line` (split via `fields` scratch), numbers parse
@@ -54,7 +110,8 @@ TraceReadResult read_trace(std::istream& in, std::size_t expected_dims = 0);
 
 /// Convenience: read a whole trace file, CSV or binary (auto-detected by
 /// magic). Throws std::runtime_error if the file cannot be opened or a
-/// binary file is corrupt.
+/// binary header is structurally invalid; a file that turns out truncated
+/// mid-stream yields the readable prefix with a non-ok result.status.
 TraceReadResult read_trace_file(const std::string& path, std::size_t expected_dims = 0);
 
 /// Write records to a stream, with an optional schema comment header.

@@ -14,12 +14,14 @@ constexpr std::size_t kStreamBufBytes = 1 << 20;  // 1 MiB refill buffer
 
 }  // namespace
 
-CsvTraceReader::CsvTraceReader(const std::string& path, std::size_t expected_dims)
+CsvTraceReader::CsvTraceReader(const std::string& path, std::size_t expected_dims, Mode mode)
     : expected_dims_(expected_dims) {
-  map_ = util::MappedFile::map(path);
-  if (map_) {
-    rest_ = map_->view();
-    return;
+  if (mode == Mode::kAuto) {
+    map_ = util::MappedFile::map(path);
+    if (map_) {
+      rest_ = map_->view();
+      return;
+    }
   }
   in_.open(path, std::ios::binary);
   if (!in_) throw std::runtime_error("CsvTraceReader: cannot open " + path);
@@ -39,7 +41,15 @@ bool CsvTraceReader::refill() {
   in_.read(buf_.data() + buf_end_, static_cast<std::streamsize>(buf_.size() - buf_end_));
   const auto got = static_cast<std::size_t>(in_.gcount());
   buf_end_ += got;
-  if (got == 0) stream_eof_ = true;
+  if (got == 0) {
+    stream_eof_ = true;
+    // Distinguish clean EOF from a device-level read failure: the latter is
+    // a mid-stream data loss the consumer must see as a Status, not as a
+    // silently short trace.
+    if (in_.bad()) {
+      status_ = util::Status(util::StatusCode::kDataLoss, "csv trace: read error mid-stream");
+    }
+  }
   return got > 0;
 }
 
@@ -81,11 +91,12 @@ std::size_t CsvTraceReader::read_batch(std::vector<SensorRecord>& out, std::size
     const auto line = next_line();
     if (!line) break;
     if (n == out.size()) out.emplace_back();
-    switch (parse_trace_line(*line, expected_dims_, out[n], fields_)) {
+    const LineParse p = parse_trace_line(*line, expected_dims_, out[n], fields_);
+    switch (p) {
       case LineParse::kRecord: ++n; break;
       case LineParse::kComment: ++comments_; break;
       case LineParse::kBlank: break;
-      case LineParse::kMalformed: ++malformed_; break;
+      default: malformed_.count(p); break;
     }
   }
   out.resize(n);  // only shrinks on the final partial batch

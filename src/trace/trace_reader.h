@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "trace/record.h"
+#include "trace/trace_io.h"
 #include "util/mmap_file.h"
+#include "util/status.h"
 
 namespace sentinel {
 
@@ -44,11 +46,25 @@ class TraceReader {
   /// Fill `out` with up to `max_records` records, reusing its storage
   /// (records beyond the previous batch's size are value-constructed; attr
   /// vectors keep their capacity). Returns out.size(); 0 means end of
-  /// stream. Records arrive in file order.
+  /// stream -- clean or broken; check status() to tell which. Records
+  /// arrive in file order.
   virtual std::size_t read_batch(std::vector<SensorRecord>& out, std::size_t max_records) = 0;
 
+  /// Terminal stream condition. Ok while records are flowing and after a
+  /// clean end of stream; non-ok (and sticky) once the source fails
+  /// mid-stream -- a truncated binary payload, an I/O error. Data-dependent
+  /// failure is a *value*, never an exception, so one rotten feed cannot
+  /// abort a fleet sharing the process (constructors still throw on caller
+  /// misuse: missing file, structurally invalid header).
+  virtual util::Status status() const { return util::Status::ok(); }
+
+  /// Malformed-line tally by cause (all zero for binary traces).
+  virtual const MalformedCounts& malformed() const {
+    static const MalformedCounts kNone;
+    return kNone;
+  }
   /// Lines counted as malformed so far (always 0 for binary traces).
-  virtual std::size_t malformed_lines() const = 0;
+  std::size_t malformed_lines() const { return malformed().total(); }
   /// Comment lines seen so far (always 0 for binary traces).
   virtual std::size_t comment_lines() const = 0;
   /// Attribute dimensionality; 0 until the first record has been read when
@@ -60,10 +76,19 @@ class TraceReader {
 /// first record. Throws std::runtime_error if the file cannot be opened.
 class CsvTraceReader final : public TraceReader {
  public:
-  explicit CsvTraceReader(const std::string& path, std::size_t expected_dims = 0);
+  /// kAuto memory-maps when the platform allows and falls back to a
+  /// buffered stream; kForceStream always takes the stream path. The two
+  /// paths share parse_trace_line, so record sets and per-cause malformed
+  /// counts are identical either way (test-enforced) -- kForceStream exists
+  /// so that parity is provable on platforms where mmap succeeds.
+  enum class Mode { kAuto, kForceStream };
+
+  explicit CsvTraceReader(const std::string& path, std::size_t expected_dims = 0,
+                          Mode mode = Mode::kAuto);
 
   std::size_t read_batch(std::vector<SensorRecord>& out, std::size_t max_records) override;
-  std::size_t malformed_lines() const override { return malformed_; }
+  util::Status status() const override { return status_; }
+  const MalformedCounts& malformed() const override { return malformed_; }
   std::size_t comment_lines() const override { return comments_; }
   std::size_t dims() const override { return expected_dims_; }
 
@@ -87,8 +112,9 @@ class CsvTraceReader final : public TraceReader {
   bool stream_eof_ = false;
 
   std::size_t expected_dims_ = 0;
-  std::size_t malformed_ = 0;
+  MalformedCounts malformed_;
   std::size_t comments_ = 0;
+  util::Status status_;
   std::vector<std::string_view> fields_;  // per-line split scratch
 };
 

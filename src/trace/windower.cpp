@@ -52,18 +52,26 @@ ObservationSet Windower::finalize_current() {
   return set;
 }
 
-std::size_t Windower::index_for(double time) const {
+std::size_t Windower::index_for(double time) {
   // Window i (1-based) covers [w*(i-1), w*i); the paper's eq. (1) is
   // inclusive on both ends, but half-open intervals avoid double counting.
   // Degenerate times need defined handling before the cast -- converting a
   // negative or out-of-range double to size_t is undefined behavior (the
   // ASan+UBSan CI job checks this path): times before deployment start (and
   // NaN) clamp into window 1, astronomically large times clamp to the
-  // largest index the cast can represent.
+  // largest index the cast can represent. Each clamp is counted so the
+  // pipeline can attribute degenerate timestamps instead of absorbing them
+  // silently.
   const double idx = std::floor(time / window_seconds_);
-  if (!(idx >= 0.0)) return 1;
+  if (!(idx >= 0.0)) {
+    ++clamped_records_;
+    return 1;
+  }
   constexpr double kMaxIndex = 9.0e18;  // < 2^63: cast below is defined
-  if (idx >= kMaxIndex) return static_cast<std::size_t>(kMaxIndex);
+  if (idx >= kMaxIndex) {
+    ++clamped_records_;
+    return static_cast<std::size_t>(kMaxIndex);
+  }
   return static_cast<std::size_t>(idx) + 1;
 }
 

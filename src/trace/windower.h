@@ -105,17 +105,23 @@ class Windower {
   std::optional<ObservationSet> flush();
 
   std::size_t late_records() const { return late_records_; }
+  /// Records whose time was degenerate (NaN, negative, astronomically
+  /// large) and had to be clamped into a representable window. Legal input
+  /// per section 3.1's malformed-packet tolerance, but worth counting: a
+  /// sensor emitting clamped timestamps is broken in a specific way.
+  std::size_t clamped_records() const { return clamped_records_; }
   double window_seconds() const { return window_seconds_; }
 
  private:
   ObservationSet finalize_current();
   void open_window(std::size_t index);
-  std::size_t index_for(double time) const;
+  std::size_t index_for(double time);
 
   double window_seconds_;
   std::size_t current_index_ = 0;  // 0 = no window open yet
   std::vector<SensorRecord> pending_;
   std::size_t late_records_ = 0;
+  std::size_t clamped_records_ = 0;
 };
 
 /// Batch convenience: window a whole trace (records need not be sorted).

@@ -1,0 +1,203 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+namespace sentinel::util {
+
+std::size_t metric_stripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t Counter::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& cell : cells_) sum += cell.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+Histogram::Histogram(std::string name, std::vector<std::uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)), n_buckets_(bounds_.size() + 1) {
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(kMetricStripes * n_buckets_);
+  for (std::size_t i = 0; i < kMetricStripes * n_buckets_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(std::uint64_t sample) noexcept {
+  // Branchless-enough bucket search: bounds are few (<= ~32), ascending.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), sample) - bounds_.begin());
+  const std::size_t stripe = metric_stripe();
+  counts_[stripe * n_buckets_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  cells_[stripe].sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(n_buckets_, 0);
+  for (std::size_t s = 0; s < kMetricStripes; ++s) {
+    snap.sum += cells_[s].sum.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < n_buckets_; ++b) {
+      snap.counts[b] += counts_[s * n_buckets_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  for (const auto c : snap.counts) snap.count += c;
+  return snap;
+}
+
+std::vector<std::uint64_t> Histogram::exponential_bounds(std::uint64_t first, double factor,
+                                                         std::size_t count) {
+  if (first == 0 || factor <= 1.0) {
+    throw std::invalid_argument("Histogram::exponential_bounds: need first >= 1, factor > 1");
+  }
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(count);
+  double b = static_cast<double>(first);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<std::uint64_t>(b);
+    // Guarantee strict ascent even once rounding flattens the curve.
+    bounds.push_back(bounds.empty() ? v : std::max(v, bounds.back() + 1));
+    b *= factor;
+  }
+  return bounds;
+}
+
+void MetricsSnapshot::add_counter(std::string_view name, std::uint64_t value) {
+  counters[std::string(name)] += value;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, snap] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, snap);
+    if (inserted) continue;
+    Histogram::Snapshot& mine = it->second;
+    if (mine.bounds != snap.bounds) {
+      throw std::invalid_argument("MetricsSnapshot::merge: bounds mismatch for " + name);
+    }
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) mine.counts[i] += snap.counts[i];
+    mine.count += snap.count;
+    mine.sum += snap.sum;
+  }
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters) os << name << ' ' << value << '\n';
+  for (const auto& [name, h] : histograms) {
+    os << name << " count " << h.count << " sum " << h.sum;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << " le_";
+      if (i < h.bounds.size()) {
+        os << h.bounds[i];
+      } else {
+        os << "inf";
+      }
+      os << '=' << h.counts[i];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) os << ',';
+      os << h.bounds[i];
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) os << ',';
+      os << h.counts[i];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << h.sum << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  auto owned = std::unique_ptr<Counter>(new Counter(std::string(name)));
+  Counter& ref = *owned;
+  counters_.emplace(ref.name(), std::move(owned));
+  return ref;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<std::uint64_t> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    throw std::invalid_argument("MetricsRegistry::histogram: bounds must be ascending: " +
+                                std::string(name));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second->bounds() != bounds) {
+      throw std::invalid_argument("MetricsRegistry::histogram: bounds mismatch for " +
+                                  std::string(name));
+    }
+    return *it->second;
+  }
+  auto owned = std::unique_ptr<Histogram>(new Histogram(std::string(name), std::move(bounds)));
+  Histogram& ref = *owned;
+  histograms_.emplace(ref.name(), std::move(owned));
+  return ref;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->total());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace(name, h->snapshot());
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    for (auto& cell : c->cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (auto& cell : h->cells_) cell.sum.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMetricStripes * h->n_buckets_; ++i) {
+      h->counts_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked: outlives all users
+  return *registry;
+}
+
+}  // namespace sentinel::util

@@ -1,0 +1,172 @@
+// Process-wide observability registry: named counters and fixed-bucket
+// histograms cheap enough to live on ingest hot paths.
+//
+// Design constraints, in order:
+//   1. Hot-path cost ~ one relaxed atomic add. Each metric's storage is
+//      sharded into cache-line-sized cells; a thread picks its cell once
+//      (thread_local round-robin) and never contends with other threads'
+//      increments, so a counter add is a relaxed fetch_add on a line this
+//      thread effectively owns.
+//   2. Observational only. Nothing in the registry feeds back into
+//      detection: snapshots are taken outside the hot path, and metrics-on
+//      vs metrics-off runs are bit-identical by construction (enforced by
+//      the golden tests).
+//   3. Registration is rare and locked; handles are stable. Callers resolve
+//      Counter&/Histogram& once (constructor time) and keep the reference --
+//      the registry never moves or frees a registered metric.
+//
+// Snapshots are plain data: merge() folds several (e.g. registry + derived
+// per-region values injected via add_counter) and renders as text or JSON.
+// See docs/OBSERVABILITY.md for the metric catalog.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sentinel::util {
+
+/// Stripe count per metric. Power of two, sized to the worker counts the
+/// fleet actually runs (FleetConfig::threads); more threads than stripes
+/// still works, they just share cells.
+inline constexpr std::size_t kMetricStripes = 16;
+
+/// This thread's stripe, assigned round-robin on first use.
+std::size_t metric_stripe();
+
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    cells_[metric_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  /// Sum over all stripes. Relaxed reads: exact once writers are quiescent,
+  /// a consistent-enough sample while they are not.
+  std::uint64_t total() const noexcept;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kMetricStripes];
+  std::string name_;
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (counts, queue
+/// depths, nanoseconds). Bucket i counts samples <= bounds[i]; one implicit
+/// overflow bucket catches the rest. Bounds are fixed at registration so
+/// recording never allocates or rebalances.
+class Histogram {
+ public:
+  void record(std::uint64_t sample) noexcept;
+
+  struct Snapshot {
+    std::vector<std::uint64_t> bounds;  // upper bounds, ascending
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;            // total samples
+    std::uint64_t sum = 0;              // sum of samples
+  };
+  Snapshot snapshot() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+
+  /// Geometric bucket bounds: first, first*factor, ... (`count` bounds).
+  /// The default shape for duration histograms.
+  static std::vector<std::uint64_t> exponential_bounds(std::uint64_t first, double factor,
+                                                       std::size_t count);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<std::uint64_t> bounds);
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> sum{0};
+    // Bucket counts for this stripe live in counts_[stripe * n_buckets ...].
+  };
+  std::string name_;
+  std::vector<std::uint64_t> bounds_;
+  std::size_t n_buckets_ = 0;  // bounds_.size() + 1
+  Cell cells_[kMetricStripes];
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // stripes * n_buckets
+};
+
+/// A point-in-time, plain-data view of a metric set. Mergeable so exporters
+/// can fold the registry with values computed elsewhere (per-region pipeline
+/// counters, health states) into one document.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Histogram::Snapshot> histograms;
+
+  /// Inject or accumulate an externally-computed counter value.
+  void add_counter(std::string_view name, std::uint64_t value);
+
+  /// Fold `other` into this snapshot (counters add; same-name histograms
+  /// must share bounds and add bucket-wise).
+  void merge(const MetricsSnapshot& other);
+
+  /// One metric per line: "name value" / histogram lines with buckets.
+  std::string to_text() const;
+  /// {"counters": {...}, "histograms": {name: {bounds, counts, count, sum}}}
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime; resolve once, keep the handle.
+  Counter& counter(std::string_view name);
+  /// Find-or-create; `bounds` must be non-empty and ascending (throws
+  /// std::invalid_argument otherwise, and on a bounds mismatch with an
+  /// already-registered histogram of the same name).
+  Histogram& histogram(std::string_view name, std::vector<std::uint64_t> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every cell (registrations survive; handles stay valid). For test
+  /// and bench isolation -- not meant for production use.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;  // registration and enumeration; never on add paths
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry every tier reports into.
+MetricsRegistry& metrics();
+
+/// Monotonic nanoseconds for duration metrics.
+std::uint64_t monotonic_ns();
+
+/// Scope timer recording elapsed nanoseconds into a histogram; a null
+/// histogram disables it entirely (no clock read), which is how the
+/// per-stage pipeline timers stay free when toggled off.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram* h) : h_(h), start_(h ? monotonic_ns() : 0) {}
+  ~ScopedTimerNs() {
+    if (h_ != nullptr) h_->record(monotonic_ns() - start_);
+  }
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+}  // namespace sentinel::util

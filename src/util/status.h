@@ -1,0 +1,110 @@
+// Error-as-data plumbing for the ingest tiers.
+//
+// The readers, the windower, and the fleet's shard drains all face the same
+// reality the paper calls out in section 3.1: malformed or missing packets
+// are an *input condition*, not a programming error. Throwing on them aborts
+// every region sharing the process; returning them as values lets each layer
+// count, attribute, and keep going. Status/Result carry those conditions.
+// The split rule across the codebase:
+//   - constructor/config validation (caller misuse) keeps throwing,
+//   - data-dependent failures after construction become Status.
+//
+// Deliberately tiny -- a code, a message, no payload chains -- so a Status
+// costs one string move and the ok() path is branch-plus-enum-compare.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sentinel::util {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,     // caller handed data that can never be valid
+  kNotFound,            // named thing does not exist (file, region)
+  kDataLoss,            // input is corrupt or truncated; partial data served
+  kResourceExhausted,   // a configured bound was hit (queue, rate threshold)
+  kFailedPrecondition,  // operation illegal in the current state
+  kUnavailable,         // expected input never arrived (silent region)
+  kInternal,            // captured exception or invariant violation
+};
+
+constexpr const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  /// Default construction is success; the common return path allocates
+  /// nothing.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<code>: <message>" (or just "ok").
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string out = util::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::string to_string(const Status& s) { return s.to_string(); }
+
+/// A value or the Status explaining its absence. value() on a failed Result
+/// is caller misuse and asserts via std::optional's UB-free throw path.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return value_.value(); }
+  const T& value() const { return value_.value(); }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// The value, or `fallback` when this Result carries an error.
+  T value_or(T fallback) const { return value_.value_or(std::move(fallback)); }
+
+ private:
+  Status status_;  // ok iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace sentinel::util

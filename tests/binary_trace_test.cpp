@@ -157,13 +157,15 @@ TEST(BinaryTrace, TruncatedHeaderRejected) {
   std::remove(path.c_str());
 }
 
-TEST(BinaryTrace, TruncatedPayloadRejected) {
+TEST(BinaryTrace, TruncatedPayloadYieldsPrefixAndDataLossStatus) {
   const std::vector<SensorRecord> trace{{0, 0.0, {1.0, 2.0}}, {1, 60.0, {3.0, 4.0}}};
   const auto path = temp_path("bt_trunc.snt");
   write_trace_binary_file(path, trace);
 
   // Chop off the last record's final bytes: the header's count now promises
-  // more records than the file holds.
+  // more records than the file holds. That is data loss (a crashed writer,
+  // a partial upload), not caller misuse: the reader serves every complete
+  // record and ends the stream with a sticky non-ok status.
   std::ifstream in(path, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
   in.close();
@@ -172,18 +174,22 @@ TEST(BinaryTrace, TruncatedPayloadRejected) {
   out << bytes;
   out.close();
 
-  EXPECT_THROW(
-      {
-        try {
-          BinaryTraceReader r(path);
-        } catch (const std::runtime_error& e) {
-          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
-          throw;
-        }
-      },
-      std::runtime_error);
-  // And the convenience entry point surfaces the same failure.
-  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  BinaryTraceReader reader(path);
+  EXPECT_TRUE(reader.status().is_ok());  // nothing read yet
+  EXPECT_EQ(reader.total_records(), 2u);
+  std::vector<SensorRecord> batch;
+  std::vector<SensorRecord> all;
+  while (reader.read_batch(batch, 16) > 0) all.insert(all.end(), batch.begin(), batch.end());
+  ASSERT_EQ(all.size(), 1u);
+  expect_bits_equal(all, {trace[0]});
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(reader.status().message().find("truncated"), std::string::npos)
+      << reader.status().to_string();
+
+  // The convenience entry point yields the same prefix with the same status.
+  const auto result = read_trace_file(path);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.status.code(), util::StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

@@ -2,8 +2,10 @@
 // the same record stream through a threads=1 fleet and a threads=4 fleet
 // must yield bit-identical FleetReports (per-region pipelines are
 // single-writer, diagnosis reads quiescent state, results assemble in
-// region-name order) -- plus exception propagation from pool workers to the
-// caller thread, and the parallel simulator's trace-identity guarantee.
+// region-name order) -- plus worker-fault quarantine (a pipeline exception
+// in a pool worker is parked in the shard and folded into the region's
+// health record on the caller thread, never rethrown to the producer), and
+// the parallel simulator's trace-identity guarantee.
 
 #include <gtest/gtest.h>
 
@@ -141,7 +143,7 @@ TEST(FleetParallel, HardwareThreadCountAlsoIdentical) {
   EXPECT_EQ(to_string(parallel), to_string(serial));
 }
 
-TEST(FleetParallel, WorkerExceptionSurfacesOnCallerThread) {
+TEST(FleetParallel, WorkerExceptionQuarantinesRegionWithAttribution) {
   FleetConfig fc;
   fc.threads = 4;
   FleetMonitor fleet(fc);
@@ -149,28 +151,42 @@ TEST(FleetParallel, WorkerExceptionSurfacesOnCallerThread) {
   fleet.add_region("bad", region_config());
 
   // Dimension-mismatched records make the pipeline throw inside a pool
-  // worker (AttrVec distance on a 2-dim model). The exception must resurface
-  // on the caller thread -- from a later add_record to that region or, at
-  // the latest, from finish().
-  bool threw = false;
-  try {
-    for (int i = 0; i < 5000; ++i) {
-      const double t = 60.0 * i;
-      for (SensorId s = 0; s < 6; ++s) {
-        fleet.add_record("bad", {s, t, {1.0, 2.0, 3.0}});  // 3 dims into a 2-dim region
-        fleet.add_record("ok", {s, t, {10.0, 60.0}});
-      }
+  // worker (AttrVec distance on a 2-dim model). That must NOT resurface as
+  // an exception on the caller thread: the sick region is quarantined with
+  // the error attributed to it, later records for it are dropped and
+  // counted, and the healthy region completes untouched.
+  for (int i = 0; i < 5000; ++i) {
+    const double t = 60.0 * i;
+    for (SensorId s = 0; s < 6; ++s) {
+      fleet.add_record("bad", {s, t, {1.0, 2.0, 3.0}});  // 3 dims into a 2-dim region
+      fleet.add_record("ok", {s, t, {10.0, 60.0}});
     }
-    fleet.finish();
-  } catch (const std::invalid_argument&) {
-    threw = true;
   }
-  EXPECT_TRUE(threw);
+  fleet.finish();
 
-  // The poisoned region keeps rethrowing; drain() still quiesces everything,
-  // so the healthy region stays inspectable.
-  EXPECT_THROW(fleet.drain(), std::invalid_argument);
+  const RegionState& bad = fleet.region_health("bad");
+  EXPECT_EQ(bad.health, RegionHealth::kQuarantined);
+  EXPECT_FALSE(bad.status.is_ok());
+  // The status message carries the region name -- a fleet log line must say
+  // *which* feed died, not just that one did.
+  EXPECT_NE(bad.status.message().find("bad"), std::string::npos) << bad.status.to_string();
+  EXPECT_GT(bad.records_dropped, 0u);
+  // The original exception rides along for callers that want the real type.
+  ASSERT_TRUE(bad.error);
+  EXPECT_THROW(std::rethrow_exception(bad.error), std::invalid_argument);
+
+  // drain() stays a quiescence point and never throws region poison.
+  EXPECT_NO_THROW(fleet.drain());
+  EXPECT_EQ(fleet.region_health("ok").health, RegionHealth::kHealthy);
   EXPECT_GT(fleet.region("ok").windows_processed(), 0u);
+
+  // The quarantined region is absent from the report body but present --
+  // with its captured cause -- in the health section.
+  const FleetReport report = fleet.diagnose();
+  EXPECT_EQ(report.regions.count("bad"), 0u);
+  EXPECT_EQ(report.regions.count("ok"), 1u);
+  ASSERT_EQ(report.health.count("bad"), 1u);
+  EXPECT_EQ(report.health.at("bad").health, RegionHealth::kQuarantined);
 }
 
 TEST(FleetParallel, DrainIsQuiescencePoint) {

@@ -1,0 +1,195 @@
+// Metrics registry tests: counter/histogram correctness under concurrent
+// writers, stable handles, snapshot/merge algebra, and the text/JSON export
+// shapes the CLI and benches emit. The registry is process-global, so every
+// test namespaces its metric names and asserts on those only.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace sentinel::util {
+namespace {
+
+TEST(Metrics, CounterFindOrCreateReturnsStableHandle) {
+  Counter& a = metrics().counter("test.metrics.stable");
+  Counter& b = metrics().counter("test.metrics.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "test.metrics.stable");
+}
+
+TEST(Metrics, CounterSumsAcrossConcurrentWriters) {
+  Counter& c = metrics().counter("test.metrics.concurrent");
+  const std::uint64_t before = c.total();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.total() - before, kThreads * kAddsPerThread);
+}
+
+TEST(Metrics, HistogramBucketsSamplesByUpperBound) {
+  Histogram& h = metrics().histogram("test.metrics.hist", {10, 100, 1000});
+  h.record(0);     // <= 10
+  h.record(10);    // <= 10 (bounds are inclusive upper bounds)
+  h.record(11);    // <= 100
+  h.record(1000);  // <= 1000
+  h.record(5000);  // overflow
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<std::uint64_t>{10, 100, 1000}));
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 0u + 10 + 11 + 1000 + 5000);
+}
+
+TEST(Metrics, HistogramConcurrentRecordsLoseNothing) {
+  Histogram& h = metrics().histogram("test.metrics.hist_mt", {1, 2, 4, 8});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i % 10);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+}
+
+TEST(Metrics, HistogramRegistrationValidates) {
+  EXPECT_THROW(metrics().histogram("test.metrics.bad_empty", {}), std::invalid_argument);
+  EXPECT_THROW(metrics().histogram("test.metrics.bad_order", {10, 5}), std::invalid_argument);
+  metrics().histogram("test.metrics.fixed", {1, 2});
+  // Same name, different bounds: a programming error, not a silent re-bucket.
+  EXPECT_THROW(metrics().histogram("test.metrics.fixed", {1, 3}), std::invalid_argument);
+  // Same bounds re-resolve fine.
+  EXPECT_NO_THROW(metrics().histogram("test.metrics.fixed", {1, 2}));
+}
+
+TEST(Metrics, ExponentialBoundsAreGeometric) {
+  const auto b = Histogram::exponential_bounds(250, 2.0, 5);
+  EXPECT_EQ(b, (std::vector<std::uint64_t>{250, 500, 1000, 2000, 4000}));
+}
+
+TEST(Metrics, SnapshotMergeAddsCountersAndBuckets) {
+  MetricsSnapshot a;
+  a.add_counter("x", 3);
+  a.add_counter("only_a", 1);
+  MetricsSnapshot b;
+  b.add_counter("x", 4);
+  b.add_counter("only_b", 2);
+  Histogram::Snapshot hs;
+  hs.bounds = {10};
+  hs.counts = {1, 0};
+  hs.count = 1;
+  hs.sum = 5;
+  a.histograms["h"] = hs;
+  b.histograms["h"] = hs;
+  a.merge(b);
+  EXPECT_EQ(a.counters.at("x"), 7u);
+  EXPECT_EQ(a.counters.at("only_a"), 1u);
+  EXPECT_EQ(a.counters.at("only_b"), 2u);
+  EXPECT_EQ(a.histograms.at("h").count, 2u);
+  EXPECT_EQ(a.histograms.at("h").sum, 10u);
+  EXPECT_EQ(a.histograms.at("h").counts[0], 2u);
+}
+
+TEST(Metrics, AddCounterAccumulates) {
+  MetricsSnapshot s;
+  s.add_counter("pipeline.windows", 10);
+  s.add_counter("pipeline.windows", 5);
+  EXPECT_EQ(s.counters.at("pipeline.windows"), 15u);
+}
+
+TEST(Metrics, TextExportOneMetricPerLine) {
+  MetricsSnapshot s;
+  s.add_counter("b.second", 2);
+  s.add_counter("a.first", 1);
+  const std::string text = s.to_text();
+  EXPECT_NE(text.find("a.first 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("b.second 2"), std::string::npos) << text;
+  // map keys: deterministic lexicographic order.
+  EXPECT_LT(text.find("a.first"), text.find("b.second"));
+}
+
+TEST(Metrics, JsonExportIsWellFormedAndComplete) {
+  MetricsSnapshot s;
+  s.add_counter("c1", 42);
+  Histogram::Snapshot hs;
+  hs.bounds = {10, 20};
+  hs.counts = {1, 2, 3};
+  hs.count = 6;
+  hs.sum = 99;
+  s.histograms["h1"] = hs;
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c1\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":99"), std::string::npos) << json;
+  // Balanced braces: a cheap well-formedness check without a JSON parser.
+  std::size_t open = 0, close = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++open;
+    if (ch == '}') ++close;
+  }
+  EXPECT_EQ(open, close);
+}
+
+TEST(Metrics, RegistrySnapshotSeesRegisteredMetrics) {
+  Counter& c = metrics().counter("test.metrics.snap_counter");
+  c.add(7);
+  Histogram& h = metrics().histogram("test.metrics.snap_hist", {100});
+  h.record(50);
+  const auto snap = metrics().snapshot();
+  EXPECT_GE(snap.counters.at("test.metrics.snap_counter"), 7u);
+  EXPECT_GE(snap.histograms.at("test.metrics.snap_hist").count, 1u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsHandles) {
+  Counter& c = metrics().counter("test.metrics.reset_me");
+  c.add(5);
+  EXPECT_GE(c.total(), 5u);
+  metrics().reset();
+  EXPECT_EQ(c.total(), 0u);
+  c.inc();  // handle still valid after reset
+  EXPECT_EQ(c.total(), 1u);
+}
+
+TEST(Metrics, ScopedTimerNullHistogramIsInert) {
+  // The stage-timers-off path hands a null histogram to the timer; nothing
+  // may be recorded anywhere (and no clock read happens -- not observable
+  // here, but the ctor/dtor must at least be safe).
+  { ScopedTimerNs t(nullptr); }
+  Histogram& h = metrics().histogram("test.metrics.timer", Histogram::exponential_bounds(250, 2.0, 14));
+  const auto before = h.snapshot().count;
+  { ScopedTimerNs t(&h); }
+  EXPECT_EQ(h.snapshot().count, before + 1);
+}
+
+TEST(Metrics, MonotonicClockNeverGoesBackwards) {
+  std::uint64_t prev = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = monotonic_ns();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace
+}  // namespace sentinel::util

@@ -166,6 +166,69 @@ TEST(Pipeline, ConfigValidation) {
   EXPECT_THROW(DetectionPipeline{cfg2}, std::invalid_argument);
 }
 
+TEST(Pipeline, CountersMirrorObservableActivity) {
+  const CycleEnvironment env;
+  auto plan = std::make_shared<faults::InjectionPlan>();
+  plan->add(2, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}),
+            0.5 * kSecondsPerDay);
+  DetectionPipeline p(test_config());
+  p.process_trace(simulate(env, 4.0 * kSecondsPerDay, plan));
+
+  const PipelineCounters c = p.counters();
+  EXPECT_EQ(c.windows_processed, p.windows_processed());
+  EXPECT_EQ(c.windows_skipped, p.windows_skipped());
+  EXPECT_EQ(c.windows_processed, 96u);
+
+  // Cross-check the alarm counters against the recorded history: the
+  // counters are the no-history view of the same events.
+  std::size_t raw = 0, filtered = 0;
+  for (const auto& w : p.history()) {
+    for (const auto& [id, info] : w.sensors) {
+      raw += info.raw_alarm;
+      filtered += info.filtered_alarm;
+    }
+  }
+  EXPECT_EQ(c.raw_alarms, raw);
+  EXPECT_EQ(c.filtered_alarms, filtered);
+  EXPECT_GT(c.raw_alarms, 0u);
+  EXPECT_GE(c.raw_alarms, c.filtered_alarms);
+
+  // The stuck sensor opened a track; its persistence drove HMM updates.
+  EXPECT_GE(c.track_opens, 1u);
+  EXPECT_LE(c.track_closes, c.track_opens);
+  EXPECT_GT(c.hmm_updates, 0u);
+  EXPECT_EQ(c.late_records, 0u);
+  EXPECT_EQ(c.clamped_records, 0u);
+}
+
+TEST(Pipeline, StageTimersDoNotChangeResults) {
+  // stage_timers is observational only: identical history, identical
+  // diagnosis, identical counters -- the toggle adds clock reads, nothing
+  // else. (The golden tests pin the same property on full reports.)
+  const CycleEnvironment env;
+  const auto trace = simulate(env, 2.0 * kSecondsPerDay, nullptr);
+
+  DetectionPipeline plain(test_config());
+  plain.process_trace(trace);
+
+  PipelineConfig cfg = test_config();
+  cfg.stage_timers = true;
+  DetectionPipeline timed(cfg);
+  timed.process_trace(trace);
+
+  ASSERT_EQ(plain.windows_processed(), timed.windows_processed());
+  for (std::size_t i = 0; i < plain.history().size(); ++i) {
+    EXPECT_EQ(plain.history()[i].correct, timed.history()[i].correct) << i;
+    EXPECT_EQ(plain.history()[i].observable, timed.history()[i].observable) << i;
+  }
+  EXPECT_EQ(to_string(plain.diagnose()), to_string(timed.diagnose()));
+  const PipelineCounters a = plain.counters();
+  const PipelineCounters b = timed.counters();
+  EXPECT_EQ(a.raw_alarms, b.raw_alarms);
+  EXPECT_EQ(a.filtered_alarms, b.filtered_alarms);
+  EXPECT_EQ(a.hmm_updates, b.hmm_updates);
+}
+
 TEST(Pipeline, MuteSensorSimplyDisappears) {
   const CycleEnvironment env;
   auto plan = std::make_shared<faults::InjectionPlan>();

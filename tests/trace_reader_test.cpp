@@ -123,6 +123,60 @@ TEST(CsvTraceReader, UsesMmapWhenAvailable) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTraceReader, MmapAndStreamPathsAgreeOnHostileCorpus) {
+  // The mmap fast path and the buffered-istream fallback share one per-line
+  // grammar; this pins the contract where it matters most -- not just the
+  // accepted record set but the *per-cause* malformed accounting, over a
+  // corpus built to hit every LineParse variant (plus shapes that historically
+  // diverge between the two: no trailing newline, CRLF-ish junk, long lines).
+  std::string content =
+      "# leading comment\n"
+      "0,0,21.5,70\n"
+      "\n"
+      "plain garbage\n"                      // bad field count
+      "1,60\n"                               // bad field count (short)
+      "2,120,21.0\n"                         // dims mismatch (width 1 vs 2)
+      "3,180,21.0,70.0,99.0\n"               // dims mismatch (width 3 vs 2)
+      "1e300,240,21.0,70\n"                  // bad sensor id (huge)
+      "-1,300,21.0,70\n"                     // bad sensor id (negative)
+      "2.5,360,21.0,70\n"                    // bad sensor id (fractional)
+      "4,abc,21.0,70\n"                      // bad number (time)
+      "5,420,xyz,70\n"                       // bad number (attr)
+      "6,480,21.0,70\r\n"                    // stray carriage return
+      "# mid comment\n"
+      "7,540,21." +
+      std::string(8192, '0') +               // oversized line, still a record
+      ",70\n"
+      "8,600,21.5,70";                       // final line unterminated
+  const auto path = temp_path("reader_parity.csv");
+  write_file(path, content);
+
+  CsvTraceReader mmap_reader(path);
+  CsvTraceReader stream_reader(path, 0, CsvTraceReader::Mode::kForceStream);
+#if defined(__unix__) || defined(__APPLE__)
+  ASSERT_TRUE(mmap_reader.mapped());
+#endif
+  ASSERT_FALSE(stream_reader.mapped());
+
+  const auto via_mmap = drain(mmap_reader, 3);
+  const auto via_stream = drain(stream_reader, 3);
+  EXPECT_EQ(via_mmap, via_stream);
+  EXPECT_EQ(mmap_reader.malformed(), stream_reader.malformed());
+  EXPECT_EQ(mmap_reader.comment_lines(), stream_reader.comment_lines());
+  EXPECT_EQ(mmap_reader.dims(), stream_reader.dims());
+  EXPECT_EQ(mmap_reader.status(), stream_reader.status());
+
+  // The corpus exercises every cause, with the exact counts pinned so a
+  // reader that misattributes (right total, wrong bucket) still fails.
+  const MalformedCounts& m = mmap_reader.malformed();
+  EXPECT_EQ(m.bad_field_count, 2u);
+  EXPECT_EQ(m.dims_mismatch, 2u);
+  EXPECT_EQ(m.bad_sensor_id, 3u);
+  EXPECT_EQ(m.bad_number, 2u);
+  EXPECT_EQ(mmap_reader.comment_lines(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(OpenTraceReader, DispatchesCsvByContent) {
   // A .bin extension with CSV content must still be read as CSV: detection
   // is by magic bytes, never by file name.
@@ -159,10 +213,11 @@ TEST(FleetIngest, StreamingMatchesBulk) {
   core::FleetMonitor streaming(6.0);
   streaming.add_region("r", cfg);
   CsvTraceReader reader(path);
-  const std::size_t n = streaming.ingest("r", reader, 64);
+  const auto summary = streaming.ingest("r", reader, 64);
   streaming.finish();
 
-  EXPECT_EQ(n, whole.records.size());
+  EXPECT_EQ(summary.records, whole.records.size());
+  EXPECT_TRUE(summary.status.is_ok()) << summary.status.to_string();
   EXPECT_EQ(core::to_string(streaming.diagnose()), core::to_string(bulk.diagnose()));
   std::remove(path.c_str());
 }

@@ -45,6 +45,17 @@ TEST(TraceIo, MalformedLinesCountedNotFatal) {
   EXPECT_EQ(result.records.size(), 2u);
   EXPECT_EQ(result.malformed_lines, 4u);
   EXPECT_EQ(result.comment_lines, 1u);
+  // The tally attributes each drop to its cause (and stays in sync with the
+  // headline number) -- operators triage a 90%-short-lines feed differently
+  // from a 90%-bad-ids one.
+  EXPECT_EQ(result.malformed.bad_field_count, 1u);  // "garbage line"
+  EXPECT_EQ(result.malformed.bad_number, 1u);       // "NaNish"
+  EXPECT_EQ(result.malformed.dims_mismatch, 1u);    // wrong width
+  EXPECT_EQ(result.malformed.bad_sensor_id, 1u);    // negative id
+  EXPECT_EQ(result.malformed.total(), result.malformed_lines);
+  EXPECT_TRUE(result.status.is_ok());
+  const auto text = to_string(result.malformed);
+  EXPECT_NE(text.find("4 malformed"), std::string::npos) << text;
 }
 
 TEST(TraceIo, ExpectedDimsEnforced) {
@@ -162,11 +173,16 @@ TEST(Windower, DegenerateTimesHaveDefinedWindows) {
   EXPECT_EQ(done[0].window_index, 1u);
   EXPECT_EQ(done[0].raw.size(), 2u);  // both degenerate records landed there
 
+  // Every clamp is counted: the pipeline surfaces them as a data-quality
+  // signal (pipeline.clamped_records) instead of silently rewriting time.
+  EXPECT_EQ(w.clamped_records(), 2u);
+
   // A huge time clamps instead of overflowing the cast. The gap loop is not
   // exercised (that would emit ~2^63 empty windows); only the index math is.
   Windower w2(100.0);
   (void)w2.add({0, 1e300, {1.0}});
   EXPECT_TRUE(w2.flush().has_value());
+  EXPECT_EQ(w2.clamped_records(), 1u);
 }
 
 TEST(WindowTrace, SortsAndFlushes) {

@@ -1,14 +1,18 @@
-// Unit tests: vecn, Matrix, RunningStats/Ema/Histogram/quantile, csv, Rng.
+// Unit tests: vecn, Matrix, RunningStats/Ema/Histogram/quantile, csv, Rng,
+// and the Status/Result error-as-data vocabulary the ingest tiers speak.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/status.h"
 #include "util/vecn.h"
 
 namespace sentinel {
@@ -267,6 +271,68 @@ TEST(Rng, CategoricalRespectsWeights) {
   for (int i = 0; i < 8000; ++i) ++counts[r.categorical(w)];
   EXPECT_EQ(counts[0], 0);
   EXPECT_NEAR(counts[2] / 8000.0, 0.75, 0.05);
+}
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  const util::Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_EQ(s, util::Status::ok());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const util::Status s(util::StatusCode::kDataLoss, "trace truncated");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "trace truncated");
+  EXPECT_EQ(s.to_string(), "data-loss: trace truncated");
+  EXPECT_EQ(to_string(s), s.to_string());
+}
+
+TEST(Status, EveryCodeHasAName) {
+  using util::StatusCode;
+  for (const auto c : {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+                       StatusCode::kDataLoss, StatusCode::kResourceExhausted,
+                       StatusCode::kFailedPrecondition, StatusCode::kUnavailable,
+                       StatusCode::kInternal}) {
+    EXPECT_STRNE(util::to_string(c), "unknown");
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  const util::Status a(util::StatusCode::kNotFound, "x");
+  EXPECT_EQ(a, util::Status(util::StatusCode::kNotFound, "x"));
+  EXPECT_FALSE(a == util::Status(util::StatusCode::kNotFound, "y"));
+  EXPECT_FALSE(a == util::Status(util::StatusCode::kInternal, "x"));
+}
+
+TEST(Result, HoldsValueOnSuccess) {
+  util::Result<int> r(42);
+  EXPECT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  *r = 43;
+  EXPECT_EQ(r.value(), 43);
+}
+
+TEST(Result, HoldsStatusOnFailure) {
+  const util::Result<int> r(util::Status(util::StatusCode::kNotFound, "no such region"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW(r.value(), std::bad_optional_access);
+}
+
+TEST(Result, WorksWithMoveOnlyishPayloads) {
+  util::Result<std::vector<double>> r(std::vector<double>{1.0, 2.0});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->size(), 2u);
 }
 
 }  // namespace

@@ -28,29 +28,45 @@
 //       flag is absent. Streams batch-by-batch: converts traces larger than
 //       RAM.
 //
+//   sentinel_cli fleet <trace1> [<trace2> ...] [--window SECONDS] [--states K]
+//                [--threads N] [--timers] [--metrics-json PATH]
+//       Run a multi-region fleet, one region per trace file. A trace that
+//       cannot be opened or turns out malformed/truncated quarantines its
+//       region; the remaining regions complete and report normally.
+//
 //   sentinel_cli scenarios
 //       List the canonical injection scenarios.
 //
-// Every command that reads a trace (analyze, inject, health, convert)
-// accepts CSV or binary input interchangeably -- detection is by file
-// content, never by extension.
+// analyze and fleet accept --metrics-json PATH (dump the process metrics
+// registry plus per-region pipeline counters as JSON) and --timers (record
+// coarse per-stage wall-clock histograms; observational only, reports are
+// byte-identical either way).
+//
+// Every command that reads a trace (analyze, inject, health, convert,
+// fleet) accepts CSV or binary input interchangeably -- detection is by
+// file content, never by extension.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/scenario.h"
 #include "faults/replay.h"
 #include "core/autotune.h"
+#include "core/fleet.h"
 #include "core/offline_kmeans.h"
 #include "core/pipeline.h"
 #include "trace/binary_trace.h"
 #include "trace/health.h"
 #include "trace/trace_io.h"
 #include "trace/trace_reader.h"
+#include "util/metrics.h"
 #include "util/vecn.h"
 
 namespace {
@@ -63,6 +79,9 @@ int usage() {
                "  sentinel_cli simulate <out.csv> [--days N] [--seed S] [--scenario KIND]\n"
                "  sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--json] [--auto]\n"
                "               [--checkpoint IN] [--save-checkpoint OUT]\n"
+               "               [--timers] [--metrics-json PATH]\n"
+               "  sentinel_cli fleet <trace1> [<trace2> ...] [--window SECONDS] [--states K]\n"
+               "               [--threads N] [--timers] [--metrics-json PATH]\n"
                "  sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]\n"
                "  sentinel_cli health <trace.csv> [--period SECONDS]\n"
                "  sentinel_cli convert <in> <out> [--to csv|binary]\n"
@@ -74,6 +93,7 @@ struct Args {
   std::string command;
   std::string path;
   std::string path2;
+  std::vector<std::string> paths;  // fleet: one trace per region
   std::map<std::string, std::string> options;
 };
 
@@ -93,10 +113,14 @@ std::optional<Args> parse(int argc, char** argv) {
     args.path2 = argv[3];
     i = 4;
   }
+  if (args.command == "fleet") {
+    while (i < argc && argv[i][0] != '-') args.paths.emplace_back(argv[i++]);
+    if (args.paths.empty()) return std::nullopt;
+  }
   for (; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) return std::nullopt;
-    if (flag == "--json" || flag == "--auto") {
+    if (flag == "--json" || flag == "--auto" || flag == "--timers") {
       args.options[flag] = "1";
       continue;
     }
@@ -114,6 +138,34 @@ double opt_double(const Args& a, const std::string& key, double fallback) {
 std::string opt_str(const Args& a, const std::string& key, const std::string& fallback) {
   const auto it = a.options.find(key);
   return it == a.options.end() ? fallback : it->second;
+}
+
+void inject_pipeline_counters(util::MetricsSnapshot& snap, const std::string& prefix,
+                              const core::PipelineCounters& c) {
+  snap.add_counter(prefix + "windows_processed", c.windows_processed);
+  snap.add_counter(prefix + "windows_skipped", c.windows_skipped);
+  snap.add_counter(prefix + "state_spawns", c.state_spawns);
+  snap.add_counter(prefix + "state_merges", c.state_merges);
+  snap.add_counter(prefix + "raw_alarms", c.raw_alarms);
+  snap.add_counter(prefix + "filtered_alarms", c.filtered_alarms);
+  snap.add_counter(prefix + "track_opens", c.track_opens);
+  snap.add_counter(prefix + "track_closes", c.track_closes);
+  snap.add_counter(prefix + "hmm_updates", c.hmm_updates);
+  snap.add_counter(prefix + "late_records", c.late_records);
+  snap.add_counter(prefix + "clamped_records", c.clamped_records);
+}
+
+int write_metrics_json(const Args& args, const util::MetricsSnapshot& snap) {
+  const std::string path = opt_str(args, "--metrics-json", "");
+  if (path.empty()) return 0;
+  std::ofstream out(path);
+  if (out) out << snap.to_json() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "cannot write metrics json %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  return 0;
 }
 
 std::optional<bench::InjectionKind> kind_by_name(const std::string& name) {
@@ -215,15 +267,19 @@ int cmd_health(const Args& args) {
 int cmd_analyze(const Args& args) {
   const auto read = read_trace_file(args.path);
   if (read.records.empty()) {
-    std::fprintf(stderr, "no parseable records in %s (%zu malformed lines)\n",
-                 args.path.c_str(), read.malformed_lines);
+    std::fprintf(stderr, "no parseable records in %s (%s)\n", args.path.c_str(),
+                 to_string(read.malformed).c_str());
     return 1;
   }
-  std::fprintf(stderr, "read %zu records (%zu malformed lines skipped)\n",
-               read.records.size(), read.malformed_lines);
+  std::fprintf(stderr, "read %zu records (skipped: %s)\n", read.records.size(),
+               to_string(read.malformed).c_str());
+  if (!read.status.is_ok()) {
+    std::fprintf(stderr, "warning: source ended early: %s\n", read.status.to_string().c_str());
+  }
 
   core::PipelineConfig cfg;
   cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
+  cfg.stage_timers = args.options.count("--timers") > 0;
   const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
 
   Rng rng(7, "cli-kmeans");
@@ -297,7 +353,78 @@ int cmd_analyze(const Args& args) {
     pipeline->save_checkpoint(out);
     std::fprintf(stderr, "checkpoint written to %s\n", checkpoint_out.c_str());
   }
-  return 0;
+
+  auto snap = util::metrics().snapshot();
+  inject_pipeline_counters(snap, "pipeline.", pipeline->counters());
+  return write_metrics_json(args, snap);
+}
+
+int cmd_fleet(const Args& args) {
+  core::FleetConfig fc;
+  fc.threads = static_cast<std::size_t>(opt_double(args, "--threads", 1.0));
+  core::FleetMonitor fleet(fc);
+
+  core::PipelineConfig cfg;
+  cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
+  cfg.stage_timers = args.options.count("--timers") > 0;
+  const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
+
+  // Bootstrap the shared initial model states from the first trace that
+  // parses (offline clustering over per-window means, paper section 4.1).
+  // A trace that cannot even bootstrap will quarantine its region later.
+  Rng rng(7, "cli-kmeans");
+  for (const auto& path : args.paths) {
+    try {
+      const auto read = read_trace_file(path);
+      std::vector<AttrVec> history;
+      for (const auto& w : window_trace(read.records, cfg.window_seconds)) {
+        if (!w.empty()) history.push_back(w.overall_mean());
+      }
+      if (history.size() < k) continue;
+      cfg.initial_states = core::kmeans(history, k, rng).centroids;
+      break;
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  if (cfg.initial_states.empty()) {
+    std::fprintf(stderr, "no trace long enough to bootstrap %zu initial states\n", k);
+    return 1;
+  }
+
+  // One region per trace; region names derive from the file stem.
+  std::vector<std::pair<std::string, std::string>> feeds;  // region -> path
+  for (const auto& path : args.paths) {
+    const auto slash = path.find_last_of("/\\");
+    std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+    const auto dot = stem.rfind('.');
+    if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+    std::string name = stem;
+    for (std::size_t n = 2; std::any_of(feeds.begin(), feeds.end(),
+                                        [&](const auto& f) { return f.first == name; });
+         ++n) {
+      name = stem + "#" + std::to_string(n);
+    }
+    feeds.emplace_back(name, path);
+    fleet.add_region(name, cfg);
+  }
+
+  for (const auto& [name, path] : feeds) {
+    const auto sum = fleet.ingest_file(name, path);
+    std::fprintf(stderr, "[region %s] ingested %zu records from %s%s%s\n", name.c_str(),
+                 sum.records, path.c_str(), sum.status.is_ok() ? "" : " -- ",
+                 sum.status.is_ok() ? "" : sum.status.to_string().c_str());
+  }
+  fleet.finish();
+  const auto report = fleet.diagnose();
+  std::printf("%s", core::to_string(report).c_str());
+
+  auto snap = util::metrics().snapshot();
+  for (const auto& [name, path] : feeds) {
+    if (fleet.region_health(name).health == core::RegionHealth::kQuarantined) continue;
+    inject_pipeline_counters(snap, "region." + name + ".", fleet.region(name).counters());
+  }
+  return write_metrics_json(args, snap);
 }
 
 int cmd_convert(const Args& args) {
@@ -354,6 +481,7 @@ int main(int argc, char** argv) {
     if (args->command == "scenarios") return cmd_scenarios();
     if (args->command == "simulate") return cmd_simulate(*args);
     if (args->command == "analyze") return cmd_analyze(*args);
+    if (args->command == "fleet") return cmd_fleet(*args);
     if (args->command == "health") return cmd_health(*args);
     if (args->command == "inject") return cmd_inject(*args);
     if (args->command == "convert") return cmd_convert(*args);
