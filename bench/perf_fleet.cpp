@@ -7,7 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "common/scenario.h"
@@ -103,6 +107,101 @@ void BM_FleetIngestDiagnose(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * records_per_iter));
 }
 
+/// Crash-consistent checkpointing tax (docs/RELIABILITY.md): the same
+/// 2-region serial ingest with the store committing every N records.
+/// every = 0 is the no-store baseline; the other rows snapshot the region
+/// on the producer thread and run the fsync/rename commit protocol on the
+/// committer thread each time the cadence fires. The traces are long
+/// enough (~70 days x 16 sensors, ~290k records per region) that the
+/// default cadence (FleetConfig::checkpoint_every_records = 262144)
+/// actually fires, so the every:262144 row IS the default-configuration
+/// overhead, while every:65536 shows a 4x-more-aggressive cadence.
+const FleetWorkload& checkpoint_workload() {
+  static const FleetWorkload w = [] {
+    FleetWorkload out;
+    constexpr std::size_t kCkptSensors = 16;
+    sim::GdiEnvironmentConfig ec;
+    ec.duration_seconds = 70.0 * kSecondsPerDay;
+    ec.seed = 42;
+    const sim::GdiEnvironment env(ec);
+
+    bench::ScenarioConfig sc;
+    sc.duration_days = 70.0;
+    sc.num_sensors = kCkptSensors;
+    sc.seed = 42;
+    out.pipeline_config = bench::make_pipeline_config(env, sc);
+    out.pipeline_config.window_seconds = kSecondsPerHour;
+
+    for (std::size_t r = 0; r < 2; ++r) {
+      sim::GdiDeploymentConfig dc;
+      dc.num_sensors = kCkptSensors;
+      dc.seed = 2000 + r;
+      auto simulator = sim::make_gdi_deployment(env, dc);
+      auto result = simulator.run(ec.duration_seconds, util::ThreadPool::shared());
+      out.total_records += result.trace.size();
+      out.traces.push_back(std::move(result.trace));
+    }
+    return out;
+  }();
+  return w;
+}
+
+void BM_FleetCheckpointOverhead(benchmark::State& state) {
+  const auto every = static_cast<std::size_t>(state.range(0));
+  const FleetWorkload& w = checkpoint_workload();
+  const std::size_t regions = w.traces.size();
+  constexpr std::size_t kBurst = 1024;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("perf_fleet_ckpt_" + std::to_string(static_cast<long>(::getpid()))))
+          .string();
+
+  std::vector<std::string> names;
+  for (std::size_t r = 0; r < regions; ++r) {
+    names.push_back("region-" + std::to_string(r));
+  }
+
+  for (auto _ : state) {
+    // The timed region is the streaming ingest path itself (ingest + finish
+    // + diagnose): store setup and the shutdown drain -- fleet destruction
+    // blocks until the committer thread has pushed the final queued
+    // snapshots to disk -- are deployment lifecycle, not per-record cost.
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    core::FleetConfig fc;
+    fc.threads = 1;
+    if (every > 0) {
+      fc.checkpoint_dir = dir;
+      fc.checkpoint_every_records = every;
+    }
+    auto fleet = std::make_unique<core::FleetMonitor>(fc);
+    for (std::size_t r = 0; r < regions; ++r) {
+      fleet->add_region(names[r], w.pipeline_config);
+    }
+    state.ResumeTiming();
+    for (std::size_t off = 0;; off += kBurst) {
+      bool any = false;
+      for (std::size_t r = 0; r < regions; ++r) {
+        if (off < w.traces[r].size()) {
+          const std::size_t len = std::min(kBurst, w.traces[r].size() - off);
+          fleet->add_records(names[r], {w.traces[r].data() + off, len});
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+    fleet->finish();
+    const auto report = fleet->diagnose();
+    benchmark::DoNotOptimize(report.overall);
+    state.PauseTiming();
+    fleet.reset();  // shutdown: drain + join the committer, untimed
+    state.ResumeTiming();
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * w.total_records));
+}
+
 }  // namespace
 
 BENCHMARK(BM_FleetIngestDiagnose)
@@ -117,6 +216,14 @@ BENCHMARK(BM_FleetIngestDiagnose)
     ->Args({16, 1})
     ->Args({16, 4})
     ->ArgNames({"regions", "threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_FleetCheckpointOverhead)
+    ->Arg(0)
+    ->Arg(262144)
+    ->Arg(65536)
+    ->ArgName("every")
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

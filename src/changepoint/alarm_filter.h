@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "util/serialize_fwd.h"
+
 namespace sentinel::changepoint {
 
 class AlarmFilter {
@@ -28,6 +30,15 @@ class AlarmFilter {
   virtual void reset() = 0;
 
   virtual std::string name() const = 0;
+
+  /// Persist / restore the filter's *mutable run state* only -- the
+  /// configuration is reconstructed by the factory, never serialized.
+  /// Implementations open with a kind tag so restoring into a filter built
+  /// from a different AlarmFilterConfig fails loudly (std::runtime_error
+  /// from the codec), not silently. Used by the resumable checkpoint
+  /// section (see DetectionPipeline::CheckpointScope).
+  virtual void save(serialize::Writer& w) const = 0;
+  virtual void load(serialize::Reader& r) = 0;
 };
 
 using AlarmFilterPtr = std::unique_ptr<AlarmFilter>;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serialize.h"
+
 namespace sentinel::changepoint {
 
 CusumFilter::CusumFilter(CusumConfig cfg) : cfg_(cfg) {
@@ -37,6 +39,18 @@ bool CusumFilter::update(bool raw_alarm) {
 void CusumFilter::reset() {
   s_ = 0.0;
   active_ = false;
+}
+
+void CusumFilter::save(serialize::Writer& w) const {
+  serialize::tag(w, "cusum");
+  serialize::put(w, s_);
+  serialize::put(w, active_);
+}
+
+void CusumFilter::load(serialize::Reader& r) {
+  serialize::expect(r, "cusum");
+  s_ = serialize::get<double>(r);
+  active_ = serialize::get_bool(r);
 }
 
 AlarmFilterFactory make_cusum_factory(CusumConfig cfg) {

@@ -24,6 +24,8 @@ class CusumFilter final : public AlarmFilter {
   bool active() const override { return active_; }
   void reset() override;
   std::string name() const override { return "cusum"; }
+  void save(serialize::Writer& w) const override;
+  void load(serialize::Reader& r) override;
 
   double statistic() const { return s_; }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/serialize.h"
+
 namespace sentinel::changepoint {
 
 KofNFilter::KofNFilter(std::size_t k, std::size_t n) : k_(k), n_(n), window_(n, 0) {
@@ -33,6 +35,33 @@ void KofNFilter::reset() {
 
 std::string KofNFilter::name() const {
   return "kofn(" + std::to_string(k_) + "/" + std::to_string(n_) + ")";
+}
+
+void KofNFilter::save(serialize::Writer& w) const {
+  serialize::tag(w, "kofn");
+  serialize::put_vector(w, window_);
+  serialize::put(w, head_);
+  serialize::put(w, filled_);
+  serialize::put(w, count_);
+  serialize::put(w, active_);
+}
+
+void KofNFilter::load(serialize::Reader& r) {
+  serialize::expect(r, "kofn");
+  auto window = serialize::get_vector<std::uint8_t>(r);
+  if (window.size() != n_) {
+    throw std::runtime_error("checkpoint: kofn window length " +
+                             std::to_string(window.size()) + " does not match configured n=" +
+                             std::to_string(n_));
+  }
+  window_ = std::move(window);
+  head_ = serialize::get<std::size_t>(r);
+  filled_ = serialize::get<std::size_t>(r);
+  count_ = serialize::get<std::size_t>(r);
+  active_ = serialize::get_bool(r);
+  if (head_ >= n_ || filled_ > n_ || count_ > n_) {
+    throw std::runtime_error("checkpoint: kofn state out of range");
+  }
 }
 
 AlarmFilterFactory make_kofn_factory(std::size_t k, std::size_t n) {

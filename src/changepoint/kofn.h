@@ -21,6 +21,8 @@ class KofNFilter final : public AlarmFilter {
   bool active() const override { return active_; }
   void reset() override;
   std::string name() const override;
+  void save(serialize::Writer& w) const override;
+  void load(serialize::Reader& r) override;
 
   std::size_t k() const { return k_; }
   std::size_t n() const { return n_; }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serialize.h"
+
 namespace sentinel::changepoint {
 
 SprtFilter::SprtFilter(SprtConfig cfg) : cfg_(cfg) {
@@ -35,6 +37,20 @@ void SprtFilter::reset() {
   llr_ = 0.0;
   active_ = false;
   decisions_ = 0;
+}
+
+void SprtFilter::save(serialize::Writer& w) const {
+  serialize::tag(w, "sprt");
+  serialize::put(w, llr_);
+  serialize::put(w, active_);
+  serialize::put(w, decisions_);
+}
+
+void SprtFilter::load(serialize::Reader& r) {
+  serialize::expect(r, "sprt");
+  llr_ = serialize::get<double>(r);
+  active_ = serialize::get_bool(r);
+  decisions_ = serialize::get<std::size_t>(r);
 }
 
 AlarmFilterFactory make_sprt_factory(SprtConfig cfg) {

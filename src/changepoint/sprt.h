@@ -32,6 +32,8 @@ class SprtFilter final : public AlarmFilter {
   bool active() const override { return active_; }
   void reset() override;
   std::string name() const override { return "sprt"; }
+  void save(serialize::Writer& w) const override;
+  void load(serialize::Reader& r) override;
 
   double log_likelihood_ratio() const { return llr_; }
   /// Decisions made since construction/reset (for average-run-length stats).

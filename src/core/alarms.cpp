@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/serialize.h"
+
 namespace sentinel::core {
 
 changepoint::AlarmFilterFactory make_filter_factory(const AlarmFilterConfig& cfg) {
@@ -83,6 +85,46 @@ std::size_t AlarmBank::raw_count(SensorId sensor) const {
 std::size_t AlarmBank::window_count(SensorId sensor) const {
   const Entry* e = find_entry(sensor);
   return e == nullptr ? 0 : e->window_count;
+}
+
+void AlarmBank::save(serialize::Writer& w) const {
+  serialize::tag(w, "alarm-bank");
+  // Count entries first: dense slots without a filter were never seen.
+  std::size_t n = 0;
+  for (const Entry& e : dense_) {
+    if (e.filter) ++n;
+  }
+  n += sparse_.size();
+  serialize::put(w, n);
+  // Ascending sensor order: dense ids are all < kDenseLimit <= sparse ids,
+  // so dense-then-sparse is already sorted.
+  for (SensorId id = 0; id < dense_.size(); ++id) {
+    const Entry& e = dense_[id];
+    if (!e.filter) continue;
+    serialize::put(w, id);
+    serialize::put(w, e.raw_count);
+    serialize::put(w, e.window_count);
+    e.filter->save(w);
+  }
+  for (const auto& [id, e] : sparse_) {
+    serialize::put(w, id);
+    serialize::put(w, e.raw_count);
+    serialize::put(w, e.window_count);
+    e.filter->save(w);
+  }
+}
+
+void AlarmBank::load(serialize::Reader& r) {
+  serialize::expect(r, "alarm-bank");
+  const auto n = serialize::get<std::size_t>(r);
+  if (n > (1u << 26)) throw std::runtime_error("checkpoint: implausible alarm-bank size");
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = serialize::get<SensorId>(r);
+    Entry& e = entry(id);  // stamps a fresh filter from the factory
+    e.raw_count = serialize::get<std::size_t>(r);
+    e.window_count = serialize::get<std::size_t>(r);
+    e.filter->load(r);
+  }
 }
 
 }  // namespace sentinel::core

@@ -17,6 +17,7 @@
 #include "changepoint/sprt.h"
 #include "core/config.h"
 #include "trace/record.h"
+#include "util/serialize_fwd.h"
 
 namespace sentinel::core {
 
@@ -42,6 +43,13 @@ class AlarmBank {
   /// Cumulative raw-alarm statistics per sensor (Fig. 12 accounting).
   std::size_t raw_count(SensorId sensor) const;
   std::size_t window_count(SensorId sensor) const;
+
+  /// Persist / restore every seen sensor's filter state and counters (the
+  /// resumable-checkpoint section; filters themselves write their kind tag,
+  /// so a filter-config mismatch fails loudly on load). load() expects to
+  /// run on a bank built from the same AlarmFilterConfig.
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   /// One entry per sensor: filter + counters live together so the hot

@@ -1,0 +1,345 @@
+#include "core/checkpoint_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fault_test.h"
+
+namespace sentinel::core {
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestTag = "sentinel-manifest-v1";
+
+bool is_plain(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+         c == '.' || c == '_' || c == '-';
+}
+
+/// Percent-escape into a nonempty, whitespace-free token. The empty string
+/// encodes as a lone "%" (no hex digits follow, so it cannot collide with an
+/// escaped byte).
+std::string escape(std::string_view s) {
+  if (s.empty()) return "%";
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (is_plain(c)) {
+      out += c;
+    } else {
+      const auto b = static_cast<unsigned char>(c);
+      out += '%';
+      out += kHex[b >> 4];
+      out += kHex[b & 0xF];
+    }
+  }
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+/// Inverse of escape(). False on malformed input (a torn manifest).
+bool unescape(std::string_view tok, std::string& out) {
+  out.clear();
+  if (tok == "%") return true;  // the empty-string marker
+  for (std::size_t i = 0; i < tok.size();) {
+    if (tok[i] != '%') {
+      out += tok[i++];
+      continue;
+    }
+    if (i + 3 > tok.size()) return false;
+    const int hi = hex_digit(tok[i + 1]);
+    const int lo = hex_digit(tok[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out += static_cast<char>((hi << 4) | lo);
+    i += 3;
+  }
+  return true;
+}
+
+bool full_write(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+util::Status io_error(const std::string& what, const std::string& path) {
+  return util::Status(util::StatusCode::kInternal,
+                      "checkpoint store: " + what + " " + path + ": " + std::strerror(errno));
+}
+
+util::Status torn(const std::string& what) {
+  return util::Status(util::StatusCode::kDataLoss, "checkpoint store: " + what);
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t& v, int base = 10) {
+  const auto [end, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v, base);
+  return ec == std::errc() && end == tok.data() + tok.size();
+}
+
+std::string hex64(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t CheckpointStore::fnv1a(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string CheckpointStore::sanitize(const std::string& region) { return escape(region); }
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("checkpoint store: cannot create directory " + dir_ +
+                             (ec ? ": " + ec.message() : ""));
+  }
+  // Continue the committed epoch sequence when the store already exists. A
+  // missing or corrupt manifest leaves the fresh (epoch 0) state: writers
+  // start over, and readers see the corruption from their own load_manifest().
+  auto existing = load_manifest();
+  if (existing.is_ok()) manifest_ = std::move(existing.value());
+}
+
+util::Result<CheckpointManifest> CheckpointStore::load_manifest() const {
+  const std::string path = dir_ + "/" + kManifestName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status(util::StatusCode::kNotFound, "checkpoint store: no manifest in " + dir_);
+  }
+  std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) return torn("manifest read error: " + path);
+
+  // The manifest ends with "end <fnv1a-hex>" over every preceding byte; a
+  // torn tail either loses that line (no match) or fails the checksum.
+  const std::size_t end_pos = all.rfind("\nend ");
+  if (end_pos == std::string::npos) return torn("manifest missing checksum line: " + path);
+  const std::string_view body(all.data(), end_pos + 1);  // includes the '\n'
+  std::string_view tail(all.data() + end_pos + 1, all.size() - end_pos - 1);
+  tail.remove_prefix(4);  // "end "
+  // Strict: the checksum line must be newline-terminated, so removing even
+  // the final byte of a committed manifest reads as torn.
+  if (tail.empty() || tail.back() != '\n') {
+    return torn("manifest checksum line not terminated (torn): " + path);
+  }
+  tail.remove_suffix(1);
+  std::uint64_t declared = 0;
+  if (!parse_u64(tail, declared, 16) || declared != fnv1a(body)) {
+    return torn("manifest checksum mismatch (torn or corrupt): " + path);
+  }
+
+  CheckpointManifest m;
+  std::istringstream lines{std::string(body)};
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (!saw_header) {
+      if (kind != kManifestTag) return torn("manifest bad header: " + path);
+      saw_header = true;
+      continue;
+    }
+    if (kind == "epoch") {
+      if (!(ls >> m.epoch)) return torn("manifest bad epoch line: " + path);
+    } else if (kind == "region") {
+      std::string name_tok, file_tok, crc_tok, msg_tok;
+      std::uint64_t health = 0, code = 0;
+      RegionCheckpointMeta meta;
+      if (!(ls >> name_tok >> meta.epoch >> file_tok >> meta.bytes >> crc_tok >>
+            meta.records_applied >> health >> code >> msg_tok >> meta.records_dropped >>
+            meta.malformed.bad_field_count >> meta.malformed.dims_mismatch >>
+            meta.malformed.bad_sensor_id >> meta.malformed.bad_number >> meta.comment_lines)) {
+        return torn("manifest bad region line: " + path);
+      }
+      std::string name, msg;
+      if (!unescape(name_tok, name) || !unescape(file_tok, meta.file) ||
+          !unescape(msg_tok, msg) || !parse_u64(crc_tok, meta.checksum, 16)) {
+        return torn("manifest bad region token: " + path);
+      }
+      if (health > static_cast<std::uint64_t>(RegionHealth::kQuarantined) ||
+          code > static_cast<std::uint64_t>(util::StatusCode::kInternal)) {
+        return torn("manifest out-of-range enum: " + path);
+      }
+      meta.health = static_cast<RegionHealth>(health);
+      meta.status = code == 0 ? util::Status()
+                              : util::Status(static_cast<util::StatusCode>(code), std::move(msg));
+      m.regions.emplace(std::move(name), std::move(meta));
+    } else {
+      return torn("manifest unknown line kind '" + kind + "': " + path);
+    }
+  }
+  if (!saw_header) return torn("manifest empty: " + path);
+  return m;
+}
+
+util::Status CheckpointStore::write_file_atomic(const std::string& final_name,
+                                                std::string_view bytes, bool region_points) {
+  namespace fault = util::fault;
+  const std::string final_path = dir_ + "/" + final_name;
+  const std::string tmp_path = final_path + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("cannot create", tmp_path);
+  if (region_points) SENTINEL_FAULT_POINT(fault::kRegionTempOpen);
+
+  // Two-chunk write so the temp-write fault point sits mid-file: the torn
+  // temp a crash leaves behind is genuinely partial, not merely empty.
+  const std::size_t head = bytes.size() < 64 ? bytes.size() : 64;
+  bool ok = full_write(fd, bytes.data(), head);
+  if (ok) {
+    SENTINEL_FAULT_POINT(region_points ? fault::kRegionTempWrite : fault::kManifestTempWrite);
+    ok = full_write(fd, bytes.data() + head, bytes.size() - head);
+  }
+  if (!ok) {
+    const util::Status s = io_error("write failed for", tmp_path);
+    ::close(fd);
+    return s;
+  }
+
+  SENTINEL_FAULT_POINT(region_points ? fault::kRegionPreSync : fault::kManifestPreSync);
+  if (::fsync(fd) != 0) {
+    const util::Status s = io_error("fsync failed for", tmp_path);
+    ::close(fd);
+    return s;
+  }
+  if (::close(fd) != 0) return io_error("close failed for", tmp_path);
+
+  SENTINEL_FAULT_POINT(region_points ? fault::kRegionPreRename : fault::kManifestPreRename);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return io_error("rename failed for", tmp_path);
+  }
+  // The rename is only durable once the directory entry is; fsync the dir.
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return io_error("cannot open directory", dir_);
+  if (::fsync(dfd) != 0) {
+    const util::Status s = io_error("fsync failed for directory", dir_);
+    ::close(dfd);
+    return s;
+  }
+  ::close(dfd);
+  SENTINEL_FAULT_POINT(region_points ? fault::kRegionPostRename : fault::kManifestPostRename);
+  return util::Status::ok();
+}
+
+util::Status CheckpointStore::commit_manifest() {
+  std::ostringstream os;
+  os << kManifestTag << '\n';
+  os << "epoch " << manifest_.epoch << '\n';
+  for (const auto& [name, meta] : manifest_.regions) {
+    os << "region " << escape(name) << ' ' << meta.epoch << ' ' << escape(meta.file) << ' '
+       << meta.bytes << ' ' << hex64(meta.checksum) << ' ' << meta.records_applied << ' '
+       << static_cast<int>(meta.health) << ' ' << static_cast<int>(meta.status.code()) << ' '
+       << escape(meta.status.message()) << ' ' << meta.records_dropped << ' '
+       << meta.malformed.bad_field_count << ' ' << meta.malformed.dims_mismatch << ' '
+       << meta.malformed.bad_sensor_id << ' ' << meta.malformed.bad_number << ' '
+       << meta.comment_lines << '\n';
+  }
+  const std::string body = os.str();
+  const std::string full = body + "end " + hex64(fnv1a(body)) + "\n";
+  return write_file_atomic(kManifestName, full, /*region_points=*/false);
+}
+
+util::Status CheckpointStore::commit_region(const std::string& region,
+                                            const DetectionPipeline& pipeline,
+                                            RegionCheckpointMeta& meta) {
+  // Serialize to memory first: a serialization failure (exception) must
+  // escape before any disk state is touched.
+  std::ostringstream os;
+  pipeline.save_checkpoint(os, serialize::Format::kBinary, CheckpointScope::kResumable);
+  return commit_region_bytes(region, os.str(), meta);
+}
+
+util::Status CheckpointStore::commit_region_bytes(const std::string& region,
+                                                  std::string_view bytes,
+                                                  RegionCheckpointMeta& meta) {
+  const std::uint64_t new_epoch = manifest_.epoch + 1;
+  meta.epoch = new_epoch;
+  meta.file = sanitize(region) + ".e" + std::to_string(new_epoch) + ".ckpt";
+  meta.bytes = bytes.size();
+  meta.checksum = fnv1a(bytes);
+
+  // 2. Region file: temp + fsync + rename + dir fsync.
+  if (util::Status s = write_file_atomic(meta.file, bytes, /*region_points=*/true); !s.is_ok()) {
+    return s;
+  }
+
+  // 3. Manifest naming the new epoch. In-memory state mutates first and rolls
+  //    back on failure so it always mirrors the manifest committed on disk.
+  const CheckpointManifest prev = manifest_;
+  std::string old_file;
+  if (const auto it = manifest_.regions.find(region); it != manifest_.regions.end()) {
+    old_file = it->second.file;
+  }
+  manifest_.epoch = new_epoch;
+  manifest_.regions[region] = meta;
+  if (util::Status s = commit_manifest(); !s.is_ok()) {
+    manifest_ = prev;
+    return s;
+  }
+
+  // 4. Garbage-collect the superseded epoch -- only now, after the manifest
+  //    stopped naming it. Failure is harmless (an invisible orphan).
+  if (!old_file.empty() && old_file != meta.file) {
+    ::unlink((dir_ + "/" + old_file).c_str());
+  }
+  return util::Status::ok();
+}
+
+util::Status CheckpointStore::read_region(const RegionCheckpointMeta& meta,
+                                          std::string& out) const {
+  const std::string path = dir_ + "/" + meta.file;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return torn("missing region checkpoint " + path);
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  if (in.bad()) return torn("read error for region checkpoint " + path);
+  if (out.size() != meta.bytes) {
+    return torn("region checkpoint " + path + " is " + std::to_string(out.size()) +
+                " bytes, manifest committed " + std::to_string(meta.bytes) + " (torn write?)");
+  }
+  if (fnv1a(out) != meta.checksum) {
+    return torn("region checkpoint " + path + " fails its checksum (corrupt)");
+  }
+  return util::Status::ok();
+}
+
+}  // namespace sentinel::core

@@ -1,0 +1,126 @@
+// Durable, crash-consistent checkpoint store for the fleet.
+//
+// On-disk layout (one directory per fleet):
+//
+//   <dir>/MANIFEST              committed manifest (text, checksummed)
+//   <dir>/<region>.e<N>.ckpt    region checkpoint, epoch N (binary codec,
+//                               resumable scope -- see CheckpointScope)
+//   <dir>/*.tmp                 in-flight writes; never read, overwritten or
+//                               garbage-collected on the next commit
+//
+// Commit protocol (the write-ahead / atomic-rename discipline every durable
+// transition follows; each step carries a fault point -- util/fault_test.h):
+//
+//   1. serialize the region's resumable checkpoint to memory,
+//   2. write it to <region>.e<N+1>.ckpt.tmp, fsync, rename into place,
+//      fsync the directory,
+//   3. rewrite the manifest (naming the new epoch for this region and the
+//      last committed epoch for every other) the same way: temp, fsync,
+//      rename over MANIFEST, fsync the directory,
+//   4. delete the region's previous epoch file (garbage collection).
+//
+// A crash at ANY instruction leaves either the old manifest (naming only
+// fully durable files) or the new one (ditto): recovery never reads a torn
+// file without detecting it. Torn/corrupt state is detected three ways --
+// the manifest's trailing FNV-1a checksum, each region entry's recorded
+// byte count + content checksum, and the codec's own tag/truncation checks
+// -- and always surfaces as a clean util::Status, never a garbage report.
+// Orphan files from a crash between steps 2 and 3 (or a failed step 4) are
+// invisible to recovery and reclaimed by later commits.
+//
+// Concurrency: a store instance is single-writer. The fleet serializes
+// checkpoints on the caller (producer) thread at a quiesced record boundary
+// and hands the bytes to its dedicated committer thread, which owns every
+// commit_region_bytes call -- fsync latency never blocks ingest; see
+// docs/CONCURRENCY.md.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/fleet.h"
+#include "util/status.h"
+
+namespace sentinel::core {
+
+/// One region's last committed checkpoint, plus the region-state snapshot a
+/// recovered fleet restores (health, counters) before replaying the tail.
+struct RegionCheckpointMeta {
+  std::uint64_t epoch = 0;
+  std::string file;           // filename within the store directory
+  std::uint64_t bytes = 0;    // committed size (torn-file detection)
+  std::uint64_t checksum = 0; // FNV-1a over the checkpoint bytes
+  /// Records the pipeline had applied at commit time -- the trace offset
+  /// recovery skips to before re-ingesting.
+  std::uint64_t records_applied = 0;
+  RegionHealth health = RegionHealth::kHealthy;
+  util::Status status;
+  std::uint64_t records_dropped = 0;
+  MalformedCounts malformed;
+  std::uint64_t comment_lines = 0;
+};
+
+struct CheckpointManifest {
+  /// Store-wide commit counter; each commit_region bumps it and stamps the
+  /// new region file with it, so epoch order is total across regions.
+  std::uint64_t epoch = 0;
+  std::map<std::string, RegionCheckpointMeta> regions;
+};
+
+class CheckpointStore {
+ public:
+  /// Opens (creating if needed) the store directory and loads the committed
+  /// manifest if one exists. Throws std::runtime_error when the directory
+  /// cannot be created at all (caller misuse: unusable path); a corrupt
+  /// manifest does NOT throw here -- writers start fresh over it, and
+  /// readers see the corruption as a Status from load_manifest().
+  explicit CheckpointStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The manifest as committed on disk. kNotFound when no manifest was ever
+  /// committed; kDataLoss when the file is torn or fails its checksum.
+  util::Result<CheckpointManifest> load_manifest() const;
+
+  /// Serialize `pipeline` (binary codec, resumable scope) and run the full
+  /// commit protocol for `region`. `meta`'s bookkeeping fields
+  /// (records_applied, health, status, counters) come from the caller;
+  /// epoch/file/bytes/checksum are filled in place. I/O failure returns a
+  /// Status and leaves the on-disk store at its previous committed state.
+  util::Status commit_region(const std::string& region, const DetectionPipeline& pipeline,
+                             RegionCheckpointMeta& meta);
+
+  /// The commit protocol over an already-serialized checkpoint. This is the
+  /// half the fleet's committer thread runs: the snapshot was taken on the
+  /// producer thread at a quiesced boundary, only the disk work lands here.
+  util::Status commit_region_bytes(const std::string& region, std::string_view bytes,
+                                   RegionCheckpointMeta& meta);
+
+  /// Read a committed region checkpoint into `out`, verifying its size and
+  /// checksum against the manifest entry. kDataLoss on a torn, truncated,
+  /// or corrupted file.
+  util::Status read_region(const RegionCheckpointMeta& meta, std::string& out) const;
+
+  /// Filename-safe, collision-free encoding of a region name (percent-
+  /// escapes everything outside [A-Za-z0-9._-]).
+  static std::string sanitize(const std::string& region);
+
+  /// FNV-1a 64-bit -- the store's integrity hash for manifest and
+  /// checkpoint bytes.
+  static std::uint64_t fnv1a(std::string_view bytes);
+
+ private:
+  /// Temp + fsync + rename + directory fsync, with the named fault points
+  /// threaded through each stage.
+  util::Status write_file_atomic(const std::string& final_name, std::string_view bytes,
+                                 bool region_points);
+  util::Status commit_manifest();
+
+  std::string dir_;
+  /// Last committed manifest (mirrors disk after every successful commit).
+  CheckpointManifest manifest_;
+};
+
+}  // namespace sentinel::core

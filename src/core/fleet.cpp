@@ -9,7 +9,10 @@
 #include <thread>
 #include <utility>
 
+#include "core/checkpoint_store.h"
 #include "trace/trace_reader.h"
+#include "util/serialize.h"
+#include "util/fault_test.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/vecn.h"
@@ -137,6 +140,85 @@ struct FleetMonitor::Shard {
   DetectionPipeline* pipeline;
 };
 
+/// The checkpoint committer: a single dedicated thread that runs the
+/// store's fsync/rename commit protocol so disk latency never blocks the
+/// ingest (producer) thread. The producer serializes each snapshot itself
+/// at a quiesced record boundary (commit_region_checkpoint) -- the bytes
+/// crossing this queue are immutable, so the on-disk store always names a
+/// checkpoint covering exactly the records the meta records. FIFO order
+/// means epochs advance in enqueue order; the destructor drains whatever is
+/// queued before joining, so fleet destruction implies full durability of
+/// every snapshot taken.
+struct FleetMonitor::Committer {
+  struct Pending {
+    std::string region;
+    std::string bytes;  // serialized resumable checkpoint
+    RegionCheckpointMeta meta;
+  };
+
+  explicit Committer(FleetMonitor& fleet) : fleet_(fleet), thread_([this] { run(); }) {}
+
+  ~Committer() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    thread_.join();
+  }
+
+  void enqueue(Pending p) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      queue.push_back(std::move(p));
+    }
+    cv.notify_all();
+  }
+
+  /// Block until every enqueued commit has reached disk (or failed).
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu);
+    drained.wait(lk, [this] { return queue.empty() && !busy; });
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv.wait(lk, [this] { return stop || !queue.empty(); });
+      if (queue.empty()) {
+        if (stop) return;  // drained: nothing left to make durable
+        continue;
+      }
+      Pending p = std::move(queue.front());
+      queue.pop_front();
+      busy = true;
+      lk.unlock();
+      const util::Status s = fleet_.store_->commit_region_bytes(p.region, p.bytes, p.meta);
+      if (s.is_ok()) {
+        fleet_.m_ckpt_commits_->inc();
+        fleet_.m_ckpt_bytes_->add(p.meta.bytes);
+      } else {
+        // An I/O failure, not a region-health event: the previously
+        // committed epoch still stands and detection continues.
+        fleet_.m_ckpt_failures_->inc();
+      }
+      lk.lock();
+      busy = false;
+      if (queue.empty()) drained.notify_all();
+    }
+  }
+
+  FleetMonitor& fleet_;
+  std::mutex mu;
+  std::condition_variable cv;       // work arrived or stop requested
+  std::condition_variable drained;  // queue empty and no commit in flight
+  std::deque<Pending> queue;
+  bool stop = false;
+  bool busy = false;  // a commit is between unlock and relock
+  std::thread thread_;  // last member: starts only after the state above exists
+};
+
 FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
   if (!(cfg_.state_match_tol > 0.0)) {
     throw std::invalid_argument("FleetMonitor: tolerance must be positive");
@@ -156,6 +238,10 @@ FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
   }
   cfg_.threads = resolve_threads(cfg_.threads);
   if (cfg_.threads > 1) pool_ = std::make_unique<util::ThreadPool>(cfg_.threads);
+  if (!cfg_.checkpoint_dir.empty()) {
+    store_ = std::make_unique<CheckpointStore>(cfg_.checkpoint_dir);
+    committer_ = std::make_unique<Committer>(*this);
+  }
 
   auto& reg = util::metrics();
   m_enqueued_ = &reg.counter("fleet.records_enqueued");
@@ -164,6 +250,9 @@ FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
   m_drained_ = &reg.counter("fleet.records_drained");
   m_drain_batches_ = &reg.counter("fleet.drain_batches");
   m_dropped_ = &reg.counter("fleet.records_dropped_quarantined");
+  m_ckpt_commits_ = &reg.counter("fleet.checkpoint_commits");
+  m_ckpt_failures_ = &reg.counter("fleet.checkpoint_failures");
+  m_ckpt_bytes_ = &reg.counter("fleet.checkpoint_bytes");
   m_queue_depth_ = &reg.histogram("fleet.queue_depth",
                                   util::Histogram::exponential_bounds(64, 2.0, 10));
 }
@@ -180,9 +269,11 @@ FleetConfig serial_fleet_config(double state_match_tol) {
 FleetMonitor::FleetMonitor(double state_match_tol)
     : FleetMonitor(serial_fleet_config(state_match_tol)) {}
 
-// Out of line so ~unique_ptr<Shard> sees the complete type. pool_ is the
-// last member, hence destroyed first: its destructor drains pending shard
-// tasks and joins the workers while regions_/shards_ are still alive.
+// Out of line so ~unique_ptr<Shard>/~unique_ptr<Committer> see the complete
+// types. Members destroy in reverse declaration order: committer_ first
+// among the moving parts (drains queued checkpoint commits and joins while
+// store_ is still alive), then store_, then pool_ (drains pending shard
+// tasks and joins the workers while regions_/shards_ are still alive).
 FleetMonitor::~FleetMonitor() = default;
 
 void FleetMonitor::register_shard(const std::string& name, DetectionPipeline& pipeline) {
@@ -202,6 +293,51 @@ void FleetMonitor::add_region(const std::string& name, PipelineConfig cfg,
   if (!inserted) throw std::invalid_argument("FleetMonitor: duplicate region " + name);
   health_.emplace(name, RegionState{});
   if (pool_) register_shard(name, it->second);
+}
+
+util::Result<std::uint64_t> FleetMonitor::add_region_resumed(const std::string& name,
+                                                             PipelineConfig cfg) {
+  if (!store_) {
+    throw std::invalid_argument("FleetMonitor: add_region_resumed requires checkpoint_dir");
+  }
+  if (regions_.count(name) > 0) {
+    throw std::invalid_argument("FleetMonitor: duplicate region " + name);
+  }
+  auto manifest = store_->load_manifest();
+  if (!manifest.is_ok()) {
+    if (manifest.status().code() == util::StatusCode::kNotFound) {
+      add_region(name, std::move(cfg));  // nothing ever committed: fresh start
+      return std::uint64_t{0};
+    }
+    return manifest.status();  // torn/corrupt manifest: create nothing
+  }
+  const auto it = manifest->regions.find(name);
+  if (it == manifest->regions.end()) {
+    add_region(name, std::move(cfg));  // region never checkpointed: fresh start
+    return std::uint64_t{0};
+  }
+  const RegionCheckpointMeta& meta = it->second;
+  std::string bytes;
+  if (util::Status s = store_->read_region(meta, bytes); !s.is_ok()) return s;
+  std::istringstream checkpoint(bytes);
+  try {
+    add_region(name, std::move(cfg), checkpoint);
+  } catch (const std::exception& e) {
+    // Passed its checksum but the codec rejected it: config or format drift.
+    // Nothing was inserted (the pipeline constructor threw), so surface as
+    // data rather than leaving a half-restored region behind.
+    return util::Status(util::StatusCode::kDataLoss,
+                        "region " + name + ": checkpoint restore failed: " + e.what());
+  }
+  RegionState& st = state_of(name);
+  st.health = meta.health;
+  st.status = meta.status;
+  st.records_ingested = meta.records_applied;
+  st.records_dropped = meta.records_dropped;
+  st.malformed = meta.malformed;
+  st.comment_lines = meta.comment_lines;
+  ckpt_anchor_[name] = meta.records_applied;
+  return std::uint64_t{meta.records_applied};
 }
 
 RegionState& FleetMonitor::state_of(const std::string& name) const {
@@ -284,21 +420,102 @@ void FleetMonitor::add_records(const std::string& region, std::span<const Sensor
                               "region " + region + ": pipeline failed: " + describe(err)),
                  err);
     }
+    maybe_checkpoint(region, st);
     return;
   }
   Shard& sh = *shards_.find(region)->second;
   sh.producer_buf.insert(sh.producer_buf.end(), recs.begin(), recs.end());
   st.records_ingested += recs.size();
   if (sh.producer_buf.size() >= cfg_.batch_records) flush_shard(sh);
+  maybe_checkpoint(region, st);
+}
+
+void FleetMonitor::maybe_checkpoint(const std::string& region, RegionState& st) {
+  if (!store_ || cfg_.checkpoint_every_records == 0) return;
+  if (st.health == RegionHealth::kQuarantined) return;
+  if (st.records_ingested - ckpt_anchor_[region] < cfg_.checkpoint_every_records) return;
+  commit_region_checkpoint(region, st);
+}
+
+void FleetMonitor::commit_region_checkpoint(const std::string& region, RegionState& st) {
+  SENTINEL_FAULT_POINT(util::fault::kCheckpointBegin);
+  // Quiesce this region's shard first: the pipeline must be at a record
+  // boundary and untouched by workers while it serializes (the single-writer
+  // invariant), and a resumed run replays from exactly records_ingested.
+  if (pool_) {
+    Shard& sh = *shards_.find(region)->second;
+    flush_shard(sh);
+    wait_shard(sh);
+    absorb_shard_faults();
+  }
+  if (st.health == RegionHealth::kQuarantined) return;  // suspect state: never persisted
+  Committer::Pending p;
+  p.region = region;
+  p.meta.records_applied = st.records_ingested;
+  p.meta.health = st.health;
+  p.meta.status = st.status;
+  p.meta.records_dropped = st.records_dropped;
+  p.meta.malformed = st.malformed;
+  p.meta.comment_lines = st.comment_lines;
+  // Snapshot here, on the producer thread, while the region is quiescent:
+  // the committer only ever sees immutable bytes, never the live pipeline.
+  std::ostringstream os;
+  regions_.find(region)->second.save_checkpoint(os, serialize::Format::kBinary,
+                                                CheckpointScope::kResumable);
+  p.bytes = os.str();
+  // Anchor advances at snapshot time, not commit time: the interval clock
+  // restarts even if this commit later fails on disk (the next cadence
+  // simply takes a fresh snapshot; the previous epoch still stands).
+  ckpt_anchor_[region] = st.records_ingested;
+  committer_->enqueue(std::move(p));
+}
+
+void FleetMonitor::checkpoint_now() {
+  if (!store_) return;
+  for (auto& [name, st] : health_) commit_region_checkpoint(name, st);
+  committer_->drain();  // on return the store names these snapshots
 }
 
 FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, TraceReader& reader,
-                                                 std::size_t batch_records) {
+                                                 std::size_t batch_records,
+                                                 std::size_t skip_records) {
   if (batch_records == 0) batch_records = TraceReader::kDefaultBatch;
   RegionState& st = state_of(region);  // throws on unknown region
   IngestSummary sum;
   std::vector<SensorRecord> batch;
   const MalformedCounts before = st.malformed;
+  const std::size_t comment_base = st.comment_lines;
+
+  // Resume: fast-forward past the prefix the restored checkpoint already
+  // covers. The reader's malformed/comment tallies over that prefix are
+  // captured here and subtracted at the end -- the restored RegionState
+  // already accounts for them -- while the rate check below keeps using the
+  // reader's running totals plus `skipped`, so a resumed run condemns a bad
+  // feed at exactly the same point an uninterrupted one would.
+  std::size_t skipped = 0;
+  MalformedCounts skip_malformed;
+  std::size_t skip_comments = 0;
+  if (skip_records > 0 && st.health != RegionHealth::kQuarantined) {
+    try {
+      skipped = reader.skip_records(skip_records);
+    } catch (...) {
+      const auto err = std::current_exception();
+      quarantine(region,
+                 util::Status(util::StatusCode::kDataLoss,
+                              "region " + region + ": reader failed: " + describe(err)),
+                 err);
+    }
+    skip_malformed = reader.malformed();
+    skip_comments = reader.comment_lines();
+    if (skipped < skip_records && st.health != RegionHealth::kQuarantined) {
+      quarantine(region,
+                 util::Status(util::StatusCode::kDataLoss,
+                              "region " + region + ": trace shorter than its checkpoint: " +
+                                  "resume skip wanted " + std::to_string(skip_records) +
+                                  " records, trace held " + std::to_string(skipped)),
+                 nullptr);
+    }
+  }
   for (;;) {
     if (st.health == RegionHealth::kQuarantined) break;
     std::size_t n = 0;
@@ -313,8 +530,16 @@ FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, Trac
       break;
     }
     if (n > 0) {
+      // Fold the reader's running tallies in *before* applying the records:
+      // a checkpoint committed inside add_records must snapshot malformed /
+      // comment accounting consistent with records_ingested, or a resumed
+      // run under-counts the skipped prefix.
+      st.malformed = before;
+      st.malformed += reader.malformed() - skip_malformed;
+      st.comment_lines = comment_base + (reader.comment_lines() - skip_comments);
       add_records(region, batch);
       sum.records += n;
+      SENTINEL_FAULT_POINT(util::fault::kIngestBatch);
     }
 
     // Malformed-rate check per batch so a hostile feed is cut off early
@@ -324,7 +549,7 @@ FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, Trac
     // EOF with n == 0 and must still be condemned by rate, not merely
     // flagged as silent at finish().
     const std::size_t mal = reader.malformed().total();
-    const std::size_t lines = sum.records + mal;
+    const std::size_t lines = skipped + sum.records + mal;
     if (mal > 0 && lines >= cfg_.health.min_lines_for_rate) {
       const double ratio = static_cast<double>(mal) / static_cast<double>(lines);
       if (ratio >= cfg_.health.quarantine_malformed_ratio) {
@@ -355,15 +580,16 @@ FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, Trac
                nullptr);
   }
   st.malformed = before;
-  st.malformed += reader.malformed();
-  st.comment_lines += reader.comment_lines();
+  st.malformed += reader.malformed() - skip_malformed;
+  st.comment_lines = comment_base + (reader.comment_lines() - skip_comments);
   sum.status = st.status;
   return sum;
 }
 
 FleetMonitor::IngestSummary FleetMonitor::ingest_file(const std::string& region,
                                                       const std::string& path,
-                                                      std::size_t expected_dims) {
+                                                      std::size_t expected_dims,
+                                                      std::size_t skip_records) {
   state_of(region);  // unknown region is caller misuse: throw before touching the file
   std::unique_ptr<TraceReader> reader;
   try {
@@ -378,7 +604,7 @@ FleetMonitor::IngestSummary FleetMonitor::ingest_file(const std::string& region,
     sum.status = state_of(region).status;
     return sum;
   }
-  return ingest(region, *reader);
+  return ingest(region, *reader, 0, skip_records);
 }
 
 /// Hand the producer buffer to the shard queue and make sure a drain task
@@ -440,6 +666,7 @@ void FleetMonitor::drain_shard(Shard& sh) const {
       }
       m_drained_->add(batch.size());
       m_drain_batches_->inc();
+      SENTINEL_FAULT_POINT(util::fault::kDrainBatch);
     } catch (...) {
       // Park the failure for the producer to fold into the region's health;
       // everything behind the poison record is discarded (the pipeline's
@@ -455,17 +682,18 @@ void FleetMonitor::drain_shard(Shard& sh) const {
   }
 }
 
+void FleetMonitor::wait_shard(Shard& sh) const {
+  std::unique_lock<std::mutex> lock(sh.mu);
+  sh.cv.wait(lock, [&] { return sh.error || (!sh.draining && sh.queue.empty()); });
+}
+
 void FleetMonitor::drain() const {
   // Quiesce every shard, then fold worker faults into the health records.
   // Even when one region is poisoned, the caller must be able to inspect
   // the healthy regions after drain() returns -- no worker still running,
   // no exception escaping.
   for (const auto& [name, shard] : shards_) flush_shard(*shard);
-  for (const auto& [name, shard] : shards_) {
-    Shard& sh = *shard;
-    std::unique_lock<std::mutex> lock(sh.mu);
-    sh.cv.wait(lock, [&] { return sh.error || (!sh.draining && sh.queue.empty()); });
-  }
+  for (const auto& [name, shard] : shards_) wait_shard(*shard);
   absorb_shard_faults();
 }
 

@@ -29,6 +29,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <exception>
 #include <map>
 #include <memory>
@@ -51,6 +52,8 @@ class ThreadPool;
 }  // namespace sentinel::util
 
 namespace sentinel::core {
+
+class CheckpointStore;
 
 /// Centroid-matched structural similarity between two environment models:
 /// every significant state of one model must have a state of the other
@@ -146,6 +149,19 @@ struct FleetConfig {
   std::size_t batch_records = 256;
   /// Health-transition thresholds (see RegionHealthConfig).
   RegionHealthConfig health;
+  /// Directory for crash-consistent region checkpoints ("" = checkpointing
+  /// off). Each region commits independently -- serialized state, temp file,
+  /// fsync, atomic rename, then a manifest naming the last committed epoch
+  /// per region. See core/checkpoint_store.h and docs/RELIABILITY.md.
+  std::string checkpoint_dir;
+  /// Commit a region's checkpoint after this many newly ingested records
+  /// (0 = only on explicit checkpoint_now()). Smaller intervals shrink the
+  /// replay tail after a crash but cost more commit I/O. The default is
+  /// sized from the measured costs (docs/RELIABILITY.md): replaying a
+  /// 262144-record tail takes tens of milliseconds at ingest speed, while
+  /// each commit pays multiple fsync barriers -- so the interval is cheap
+  /// to keep long and expensive to shorten.
+  std::size_t checkpoint_every_records = 262144;
 };
 
 class FleetMonitor {
@@ -168,6 +184,16 @@ class FleetMonitor {
   /// DetectionPipeline::save_checkpoint and docs/CONCURRENCY.md for the
   /// checkpoint format).
   void add_region(const std::string& name, PipelineConfig cfg, std::istream& checkpoint);
+
+  /// Create a region restored from the fleet's checkpoint store (requires
+  /// FleetConfig::checkpoint_dir; throws without one, or on a duplicate
+  /// region). Returns the number of records the restored state already
+  /// covers -- pass it as `skip_records` to ingest()/ingest_file() to replay
+  /// only the trace tail. Falls back to a fresh add_region (returning 0)
+  /// when the store has no manifest or no entry for this region. A torn or
+  /// corrupt manifest/checkpoint returns a non-ok Status (kDataLoss) and
+  /// creates nothing -- never a garbage region.
+  util::Result<std::uint64_t> add_region_resumed(const std::string& name, PipelineConfig cfg);
 
   /// Route a record to its region's pipeline. Throws on unknown region
   /// (caller misuse); a record for a quarantined region is dropped and
@@ -199,14 +225,18 @@ class FleetMonitor {
   /// are attributed to the region per cause; a malformed-rate breach or a
   /// non-ok reader status (truncation, mid-stream loss) transitions the
   /// region's health instead of throwing.
+  /// `skip_records` fast-forwards the reader past records a restored
+  /// checkpoint already covers (see add_region_resumed) before ingesting the
+  /// tail; a trace shorter than the skip quarantines the region (its
+  /// checkpoint describes data the trace no longer holds).
   IngestSummary ingest(const std::string& region, TraceReader& reader,
-                       std::size_t batch_records = 0);
+                       std::size_t batch_records = 0, std::size_t skip_records = 0);
 
   /// Open `path` (CSV or SNTRB1 by probe) and ingest it. A file that cannot
   /// even be opened as a trace (missing, garbage header) quarantines the
   /// region with the captured error -- the fleet keeps running.
   IngestSummary ingest_file(const std::string& region, const std::string& path,
-                            std::size_t expected_dims = 0);
+                            std::size_t expected_dims = 0, std::size_t skip_records = 0);
 
   /// Block until every queued record has been applied to its pipeline.
   /// A worker failure quarantines its region (error captured in the health
@@ -229,6 +259,15 @@ class FleetMonitor {
   const RegionState& region_health(const std::string& name) const;
   const std::map<std::string, RegionState>& health() const { return health_; }
 
+  /// Commit a checkpoint for every non-quarantined region now, regardless
+  /// of checkpoint_every_records (a quarantined pipeline's state is suspect
+  /// and is never persisted), and block until the committer thread has
+  /// pushed every commit to disk -- on return the store names these
+  /// snapshots (or kept the previous epoch on failure). Commit failures are
+  /// counted (fleet.checkpoint_failures), not thrown: the previous
+  /// committed epoch still stands. No-op without a checkpoint_dir.
+  void checkpoint_now();
+
   /// Combined fleet diagnosis. Drains first, then runs per-region
   /// diagnose()/correct_model() and the structural cross-check on the pool,
   /// quarantined regions excluded throughout. Deterministic: identical to
@@ -239,11 +278,22 @@ class FleetMonitor {
   const FleetConfig& config() const { return cfg_; }
 
  private:
-  struct Shard;  // per-region ingest queue (defined in fleet.cpp)
+  struct Shard;      // per-region ingest queue (defined in fleet.cpp)
+  struct Committer;  // checkpoint fsync/rename thread (defined in fleet.cpp)
 
   void register_shard(const std::string& name, DetectionPipeline& pipeline);
   void flush_shard(Shard& shard) const;
   void drain_shard(Shard& shard) const;
+  /// Block until `shard` is quiescent (queue empty, no drain task running)
+  /// or its worker parked an error.
+  void wait_shard(Shard& shard) const;
+  /// Commit `region`'s checkpoint when the interval since its last commit
+  /// reached checkpoint_every_records.
+  void maybe_checkpoint(const std::string& region, RegionState& st);
+  /// Quiesce `region`'s shard, snapshot its checkpoint bytes on this (the
+  /// caller) thread, and hand them to the committer thread, which runs the
+  /// store's fsync/rename commit protocol off the ingest path.
+  void commit_region_checkpoint(const std::string& region, RegionState& st);
   /// Fold a captured shard/worker error into the region's health record
   /// (caller thread only).
   void quarantine(const std::string& name, util::Status status,
@@ -257,6 +307,14 @@ class FleetMonitor {
   std::map<std::string, DetectionPipeline> regions_;
   std::map<std::string, std::unique_ptr<Shard>> shards_;  // empty in serial mode
   std::unique_ptr<util::ThreadPool> pool_;                // null in serial mode
+  std::unique_ptr<CheckpointStore> store_;                // null without checkpoint_dir
+  /// Single dedicated thread owning every store commit; declared after
+  /// store_ so its destructor drains the queue and joins while the store is
+  /// still alive. Null without checkpoint_dir.
+  std::unique_ptr<Committer> committer_;
+  /// records_ingested at each region's last committed checkpoint -- the
+  /// interval baseline for maybe_checkpoint. Caller thread only.
+  std::map<std::string, std::uint64_t> ckpt_anchor_;
 
   /// Health records, keyed like regions_. Only the caller (producer) thread
   /// reads or writes these -- workers report through their Shard and the
@@ -272,6 +330,9 @@ class FleetMonitor {
   util::Counter* m_drained_ = nullptr;
   util::Counter* m_drain_batches_ = nullptr;
   util::Counter* m_dropped_ = nullptr;
+  util::Counter* m_ckpt_commits_ = nullptr;
+  util::Counter* m_ckpt_failures_ = nullptr;
+  util::Counter* m_ckpt_bytes_ = nullptr;
   util::Histogram* m_queue_depth_ = nullptr;
 };
 

@@ -55,6 +55,7 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg, std::istream& checkpoin
     : DetectionPipeline(std::move(cfg)) {
   // Codec negotiated by the first byte: binary checkpoints open with the
   // serialize magic, text ones with the human-readable version tag.
+  const auto format = serialize::detect_format(checkpoint);
   const auto r = serialize::make_reader(checkpoint);
   serialize::expect(*r, "sentinel-checkpoint-v1");
   states_ = ModelStateSet::load(cfg_.model_states, *r);
@@ -69,10 +70,27 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg, std::istream& checkpoin
   const auto prev_o = serialize::get<StateId>(*r);
   if (has_prev_o) prev_observable_ = prev_o;
   windows_skipped_ = serialize::get<std::size_t>(*r);
+
+  // A kResumable checkpoint appends a second section after the v1 payload;
+  // detect it by peeking past the end (text checkpoints end in whitespace,
+  // which must be consumed first -- binary bytes are position-exact).
+  if (format == serialize::Format::kText) checkpoint >> std::ws;
+  if (checkpoint.peek() != std::char_traits<char>::eof()) {
+    serialize::expect(*r, "sentinel-resume-v1");
+    windower_.load(*r);
+    alarms_.load(*r);
+    windows_processed_ = serialize::get<std::size_t>(*r);
+    raw_alarms_ = serialize::get<std::size_t>(*r);
+    filtered_alarms_ = serialize::get<std::size_t>(*r);
+    track_opens_ = serialize::get<std::size_t>(*r);
+    track_closes_ = serialize::get<std::size_t>(*r);
+    hmm_updates_ = serialize::get<std::size_t>(*r);
+  }
   diag_cache_.reset();
 }
 
-void DetectionPipeline::save_checkpoint(std::ostream& os, serialize::Format format) const {
+void DetectionPipeline::save_checkpoint(std::ostream& os, serialize::Format format,
+                                        CheckpointScope scope) const {
   const auto w = serialize::make_writer(os, format);
   serialize::tag(*w, "sentinel-checkpoint-v1");
   states_.save(*w);
@@ -86,6 +104,18 @@ void DetectionPipeline::save_checkpoint(std::ostream& os, serialize::Format form
   serialize::put(*w, prev_observable_.value_or(0));
   serialize::put(*w, windows_skipped_);
   w->newline();
+  if (scope == CheckpointScope::kResumable) {
+    serialize::tag(*w, "sentinel-resume-v1");
+    windower_.save(*w);
+    alarms_.save(*w);
+    serialize::put(*w, windows_processed_);
+    serialize::put(*w, raw_alarms_);
+    serialize::put(*w, filtered_alarms_);
+    serialize::put(*w, track_opens_);
+    serialize::put(*w, track_closes_);
+    serialize::put(*w, hmm_updates_);
+    w->newline();
+  }
 }
 
 void DetectionPipeline::add_record(const SensorRecord& rec) {

@@ -98,15 +98,28 @@ struct WindowSummary {
   util::FlatMap<SensorId, SensorWindowInfo> sensors;
 };
 
+/// What save_checkpoint persists.
+///  - kModel: the learned models only ("sentinel-checkpoint-v1", the format
+///    every existing checkpoint uses -- bytes are golden-pinned). Restored
+///    alarm filters start cold and partial windows are dropped.
+///  - kResumable: kModel plus an appended "sentinel-resume-v1" section with
+///    the windower's in-flight window, every alarm filter's run state, and
+///    the activity counters -- enough to continue a stream mid-window with
+///    *bit-identical* downstream results (the crash-recovery contract; see
+///    docs/RELIABILITY.md). The restoring constructor auto-detects the
+///    section, so either scope loads through the same path.
+enum class CheckpointScope { kModel, kResumable };
+
 class DetectionPipeline {
  public:
   explicit DetectionPipeline(PipelineConfig cfg);
 
   /// Restore from a checkpoint written by save_checkpoint(). `cfg` must be
   /// the same configuration the checkpointed pipeline ran with (the
-  /// checkpoint stores learned state, not configuration). Alarm filters
-  /// restart cold and re-converge within a filter window; the per-window
-  /// history is session-local and starts empty.
+  /// checkpoint stores learned state, not configuration). For kModel
+  /// checkpoints, alarm filters restart cold and re-converge within a
+  /// filter window; a kResumable checkpoint restores them exactly. The
+  /// per-window history is session-local and starts empty either way.
   DetectionPipeline(PipelineConfig cfg, std::istream& checkpoint);
 
   /// Persist all learned state -- model states, M_CO, M_C, M_O, every
@@ -114,10 +127,13 @@ class DetectionPipeline {
   /// (the default) stays diffable and byte-compatible with older tooling;
   /// binary (serialize::Format::kBinary) is smaller and faster to parse,
   /// and the restoring constructor auto-detects either by its leading
-  /// magic byte. Call at a window boundary (after finish() or between
-  /// add_record bursts) so no partial window is lost.
+  /// magic byte. With the default kModel scope, call at a window boundary
+  /// (after finish() or between add_record bursts) so no partial window is
+  /// lost; kResumable captures the partial window too and is valid at any
+  /// record boundary.
   void save_checkpoint(std::ostream& os,
-                       serialize::Format format = serialize::Format::kText) const;
+                       serialize::Format format = serialize::Format::kText,
+                       CheckpointScope scope = CheckpointScope::kModel) const;
 
   /// Streaming entry point: records must arrive roughly time-ordered; the
   /// internal windower closes windows as time advances.

@@ -186,6 +186,33 @@ void BinaryTraceReader::decode(const unsigned char* p, SensorRecord& rec) const 
   for (std::size_t i = 0; i < dims_; ++i) rec.attrs[i] = get_f64le(p + 12 + 8 * i);
 }
 
+std::size_t BinaryTraceReader::skip_records(std::size_t n) {
+  const std::uint64_t remaining = avail_ - next_;
+  const std::uint64_t take =
+      remaining < n ? remaining : static_cast<std::uint64_t>(n);
+  if (take == 0) return 0;
+  if (!map_) {
+    in_.seekg(static_cast<std::streamoff>(take * record_bytes_), std::ios::cur);
+    if (!in_) {
+      // Seek past a shrunken file: end the stream like a mid-batch failure.
+      avail_ = next_;
+      status_ = util::Status(util::StatusCode::kDataLoss,
+                             "binary trace: unexpected end of stream");
+      return 0;
+    }
+  }
+  next_ += take;
+  // Skipping exactly to the torn edge of a truncated file surfaces the same
+  // sticky status a straight read would.
+  if (next_ == avail_ && avail_ < count_ && status_.is_ok()) {
+    status_ = util::Status(
+        util::StatusCode::kDataLoss,
+        "binary trace: truncated: header promises " + std::to_string(count_) +
+            " records, file holds " + std::to_string(avail_));
+  }
+  return static_cast<std::size_t>(take);
+}
+
 std::size_t BinaryTraceReader::read_batch(std::vector<SensorRecord>& out,
                                           std::size_t max_records) {
   const std::uint64_t remaining = avail_ - next_;

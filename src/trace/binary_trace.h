@@ -94,6 +94,8 @@ class BinaryTraceReader final : public TraceReader {
   explicit BinaryTraceReader(const std::string& path, std::size_t expected_dims = 0);
 
   std::size_t read_batch(std::vector<SensorRecord>& out, std::size_t max_records) override;
+  /// O(1): fixed-width records make the resume offset a seek, not a scan.
+  std::size_t skip_records(std::size_t n) override;
   util::Status status() const override { return status_; }
   std::size_t comment_lines() const override { return 0; }
   std::size_t dims() const override { return dims_; }

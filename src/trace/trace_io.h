@@ -78,6 +78,15 @@ struct MalformedCounts {
     bad_number += o.bad_number;
     return *this;
   }
+  /// Per-cause difference (resume accounting: what a reader tallied *after*
+  /// the skipped prefix). Caller guarantees o is a componentwise prefix.
+  friend MalformedCounts operator-(MalformedCounts a, const MalformedCounts& o) {
+    a.bad_field_count -= o.bad_field_count;
+    a.dims_mismatch -= o.dims_mismatch;
+    a.bad_sensor_id -= o.bad_sensor_id;
+    a.bad_number -= o.bad_number;
+    return a;
+  }
   friend bool operator==(const MalformedCounts&, const MalformedCounts&) = default;
 };
 

@@ -1,5 +1,6 @@
 #include "trace/trace_reader.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -13,6 +14,21 @@ namespace {
 constexpr std::size_t kStreamBufBytes = 1 << 20;  // 1 MiB refill buffer
 
 }  // namespace
+
+std::size_t TraceReader::skip_records(std::size_t n) {
+  // Generic fallback: read into scratch and discard. Text formats must parse
+  // the prefix anyway (records have no fixed width), and the malformed /
+  // comment tallies stay exactly what a straight read would produce.
+  std::vector<SensorRecord> scratch;
+  std::size_t skipped = 0;
+  while (skipped < n) {
+    const std::size_t want = std::min(n - skipped, kDefaultBatch);
+    const std::size_t got = read_batch(scratch, want);
+    if (got == 0) break;
+    skipped += got;
+  }
+  return skipped;
+}
 
 CsvTraceReader::CsvTraceReader(const std::string& path, std::size_t expected_dims, Mode mode)
     : expected_dims_(expected_dims) {

@@ -50,6 +50,15 @@ class TraceReader {
   /// arrive in file order.
   virtual std::size_t read_batch(std::vector<SensorRecord>& out, std::size_t max_records) = 0;
 
+  /// Skip the next `n` records -- the resume path: a recovered fleet fast-
+  /// forwards each region's trace to the record offset its checkpoint
+  /// manifest names, then ingests the tail. Equivalent to reading and
+  /// discarding `n` records (malformed/comment lines crossed while skipping
+  /// are tallied as usual), so skip + read sees exactly the records a
+  /// straight read would. Returns the count actually skipped; < n means the
+  /// stream ended first. Binary readers seek in O(1) instead.
+  virtual std::size_t skip_records(std::size_t n);
+
   /// Terminal stream condition. Ok while records are flowing and after a
   /// clean end of stream; non-ok (and sticky) once the source fails
   /// mid-stream -- a truncated binary payload, an I/O error. Data-dependent

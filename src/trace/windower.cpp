@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serialize.h"
+
 namespace sentinel {
 
 AttrVec ObservationSet::overall_mean() const {
@@ -86,6 +88,37 @@ std::optional<ObservationSet> Windower::flush() {
   auto set = finalize_current();
   open_window(current_index_);  // stay on the same window, now empty
   return set;
+}
+
+void Windower::save(serialize::Writer& w) const {
+  serialize::tag(w, "windower");
+  serialize::put(w, current_index_);
+  serialize::put(w, late_records_);
+  serialize::put(w, clamped_records_);
+  serialize::put(w, pending_.size());
+  for (const SensorRecord& rec : pending_) {
+    serialize::put(w, rec.sensor);
+    serialize::put(w, rec.time);
+    serialize::put_vector(w, rec.attrs);
+  }
+}
+
+void Windower::load(serialize::Reader& r) {
+  serialize::expect(r, "windower");
+  current_index_ = serialize::get<std::size_t>(r);
+  late_records_ = serialize::get<std::size_t>(r);
+  clamped_records_ = serialize::get<std::size_t>(r);
+  const auto n = serialize::get<std::size_t>(r);
+  if (n > (1u << 26)) throw std::runtime_error("checkpoint: implausible pending-record count");
+  pending_.clear();
+  pending_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SensorRecord rec;
+    rec.sensor = serialize::get<SensorId>(r);
+    rec.time = serialize::get<double>(r);
+    rec.attrs = serialize::get_vector<double>(r);
+    pending_.push_back(std::move(rec));
+  }
 }
 
 std::vector<ObservationSet> window_trace(std::vector<SensorRecord> records,

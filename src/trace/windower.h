@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "trace/record.h"
+#include "util/serialize_fwd.h"
 
 namespace sentinel {
 
@@ -111,6 +112,14 @@ class Windower {
   /// sensor emitting clamped timestamps is broken in a specific way.
   std::size_t clamped_records() const { return clamped_records_; }
   double window_seconds() const { return window_seconds_; }
+
+  /// Persist / restore the in-flight state -- the open window's index and
+  /// pending records, plus the late/clamped tallies -- so a resumed pipeline
+  /// continues mid-window exactly where the checkpointed one stopped (the
+  /// resumable-checkpoint section; window_seconds_ is configuration and is
+  /// not serialized).
+  void save(serialize::Writer& w) const;
+  void load(serialize::Reader& r);
 
  private:
   ObservationSet finalize_current();

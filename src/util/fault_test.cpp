@@ -1,0 +1,146 @@
+#include "util/fault_test.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <random>
+#include <sstream>
+
+namespace sentinel::util::fault {
+
+namespace {
+
+struct State {
+  Config cfg;
+  std::map<std::string, std::uint64_t, std::less<>> hits;
+  std::uint64_t any_hits = 0;  // kRunLength with point == "": global counter
+  std::mt19937_64 rng;
+};
+
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// Fast-path gate: plug() is called on every batch/commit boundary of every
+/// build with injection compiled in, so the disarmed cost must be one
+/// relaxed load.
+std::atomic<bool>& armed_flag() {
+  static std::atomic<bool> a{false};
+  return a;
+}
+
+/// Last words through fd 2 with no stream machinery -- the process is about
+/// to vanish without unwinding, so nothing buffered would survive anyway.
+void last_words(const char* point) {
+  const char* pre = "fault: plug pulled at ";
+  // write(2) results are deliberately ignored: there is no fallback when
+  // stderr is gone, and the exit code already carries the signal.
+  [[maybe_unused]] auto r1 = ::write(2, pre, std::strlen(pre));
+  [[maybe_unused]] auto r2 = ::write(2, point, std::strlen(point));
+  [[maybe_unused]] auto r3 = ::write(2, "\n", 1);
+}
+
+}  // namespace
+
+void init(Config cfg) {
+  std::lock_guard<std::mutex> lock(mu());
+  State& s = state();
+  s.cfg = std::move(cfg);
+  s.hits.clear();
+  s.any_hits = 0;
+  s.rng.seed(s.cfg.seed);
+  armed_flag().store(s.cfg.mode != Mode::kNone, std::memory_order_release);
+}
+
+void init_from_env() {
+  const char* mode = std::getenv("SENTINEL_FAULT_MODE");
+  if (mode == nullptr || std::strcmp(mode, "none") == 0) return;
+  Config cfg;
+  if (std::strcmp(mode, "run-length") == 0) {
+    cfg.mode = Mode::kRunLength;
+  } else if (std::strcmp(mode, "independent") == 0) {
+    cfg.mode = Mode::kIndependent;
+  } else {
+    return;  // unknown mode: stay disarmed rather than guess
+  }
+  if (const char* v = std::getenv("SENTINEL_FAULT_POINT")) cfg.point = v;
+  if (const char* v = std::getenv("SENTINEL_FAULT_NTH")) {
+    cfg.nth = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("SENTINEL_FAULT_PROB")) {
+    cfg.probability = std::strtod(v, nullptr);
+  }
+  if (const char* v = std::getenv("SENTINEL_FAULT_SEED")) {
+    cfg.seed = std::strtoull(v, nullptr, 10);
+  }
+  init(std::move(cfg));
+}
+
+void disarm() { init(Config{}); }
+
+bool armed() { return armed_flag().load(std::memory_order_acquire); }
+
+std::uint64_t hits(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu());
+  const auto it = state().hits.find(point);
+  return it == state().hits.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> all_hits() {
+  std::lock_guard<std::mutex> lock(mu());
+  return {state().hits.begin(), state().hits.end()};
+}
+
+std::string report() {
+  std::ostringstream os;
+  for (const auto& [point, n] : all_hits()) {
+    os << point << ": " << n << " hit" << (n == 1 ? "" : "s") << '\n';
+  }
+  return os.str();
+}
+
+void plug(const char* point) {
+  if (!armed_flag().load(std::memory_order_relaxed)) return;
+  bool die = false;
+  int exit_code = kPlugPulledExit;
+  {
+    std::lock_guard<std::mutex> lock(mu());
+    State& s = state();
+    const std::uint64_t n = ++s.hits[point];
+    ++s.any_hits;
+    exit_code = s.cfg.exit_code;
+    switch (s.cfg.mode) {
+      case Mode::kRunLength: {
+        const std::uint64_t count =
+            s.cfg.point.empty() ? s.any_hits : (s.cfg.point == point ? n : 0);
+        die = s.cfg.nth != 0 && count == s.cfg.nth;
+        break;
+      }
+      case Mode::kIndependent: {
+        std::uniform_real_distribution<double> u(0.0, 1.0);
+        die = u(s.rng) < s.cfg.probability;
+        break;
+      }
+      case Mode::kNone:
+        break;
+    }
+  }
+  if (die) {
+    last_words(point);
+    // _Exit, not exit/abort: no destructors, no flushing, no signal handler
+    // -- the simulated power cut leaves exactly the bytes already durable.
+    std::_Exit(exit_code);
+  }
+}
+
+}  // namespace sentinel::util::fault

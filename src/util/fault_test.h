@@ -1,0 +1,135 @@
+// Crash-fault injection: named "pull the plug" points on every durable-state
+// transition (checkpoint serialization, temp-file write, fsync, atomic
+// rename, manifest commit, shard drain and ingest batch boundaries).
+//
+// A fault point is a single macro call naming the transition it guards:
+//
+//   SENTINEL_FAULT_POINT(util::fault::kRegionPreRename);
+//
+// When the subsystem is armed (init()/init_from_env()) a point may terminate
+// the process *immediately* -- std::_Exit, no destructors, no stream flush,
+// no atexit -- which is the closest a test can get to losing power at that
+// instruction. The chaos harness (tools/chaos_runner, the CrashRecovery
+// tests) forks a child, arms a point, lets the plug get pulled, and then
+// proves recovery from the surviving on-disk state.
+//
+// Two kill modes, mirroring the katana FaultTest pattern the design follows:
+//  - kRunLength: die on the nth hit of a named point (deterministic; nth = 0
+//    arms pure hit counting without ever dying),
+//  - kIndependent: die at each hit with independent probability p from a
+//    seeded generator (finds schedules a human would not enumerate).
+//
+// Cost: when the SENTINEL_FAULT_INJECTION compile option is off (Release
+// builds by default) the macro expands to a no-op -- zero code, zero data.
+// When compiled in but not armed, a point is one relaxed atomic load. Points
+// sit on batch/commit boundaries, never inside per-record loops.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sentinel::util::fault {
+
+/// Exit code of a pulled plug, distinguishable from a clean exit (0) and
+/// from generic failure (1) so harnesses can assert the kill actually
+/// happened at an armed point.
+inline constexpr int kPlugPulledExit = 42;
+
+enum class Mode {
+  kNone,         // points are no-ops (the default)
+  kRunLength,    // die on the nth hit of `point` (nth = 0: count, never die)
+  kIndependent,  // die at each hit with probability `probability`
+};
+
+struct Config {
+  Mode mode = Mode::kNone;
+  /// kRunLength: which point kills ("" = any point, counted globally).
+  std::string point;
+  /// kRunLength: die on this hit of `point` (1-based; 0 = never, count only).
+  std::uint64_t nth = 1;
+  /// kIndependent: per-hit death probability.
+  double probability = 0.0;
+  /// kIndependent: generator seed (same seed = same death schedule).
+  std::uint64_t seed = 1;
+  int exit_code = kPlugPulledExit;
+};
+
+/// Arm (or, with Mode::kNone, disarm) the process-global fault plan and
+/// reset all hit counters. Call before the workload under test; thread-safe.
+void init(Config cfg);
+
+/// Arm from the environment -- the CLI hook. Reads:
+///   SENTINEL_FAULT_MODE   run-length | independent   (unset/none = disarmed)
+///   SENTINEL_FAULT_POINT  point name for run-length ("" = any)
+///   SENTINEL_FAULT_NTH    hit number for run-length (default 1)
+///   SENTINEL_FAULT_PROB   death probability for independent (default 0)
+///   SENTINEL_FAULT_SEED   generator seed (default 1)
+/// No-op when SENTINEL_FAULT_MODE is unset.
+void init_from_env();
+
+/// Disarm and clear counters (tests).
+void disarm();
+
+bool armed();
+
+/// Hits recorded at `point` since the last init()/disarm().
+std::uint64_t hits(std::string_view point);
+
+/// All (point, hits) pairs recorded so far, in point-name order.
+std::vector<std::pair<std::string, std::uint64_t>> all_hits();
+
+/// Human-readable hit summary (one line per point).
+std::string report();
+
+/// The pull-the-plug primitive behind SENTINEL_FAULT_POINT. Prefer the
+/// macro: it compiles out entirely when injection is disabled.
+void plug(const char* point);
+
+// --- Registered fault points -----------------------------------------------
+// The catalog is the contract between the durable paths and the chaos
+// harness: every name below is reachable by ingesting with checkpointing
+// enabled, and tools/chaos_runner kills at each one. Keep docs/RELIABILITY.md
+// in sync when adding a point.
+
+/// Streaming ingest, after each batch handed to the region (caller thread).
+inline constexpr const char* kIngestBatch = "fleet.ingest.batch";
+/// Shard drain, after each applied batch (worker thread; threads > 1 only).
+inline constexpr const char* kDrainBatch = "fleet.drain.batch";
+/// Entry of a region checkpoint commit, before the shard is quiesced.
+inline constexpr const char* kCheckpointBegin = "fleet.ckpt.begin";
+/// Region checkpoint temp file created, nothing written yet.
+inline constexpr const char* kRegionTempOpen = "ckpt.region.temp-open";
+/// Mid-write of the region temp file (leaves a genuinely torn temp).
+inline constexpr const char* kRegionTempWrite = "ckpt.region.temp-write";
+/// Region temp fully written, not yet fsync'd.
+inline constexpr const char* kRegionPreSync = "ckpt.region.pre-sync";
+/// Region temp durable, not yet renamed over the final name.
+inline constexpr const char* kRegionPreRename = "ckpt.region.pre-rename";
+/// Region checkpoint renamed into place; manifest does not name it yet.
+inline constexpr const char* kRegionPostRename = "ckpt.region.post-rename";
+/// Mid-write of the manifest temp file.
+inline constexpr const char* kManifestTempWrite = "ckpt.manifest.temp-write";
+/// Manifest temp fully written, not yet fsync'd.
+inline constexpr const char* kManifestPreSync = "ckpt.manifest.pre-sync";
+/// Manifest temp durable, not yet renamed over MANIFEST.
+inline constexpr const char* kManifestPreRename = "ckpt.manifest.pre-rename";
+/// Manifest committed; old region epochs not yet garbage-collected.
+inline constexpr const char* kManifestPostRename = "ckpt.manifest.post-rename";
+
+inline constexpr const char* kCatalog[] = {
+    kIngestBatch,      kDrainBatch,       kCheckpointBegin,  kRegionTempOpen,
+    kRegionTempWrite,  kRegionPreSync,    kRegionPreRename,  kRegionPostRename,
+    kManifestTempWrite, kManifestPreSync, kManifestPreRename, kManifestPostRename,
+};
+
+}  // namespace sentinel::util::fault
+
+#ifdef SENTINEL_FAULT_INJECTION
+#define SENTINEL_FAULT_POINT(point) ::sentinel::util::fault::plug(point)
+#else
+#define SENTINEL_FAULT_POINT(point) ((void)0)
+#endif

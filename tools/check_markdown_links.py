@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked-looking *.md under the repo root (skipping build output
+and .git), extracts inline links/images `[text](target)`, and verifies:
+
+  - relative file targets exist on disk (case-sensitive, like GitHub),
+  - `file#anchor` / `#anchor` targets name a real heading in the target
+    file, using GitHub's heading-slug rules (lowercase, punctuation
+    stripped, spaces to hyphens, duplicate slugs suffixed -1, -2, ...).
+
+External schemes (http/https/mailto) are out of scope -- CI must not
+depend on the network. Exits nonzero listing every broken link.
+
+Usage: python3 tools/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+# Inline link or image: [text](target "optional title"). Non-greedy text,
+# target stops at whitespace or the closing paren.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor algorithm: strip markup, lowercase, drop punctuation,
+    hyphenate spaces, then de-duplicate with -1, -2, ... suffixes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links
+    text = re.sub(r"[*_]", "", text)  # emphasis markers
+    slug = "".join(c for c in text.lower() if c.isalnum() or c in " -")
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(path, cache):
+    if path not in cache:
+        seen = {}
+        slugs = set()
+        in_fence = False
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    slugs.add(github_slug(m.group(2), seen))
+        cache[path] = slugs
+    return cache[path]
+
+
+def iter_markdown(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(text):
+    """Remove fenced and inline code spans so example links are not checked."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    anchor_cache = {}
+    broken = []
+    checked = 0
+
+    for md in iter_markdown(root):
+        rel_md = os.path.relpath(md, root)
+        with open(md, encoding="utf-8") as f:
+            body = strip_code(f.read())
+        for m in LINK_RE.finditer(body):
+            target = m.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            checked += 1
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(os.path.join(os.path.dirname(md), path_part))
+            else:
+                dest = md  # pure '#anchor' self-link
+            if not os.path.exists(dest):
+                broken.append(f"{rel_md}: missing file: {target}")
+                continue
+            if anchor and dest.endswith(".md"):
+                if anchor not in anchors_of(dest, anchor_cache):
+                    broken.append(f"{rel_md}: missing anchor: {target}")
+
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,3 +54,46 @@ execute_process(COMMAND ${CLI} analyze ${trace} --auto RESULT_VARIABLE rc OUTPUT
 if(NOT rc EQUAL 0 OR NOT out MATCHES "stuck-at")
   message(FATAL_ERROR "auto-tuned analyze failed:\n${out}")
 endif()
+
+# Crash-consistent checkpoint store (docs/RELIABILITY.md): analyze commits an
+# epoch on the first run, resumes from it on the second, and the printed
+# diagnosis must not change. A corrupted manifest must fail with a one-line
+# data-loss status and a nonzero exit, never a garbage report.
+set(store ${WORK}/cli_smoke_store)
+file(REMOVE_RECURSE ${store})
+execute_process(COMMAND ${CLI} analyze ${trace} --resume ${store}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE first ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT err MATCHES "checkpoint committed")
+  message(FATAL_ERROR "analyze with checkpoint store failed:\n${first}\n${err}")
+endif()
+execute_process(COMMAND ${CLI} analyze ${trace} --resume ${store}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE second ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT err MATCHES "resumed from")
+  message(FATAL_ERROR "analyze resume failed:\n${second}\n${err}")
+endif()
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR "resumed analyze report diverges from the original")
+endif()
+
+execute_process(COMMAND ${CLI} fleet ${trace} --resume ${store} --checkpoint-every 2000
+                RESULT_VARIABLE rc OUTPUT_VARIABLE fleet_first)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fleet with checkpoint store failed:\n${fleet_first}")
+endif()
+execute_process(COMMAND ${CLI} fleet ${trace} --resume ${store} --checkpoint-every 2000
+                RESULT_VARIABLE rc OUTPUT_VARIABLE fleet_second ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT err MATCHES "resumed: checkpoint covers")
+  message(FATAL_ERROR "fleet resume failed:\n${fleet_second}\n${err}")
+endif()
+if(NOT fleet_first STREQUAL fleet_second)
+  message(FATAL_ERROR "resumed fleet report diverges from the original")
+endif()
+
+file(READ ${store}/MANIFEST manifest)
+string(SUBSTRING "${manifest}" 0 20 truncated)
+file(WRITE ${store}/MANIFEST "${truncated}")
+execute_process(COMMAND ${CLI} fleet ${trace} --resume ${store}
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "data-loss")
+  message(FATAL_ERROR "corrupt manifest not rejected (rc=${rc}):\n${err}")
+endif()

@@ -7,11 +7,17 @@
 //
 //   sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--auto]
 //                [--json] [--checkpoint IN] [--save-checkpoint OUT]
+//                [--resume DIR]
 //       --auto derives the clustering thresholds and initial states from the
 //       trace itself (core/autotune.h) instead of the defaults.
 //       Run the detection pipeline over a CSV trace (sensor,time,attrs...)
 //       and print the diagnosis; optionally resume from / write a
-//       checkpoint.
+//       checkpoint. --resume uses a crash-consistent checkpoint store
+//       (docs/RELIABILITY.md): the pipeline restores from the store's last
+//       committed epoch, replays only the trace tail past the records the
+//       checkpoint already covers, and commits a fresh epoch at the end. A
+//       corrupt or torn store prints a one-line status and exits nonzero --
+//       never a garbage report.
 //
 //   sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]
 //       Re-inject a canonical fault/attack into a *recorded* trace (the
@@ -30,9 +36,15 @@
 //
 //   sentinel_cli fleet <trace1> [<trace2> ...] [--window SECONDS] [--states K]
 //                [--threads N] [--timers] [--metrics-json PATH]
+//                [--resume DIR] [--checkpoint-every N]
 //       Run a multi-region fleet, one region per trace file. A trace that
 //       cannot be opened or turns out malformed/truncated quarantines its
 //       region; the remaining regions complete and report normally.
+//       --resume points at a crash-consistent checkpoint store: each region
+//       restores from its last committed epoch (fresh when absent), replays
+//       only its trace tail, and commits periodically while ingesting
+//       (--checkpoint-every records, default 262144). A corrupt store entry
+//       prints a one-line status and exits nonzero.
 //
 //   sentinel_cli scenarios
 //       List the canonical injection scenarios.
@@ -53,12 +65,14 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/scenario.h"
 #include "faults/replay.h"
 #include "core/autotune.h"
+#include "core/checkpoint_store.h"
 #include "core/fleet.h"
 #include "core/offline_kmeans.h"
 #include "core/pipeline.h"
@@ -66,7 +80,9 @@
 #include "trace/health.h"
 #include "trace/trace_io.h"
 #include "trace/trace_reader.h"
+#include "util/fault_test.h"
 #include "util/metrics.h"
+#include "util/status.h"
 #include "util/vecn.h"
 
 namespace {
@@ -78,10 +94,11 @@ int usage() {
                "usage:\n"
                "  sentinel_cli simulate <out.csv> [--days N] [--seed S] [--scenario KIND]\n"
                "  sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--json] [--auto]\n"
-               "               [--checkpoint IN] [--save-checkpoint OUT]\n"
+               "               [--checkpoint IN] [--save-checkpoint OUT] [--resume DIR]\n"
                "               [--timers] [--metrics-json PATH]\n"
                "  sentinel_cli fleet <trace1> [<trace2> ...] [--window SECONDS] [--states K]\n"
                "               [--threads N] [--timers] [--metrics-json PATH]\n"
+               "               [--resume DIR] [--checkpoint-every N]\n"
                "  sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]\n"
                "  sentinel_cli health <trace.csv> [--period SECONDS]\n"
                "  sentinel_cli convert <in> <out> [--to csv|binary]\n"
@@ -310,19 +327,77 @@ int cmd_analyze(const Args& args) {
 
   std::unique_ptr<core::DetectionPipeline> pipeline;
   const std::string checkpoint_in = opt_str(args, "--checkpoint", "");
-  if (!checkpoint_in.empty()) {
+  const std::string resume_dir = opt_str(args, "--resume", "");
+  if (!checkpoint_in.empty() && !resume_dir.empty()) {
+    std::fprintf(stderr, "--checkpoint and --resume are mutually exclusive\n");
+    return 2;
+  }
+
+  // --resume: restore from the crash-consistent store's last committed epoch
+  // and fast-forward past the records that epoch already covers. Any torn or
+  // corrupt state surfaces as a clean one-line status + nonzero exit.
+  std::unique_ptr<core::CheckpointStore> store;
+  std::uint64_t skip = 0;
+  if (!resume_dir.empty()) {
+    store = std::make_unique<core::CheckpointStore>(resume_dir);
+    const auto manifest = store->load_manifest();
+    if (manifest.is_ok()) {
+      const auto it = manifest->regions.find("analyze");
+      if (it != manifest->regions.end()) {
+        std::string bytes;
+        if (const util::Status s = store->read_region(it->second, bytes); !s.is_ok()) {
+          std::fprintf(stderr, "%s\n", s.to_string().c_str());
+          return 1;
+        }
+        std::istringstream in(bytes);
+        try {
+          pipeline = std::make_unique<core::DetectionPipeline>(cfg, in);
+        } catch (const std::exception& e) {
+          const util::Status s(util::StatusCode::kDataLoss,
+                               "checkpoint restore failed: " + std::string(e.what()));
+          std::fprintf(stderr, "%s\n", s.to_string().c_str());
+          return 1;
+        }
+        skip = it->second.records_applied;
+        std::fprintf(stderr, "resumed from %s epoch %llu (skipping %llu covered records)\n",
+                     resume_dir.c_str(), static_cast<unsigned long long>(it->second.epoch),
+                     static_cast<unsigned long long>(skip));
+      }
+    } else if (manifest.status().code() != util::StatusCode::kNotFound) {
+      std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
+      return 1;
+    }
+  }
+  if (!pipeline && !checkpoint_in.empty()) {
     std::ifstream in(checkpoint_in);
     if (!in) {
       std::fprintf(stderr, "cannot open checkpoint %s\n", checkpoint_in.c_str());
       return 1;
     }
-    pipeline = std::make_unique<core::DetectionPipeline>(cfg, in);
+    try {
+      pipeline = std::make_unique<core::DetectionPipeline>(cfg, in);
+    } catch (const std::exception& e) {
+      const util::Status s(util::StatusCode::kDataLoss,
+                           "checkpoint " + checkpoint_in + ": " + std::string(e.what()));
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
     std::fprintf(stderr, "resumed from checkpoint %s\n", checkpoint_in.c_str());
-  } else {
-    pipeline = std::make_unique<core::DetectionPipeline>(cfg);
   }
+  if (!pipeline) pipeline = std::make_unique<core::DetectionPipeline>(cfg);
 
-  pipeline->process_trace(read.records);
+  if (skip >= read.records.size()) {
+    if (skip > read.records.size()) {
+      std::fprintf(stderr, "warning: checkpoint covers %llu records but trace holds %zu\n",
+                   static_cast<unsigned long long>(skip), read.records.size());
+    }
+  } else if (skip > 0) {
+    const std::vector<SensorRecord> tail(read.records.begin() + static_cast<std::ptrdiff_t>(skip),
+                                         read.records.end());
+    pipeline->process_trace(tail);
+  } else {
+    pipeline->process_trace(read.records);
+  }
 
   const auto report = pipeline->diagnose();
   if (args.options.count("--json")) {
@@ -354,6 +429,18 @@ int cmd_analyze(const Args& args) {
     std::fprintf(stderr, "checkpoint written to %s\n", checkpoint_out.c_str());
   }
 
+  if (store) {
+    core::RegionCheckpointMeta meta;
+    meta.records_applied =
+        std::max<std::uint64_t>(skip, static_cast<std::uint64_t>(read.records.size()));
+    if (const util::Status s = store->commit_region("analyze", *pipeline, meta); !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "checkpoint committed to %s (%llu records covered)\n",
+                 resume_dir.c_str(), static_cast<unsigned long long>(meta.records_applied));
+  }
+
   auto snap = util::metrics().snapshot();
   inject_pipeline_counters(snap, "pipeline.", pipeline->counters());
   return write_metrics_json(args, snap);
@@ -362,6 +449,10 @@ int cmd_analyze(const Args& args) {
 int cmd_fleet(const Args& args) {
   core::FleetConfig fc;
   fc.threads = static_cast<std::size_t>(opt_double(args, "--threads", 1.0));
+  const std::string resume_dir = opt_str(args, "--resume", "");
+  fc.checkpoint_dir = resume_dir;
+  fc.checkpoint_every_records = static_cast<std::size_t>(opt_double(
+      args, "--checkpoint-every", static_cast<double>(core::FleetConfig{}.checkpoint_every_records)));
   core::FleetMonitor fleet(fc);
 
   core::PipelineConfig cfg;
@@ -394,6 +485,7 @@ int cmd_fleet(const Args& args) {
 
   // One region per trace; region names derive from the file stem.
   std::vector<std::pair<std::string, std::string>> feeds;  // region -> path
+  std::map<std::string, std::size_t> skip;                 // resume offsets per region
   for (const auto& path : args.paths) {
     const auto slash = path.find_last_of("/\\");
     std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
@@ -406,15 +498,31 @@ int cmd_fleet(const Args& args) {
       name = stem + "#" + std::to_string(n);
     }
     feeds.emplace_back(name, path);
-    fleet.add_region(name, cfg);
+    if (resume_dir.empty()) {
+      fleet.add_region(name, cfg);
+      continue;
+    }
+    // Restore from the store's last committed epoch; a corrupt entry is a
+    // one-line status + nonzero exit, never a silently-fresh region.
+    const auto resumed = fleet.add_region_resumed(name, cfg);
+    if (!resumed.is_ok()) {
+      std::fprintf(stderr, "%s\n", resumed.status().to_string().c_str());
+      return 1;
+    }
+    skip[name] = static_cast<std::size_t>(resumed.value());
+    if (resumed.value() > 0) {
+      std::fprintf(stderr, "[region %s] resumed: checkpoint covers %llu records\n", name.c_str(),
+                   static_cast<unsigned long long>(resumed.value()));
+    }
   }
 
   for (const auto& [name, path] : feeds) {
-    const auto sum = fleet.ingest_file(name, path);
+    const auto sum = fleet.ingest_file(name, path, 0, skip[name]);
     std::fprintf(stderr, "[region %s] ingested %zu records from %s%s%s\n", name.c_str(),
                  sum.records, path.c_str(), sum.status.is_ok() ? "" : " -- ",
                  sum.status.is_ok() ? "" : sum.status.to_string().c_str());
   }
+  if (!resume_dir.empty()) fleet.checkpoint_now();
   fleet.finish();
   const auto report = fleet.diagnose();
   std::printf("%s", core::to_string(report).c_str());
@@ -475,6 +583,9 @@ int cmd_convert(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Arm crash-fault injection from SENTINEL_FAULT_* when the build compiles
+  // the points in -- lets the chaos harness pull the plug on the real CLI.
+  sentinel::util::fault::init_from_env();
   const auto args = parse(argc, argv);
   if (!args) return usage();
   try {
