@@ -33,6 +33,7 @@ core::PipelineConfig make_pipeline_config(const sim::Environment& env,
   pc.gamma = cfg.gamma;
   pc.model_states.alpha = cfg.alpha;
   pc.alarm_filter.kind = cfg.filter;
+  pc.screen = cfg.screen;
   return pc;
 }
 

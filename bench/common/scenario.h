@@ -30,6 +30,10 @@ struct ScenarioConfig {
   double alpha = 0.10;
   double beta = 0.90;
   double gamma = 0.90;
+  // First-tier screen configuration (default off: the historical path).
+  // screen_roc sweeps the thresholds to trace the tier's ROC against the
+  // HMM pipeline on the same injected traces.
+  screen::ScreenConfig screen;
 };
 
 struct ScenarioResult {

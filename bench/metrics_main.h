@@ -9,13 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "util/kernels.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace sentinel::bench_main {
 
@@ -37,10 +41,37 @@ inline int run(int argc, char** argv) {
 
   benchmark::Initialize(&pargc, pass.data());
   if (benchmark::ReportUnrecognizedArguments(pargc, pass.data())) return 1;
+  // Stamp the machine identity into the benchmark context so --benchmark_out
+  // JSON (the committed BENCH_*.json baselines) records which machine the
+  // numbers came from: tools/bench_compare.py refuses to diff files whose
+  // machine.* fields disagree -- a throughput "regression" measured on a
+  // different CPU budget or kernel dispatch level is noise, not signal.
+  {
+    const auto level = sentinel::kern::active_level();
+    const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t usable = sentinel::util::default_concurrency();
+    benchmark::AddCustomContext("machine.hardware_threads", std::to_string(hw));
+    benchmark::AddCustomContext("machine.usable_concurrency", std::to_string(usable));
+    benchmark::AddCustomContext("machine.kernel_level", sentinel::kern::level_name(level));
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const auto snap = sentinel::util::metrics().snapshot();
+  auto snap = sentinel::util::metrics().snapshot();
+  // Machine context: two numbers a benchmark JSON means nothing without --
+  // the CPU budget (raw hardware threads vs the cgroup-quota-capped usable
+  // concurrency; they differ inside containers) and which kernel dispatch
+  // level the host actually selected. bench_compare refuses to diff numbers
+  // from mismatched machines using exactly these fields.
+  const auto level = sentinel::kern::active_level();
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t usable = sentinel::util::default_concurrency();
+  snap.add_counter("machine.hardware_threads", hw);
+  snap.add_counter("machine.usable_concurrency", usable);
+  snap.add_counter("machine.kernel_level", static_cast<std::uint64_t>(level));
+  std::printf("\n-- machine --\nhardware_threads %zu, usable_concurrency %zu (cgroup quota%s), kernels %s\n",
+              hw, usable, usable < hw ? " capped" : " uncapped",
+              sentinel::kern::level_name(level));
   if (!snap.counters.empty() || !snap.histograms.empty()) {
     std::printf("\n-- metrics --\n%s", snap.to_text().c_str());
   }

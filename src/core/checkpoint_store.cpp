@@ -191,6 +191,8 @@ util::Result<CheckpointManifest> CheckpointStore::load_manifest() const {
             meta.malformed.bad_sensor_id >> meta.malformed.bad_number >> meta.comment_lines)) {
         return torn("manifest bad region line: " + path);
       }
+      // Optional trailing field (absent in pre-screen-tier manifests).
+      if (!(ls >> meta.escalated_sensors)) meta.escalated_sensors = 0;
       std::string name, msg;
       if (!unescape(name_tok, name) || !unescape(file_tok, meta.file) ||
           !unescape(msg_tok, msg) || !parse_u64(crc_tok, meta.checksum, 16)) {
@@ -272,7 +274,7 @@ util::Status CheckpointStore::commit_manifest() {
        << escape(meta.status.message()) << ' ' << meta.records_dropped << ' '
        << meta.malformed.bad_field_count << ' ' << meta.malformed.dims_mismatch << ' '
        << meta.malformed.bad_sensor_id << ' ' << meta.malformed.bad_number << ' '
-       << meta.comment_lines << '\n';
+       << meta.comment_lines << ' ' << meta.escalated_sensors << '\n';
   }
   const std::string body = os.str();
   const std::string full = body + "end " + hex64(fnv1a(body)) + "\n";

@@ -60,6 +60,11 @@ struct RegionCheckpointMeta {
   std::uint64_t records_dropped = 0;
   MalformedCounts malformed;
   std::uint64_t comment_lines = 0;
+  /// Screen-tier sensors escalated at commit time; 0 when the region's
+  /// pipeline does not screen. Informational (the authoritative bank state
+  /// rides inside the checkpoint bytes); optional trailing manifest field,
+  /// so manifests written before the screen tier parse as 0.
+  std::uint64_t escalated_sensors = 0;
 };
 
 struct CheckpointManifest {

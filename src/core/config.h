@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "screen/screen.h"
 #include "trace/record.h"
 
 namespace sentinel::core {
@@ -128,6 +129,14 @@ struct PipelineConfig {
   /// e.g. fleet regions at scale -- can turn it off, leaving history() empty.
   /// Detection and diagnosis results are unaffected either way.
   bool record_history = true;
+
+  /// First-tier screening (screen/screen.h). The default mode (off) takes
+  /// exactly the historical code path: no screen state is allocated, no
+  /// screen work runs per window, and checkpoints carry no screen section --
+  /// reports and checkpoint bytes are identical to a build without the tier.
+  /// kScreen gates the per-sensor mapping/alarm/HMM stages behind the cheap
+  /// screens; kFull runs the screens observationally next to the full path.
+  screen::ScreenConfig screen;
 
   /// Record coarse per-stage wall-clock histograms (spawn scan, state
   /// identification, alarm filtering, HMM updates, centroid update) into the

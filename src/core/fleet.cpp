@@ -96,6 +96,18 @@ std::string to_string(const FleetReport& r) {
     for (const auto& name : r.structural_outliers) os << ' ' << name;
     os << '\n';
   }
+  // Screen-tier lines only for regions that screen: an all-off fleet renders
+  // byte-identically to a report predating the tier.
+  if (!r.screens.empty()) {
+    os << "screen tier:\n";
+    for (const auto& [name, s] : r.screens) {
+      os << "[region " << name << "] escalated " << s.escalated << "/" << s.sensors
+         << ", sensor-windows screened " << s.screened_windows << " escalated "
+         << s.escalated_windows << ", trips chi2 " << s.chi2_trips << " runs "
+         << s.runs_trips << ", edges +" << s.escalations << " -" << s.deescalations
+         << '\n';
+    }
+  }
   // Health lines only when something is off: an all-healthy fleet renders
   // byte-identically to a report predating the health lifecycle.
   bool any_unhealthy = false;
@@ -134,6 +146,7 @@ struct FleetMonitor::Shard {
   std::mutex mu;
   std::condition_variable cv;  // queue shrank, drain finished, or error set
   std::deque<SensorRecord> queue;
+  std::deque<ObservationSet> window_queue;  // add_window feed (coarse; uncapped)
   bool draining = false;       // a pool task owns this shard's pipeline
   std::exception_ptr error;    // first pipeline exception, folded into health
   std::size_t dropped = 0;     // records discarded behind a failure
@@ -245,6 +258,7 @@ FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
 
   auto& reg = util::metrics();
   m_enqueued_ = &reg.counter("fleet.records_enqueued");
+  m_windows_ = &reg.counter("fleet.windows_ingested");
   m_handoffs_ = &reg.counter("fleet.handoff_batches");
   m_backpressure_ = &reg.counter("fleet.backpressure_waits");
   m_drained_ = &reg.counter("fleet.records_drained");
@@ -430,6 +444,59 @@ void FleetMonitor::add_records(const std::string& region, std::span<const Sensor
   maybe_checkpoint(region, st);
 }
 
+void FleetMonitor::add_window(const std::string& region, const ObservationSet& window) {
+  RegionState& st = state_of(region);  // throws on unknown region
+  const std::size_t weight = window.sensor_count();
+  if (st.health == RegionHealth::kQuarantined) {
+    st.records_dropped += weight;
+    m_dropped_->add(weight);
+    return;
+  }
+  m_windows_->inc();
+  if (!pool_) {
+    auto& pipeline = regions_.find(region)->second;
+    try {
+      pipeline.process_window(window);
+      st.records_ingested += weight;
+    } catch (...) {
+      const auto err = std::current_exception();
+      st.records_dropped += weight;
+      m_dropped_->add(weight);
+      quarantine(region,
+                 util::Status(util::StatusCode::kInternal,
+                              "region " + region + ": pipeline failed: " + describe(err)),
+                 err);
+    }
+    maybe_checkpoint(region, st);
+    return;
+  }
+  Shard& sh = *shards_.find(region)->second;
+  // Hand off buffered records first so they sit ahead of this window in the
+  // drain order (windows are coarse enough that the extra handoff is noise).
+  if (!sh.producer_buf.empty()) flush_shard(sh);
+  bool start_drain = false;
+  bool failed = false;
+  {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.error) {
+      sh.dropped += weight;
+      failed = true;
+    } else {
+      sh.window_queue.push_back(window);
+      if (!sh.draining) {
+        sh.draining = true;
+        start_drain = true;
+      }
+    }
+  }
+  if (!failed) st.records_ingested += weight;
+  if (start_drain) {
+    pool_->post([this, &sh] { drain_shard(sh); });
+  }
+  if (failed) absorb_shard_faults();
+  maybe_checkpoint(region, st);
+}
+
 void FleetMonitor::maybe_checkpoint(const std::string& region, RegionState& st) {
   if (!store_ || cfg_.checkpoint_every_records == 0) return;
   if (st.health == RegionHealth::kQuarantined) return;
@@ -457,6 +524,8 @@ void FleetMonitor::commit_region_checkpoint(const std::string& region, RegionSta
   p.meta.records_dropped = st.records_dropped;
   p.meta.malformed = st.malformed;
   p.meta.comment_lines = st.comment_lines;
+  const DetectionPipeline& rp = regions_.find(region)->second;
+  if (rp.screens() != nullptr) p.meta.escalated_sensors = rp.screen_stats().escalated;
   // Snapshot here, on the producer thread, while the region is quiescent:
   // the committer only ever sees immutable bytes, never the live pipeline.
   std::ostringstream os;
@@ -648,21 +717,28 @@ void FleetMonitor::flush_shard(Shard& sh) const {
 void FleetMonitor::drain_shard(Shard& sh) const {
   for (;;) {
     std::deque<SensorRecord> batch;
+    std::deque<ObservationSet> wbatch;
     {
       std::lock_guard<std::mutex> lock(sh.mu);
-      if (sh.queue.empty()) {
+      if (sh.queue.empty() && sh.window_queue.empty()) {
         sh.draining = false;
         sh.cv.notify_all();
         return;
       }
       batch.swap(sh.queue);
+      wbatch.swap(sh.window_queue);
     }
     sh.cv.notify_all();  // queue emptied; unblock backpressured producers
     std::size_t applied = 0;
+    std::size_t wapplied = 0;
     try {
       for (const auto& rec : batch) {
         sh.pipeline->add_record(rec);
         ++applied;
+      }
+      for (const auto& w : wbatch) {
+        sh.pipeline->process_window(w);
+        ++wapplied;
       }
       m_drained_->add(batch.size());
       m_drain_batches_->inc();
@@ -671,10 +747,16 @@ void FleetMonitor::drain_shard(Shard& sh) const {
       // Park the failure for the producer to fold into the region's health;
       // everything behind the poison record is discarded (the pipeline's
       // state after a throw is unknown, so applying more would be worse).
+      // Unapplied windows count at their record weight, matching ingest.
       std::lock_guard<std::mutex> lock(sh.mu);
       sh.error = std::current_exception();
       sh.dropped += (batch.size() - applied) + sh.queue.size();
+      for (std::size_t i = wapplied; i < wbatch.size(); ++i) {
+        sh.dropped += wbatch[i].sensor_count();
+      }
+      for (const auto& w : sh.window_queue) sh.dropped += w.sensor_count();
       sh.queue.clear();
+      sh.window_queue.clear();
       sh.draining = false;
       sh.cv.notify_all();
       return;
@@ -684,7 +766,9 @@ void FleetMonitor::drain_shard(Shard& sh) const {
 
 void FleetMonitor::wait_shard(Shard& sh) const {
   std::unique_lock<std::mutex> lock(sh.mu);
-  sh.cv.wait(lock, [&] { return sh.error || (!sh.draining && sh.queue.empty()); });
+  sh.cv.wait(lock, [&] {
+    return sh.error || (!sh.draining && sh.queue.empty() && sh.window_queue.empty());
+  });
 }
 
 void FleetMonitor::drain() const {
@@ -814,6 +898,13 @@ FleetReport FleetMonitor::diagnose() const {
     for (const auto& [name, pipeline] : live) {
       fleet.regions.emplace(*name, pipeline->diagnose());
       models.emplace(*name, pipeline->correct_model());
+    }
+  }
+  // Screen-tier stats of screening regions (cheap counter copies; the
+  // pipelines are quiescent after drain()).
+  for (const auto& [name, pipeline] : live) {
+    if (pipeline->screens() != nullptr) {
+      fleet.screens.emplace(*name, pipeline->screen_stats());
     }
   }
   for (const auto& [name, report] : fleet.regions) {

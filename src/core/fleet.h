@@ -104,6 +104,10 @@ struct FleetReport {
   std::vector<std::string> structural_outliers;
   /// Worst verdict across non-quarantined regions (attack > error > normal).
   Verdict overall = Verdict::kNormal;
+  /// Screen-tier statistics of regions whose pipelines screen
+  /// (PipelineConfig::screen.mode != off). Empty for an all-off fleet, whose
+  /// report therefore renders byte-identically to one predating the tier.
+  std::map<std::string, screen::ScreenStats> screens;
   /// Health of every region, quarantined ones included (with their captured
   /// error), so one sick feed stays visible without poisoning the rest.
   std::map<std::string, RegionState> health;
@@ -208,6 +212,21 @@ class FleetMonitor {
   /// backlog) -- per-record name resolution, not detection, dominates
   /// ingest cost at fleet scale.
   void add_records(const std::string& region, std::span<const SensorRecord> recs);
+
+  /// Window-granular ingest for pre-aggregated feeds: a cluster head that
+  /// windows locally and uploads one ObservationSet per closed window (the
+  /// regime the screen tier is sized for -- per-record windowing cost would
+  /// otherwise dominate the screened per-sensor cost). Bypasses the region's
+  /// windower entirely; the window is processed as-is, so its per_sensor map
+  /// (or rep arrays) must already hold one representative per sensor.
+  /// Windows count toward records_ingested / backpressure / checkpoint
+  /// cadence at weight per_sensor.size(). Within a region, windows are
+  /// applied in arrival order; interleaving add_record and add_window on the
+  /// same region without a drain() between the phases leaves their relative
+  /// order unspecified. Quarantine/error semantics match add_record.
+  /// Serial fleets process the window in place (no copy); sharded fleets
+  /// copy it into the region's queue.
+  void add_window(const std::string& region, const ObservationSet& window);
 
   /// What ingest()/ingest_file() report back: how much arrived and the
   /// region's status afterwards (ok unless the feed degraded/quarantined
@@ -325,6 +344,7 @@ class FleetMonitor {
 
   // Fleet-level metric handles (process-global registry; resolved once).
   util::Counter* m_enqueued_ = nullptr;
+  util::Counter* m_windows_ = nullptr;
   util::Counter* m_handoffs_ = nullptr;
   util::Counter* m_backpressure_ = nullptr;
   util::Counter* m_drained_ = nullptr;

@@ -42,7 +42,11 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg)
   if (cfg_.min_sensors_per_window == 0) {
     throw std::invalid_argument("DetectionPipeline: min_sensors_per_window must be >= 1");
   }
+  if (cfg_.screen.mode != screen::ScreenMode::kOff) {
+    screens_ = std::make_unique<screen::ScreenBank>(cfg_.screen);
+  }
   if (cfg_.stage_timers) {
+    if (screens_ != nullptr) t_screen_ = &stage_histogram("pipeline.stage.screen_ns");
     t_spawn_ = &stage_histogram("pipeline.stage.spawn_ns");
     t_identify_ = &stage_histogram("pipeline.stage.identify_ns");
     t_alarms_ = &stage_histogram("pipeline.stage.alarms_ns");
@@ -85,6 +89,21 @@ DetectionPipeline::DetectionPipeline(PipelineConfig cfg, std::istream& checkpoin
     track_opens_ = serialize::get<std::size_t>(*r);
     track_closes_ = serialize::get<std::size_t>(*r);
     hmm_updates_ = serialize::get<std::size_t>(*r);
+
+    // A screened pipeline appends a third section. A checkpoint without one
+    // (pre-screen bytes, or written with screening off) resumes with a fresh
+    // bank -- every sensor restarts escalated, which is safe. The reverse
+    // (screen bytes, screening off) fails loudly: silently dropping state a
+    // config mismatch cannot interpret would mask a deployment error.
+    if (format == serialize::Format::kText) checkpoint >> std::ws;
+    if (checkpoint.peek() != std::char_traits<char>::eof()) {
+      serialize::expect(*r, "sentinel-screen-v1");
+      if (screens_ == nullptr) {
+        throw std::runtime_error(
+            "checkpoint carries screen-tier state but PipelineConfig::screen.mode is off");
+      }
+      screens_->load(*r);
+    }
   }
   diag_cache_.reset();
 }
@@ -115,6 +134,11 @@ void DetectionPipeline::save_checkpoint(std::ostream& os, serialize::Format form
     serialize::put(*w, track_closes_);
     serialize::put(*w, hmm_updates_);
     w->newline();
+    if (screens_ != nullptr) {
+      serialize::tag(*w, "sentinel-screen-v1");
+      screens_->save(*w);
+      w->newline();
+    }
   }
 }
 
@@ -133,7 +157,7 @@ void DetectionPipeline::process_trace(const std::vector<SensorRecord>& records) 
 }
 
 void DetectionPipeline::process_window(const ObservationSet& window) {
-  if (window.per_sensor.size() < cfg_.min_sensors_per_window) {
+  if (window.sensor_count() < cfg_.min_sensors_per_window) {
     ++windows_skipped_;
     return;
   }
@@ -165,6 +189,20 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
   if (window_mean->empty()) {
     vecn::mean_into(window.raw, window_mean_);
     window_mean = &window_mean_;
+  }
+
+  // First-tier screening. kScreen takes the gated path; kFull runs the
+  // screens observationally (counters + escalation state for ROC studies)
+  // and falls through to the untouched full path below.
+  if (screens_ != nullptr && cfg_.screen.mode == screen::ScreenMode::kScreen) {
+    process_window_screened(window, points, sensors, *window_mean);
+    return;
+  }
+  if (screens_ != nullptr) {
+    util::ScopedTimerNs t(t_screen_);
+    fill_residuals(window, points, *window_mean);
+    screens_->observe_block(sensors.data(), resid_.data(), sensors.size(),
+                            screen_dec_.data());
   }
 
   // (1) Make fresh regimes representable before mapping (section 3.1's
@@ -226,6 +264,11 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
         ++hmm_updates_;
       }
 
+      // kFull: feed the hysteresis the same full-tier verdict kScreen would.
+      if (screens_ != nullptr) {
+        screens_->resolve(sensor, !raw && !tracks_.has_active_track(sensor));
+      }
+
       if (cfg_.record_history) {
         SensorWindowInfo info;
         info.mapped = l;
@@ -272,6 +315,232 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
     std::lock_guard<std::mutex> lock(diag_mu_.get());
     diag_cache_.reset();
   }
+}
+
+void DetectionPipeline::fill_residuals(const ObservationSet& window,
+                                       std::span<const AttrVec> points,
+                                       const AttrVec& window_mean) {
+  const std::size_t n = points.size();
+  resid_.resize(n);
+  screen_dec_.resize(n);
+  const double mean_sum = vecn::scalar_sum(window_mean);
+  // The windower caches each representative's scalar_sum at finalization,
+  // while the samples are still cache-hot; reading one double per sensor
+  // here is bit-identical to recomputing it (same fixed accumulation
+  // order), so hand-built windows without the cache take the full walk and
+  // land on the same residuals.
+  if (window.rep_sums.size() == n) {
+    const double* sums = window.rep_sums.data();
+    for (std::size_t j = 0; j < n; ++j) resid_[j] = sums[j] - mean_sum;
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      resid_[j] = vecn::scalar_sum(points[j]) - mean_sum;
+    }
+  }
+}
+
+void DetectionPipeline::process_window_screened(const ObservationSet& window,
+                                                std::span<const AttrVec> points,
+                                                std::span<const SensorId> sensors,
+                                                const AttrVec& window_mean) {
+  const std::size_t n = sensors.size();
+
+  // Screens partition the window: escalated representatives go through the
+  // full per-sensor stages; the screened majority is folded into one bloc
+  // mean that votes (and EMA-updates) with the bloc's weight. One residual
+  // push per screened sensor is the whole per-sensor cost.
+  std::size_t esc_n = 0;
+  std::size_t screened_n = 0;
+  esc_sensors_.clear();
+  {
+    util::ScopedTimerNs t(t_screen_);
+    // Three passes, each a tight loop: residuals (one cached scalar per
+    // sensor when the windower filled rep_sums), one batched bank update
+    // (independent per-sensor chains overlap), then the partition on the
+    // decisions. With rep_sums and rep_total present, a healthy sensor's
+    // full representative is never read at all -- the screened bloc's sum
+    // comes from rep_total minus the escalated points.
+    fill_residuals(window, points, window_mean);
+    screens_->observe_block(sensors.data(), resid_.data(), n, screen_dec_.data());
+    const bool have_total = window.rep_total.size() == window_mean.size();
+    if (have_total) {
+      screened_mean_.assign(window.rep_total.begin(), window.rep_total.end());
+    } else {
+      screened_mean_.assign(window_mean.size(), 0.0);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (screen_dec_[j].full_path) {
+        if (esc_points_.size() <= esc_n) esc_points_.emplace_back();
+        const AttrVec& p = points[j];
+        esc_points_[esc_n].assign(p.begin(), p.end());
+        esc_sensors_.push_back(sensors[j]);
+        ++esc_n;
+        if (have_total) {
+          for (std::size_t a = 0; a < screened_mean_.size() && a < p.size(); ++a) {
+            screened_mean_[a] -= p[a];
+          }
+        }
+      } else {
+        if (!have_total) {
+          const AttrVec& p = points[j];
+          for (std::size_t a = 0; a < screened_mean_.size() && a < p.size(); ++a) {
+            screened_mean_[a] += p[a];
+          }
+        }
+        ++screened_n;
+      }
+    }
+  }
+  if (screened_n > 0) {
+    for (double& a : screened_mean_) a /= static_cast<double>(screened_n);
+  }
+  const std::span<const AttrVec> esc(esc_points_.data(), esc_n);
+
+  // (1) Spawn scan over the escalated representatives plus the window mean
+  // (the full path's candidates, minus the screened sensors -- which sit
+  // near the mean by construction and cannot need a fresh state).
+  bool spawned = false;
+  {
+    util::ScopedTimerNs t(t_spawn_);
+    spawned = !states_.maybe_spawn_mapped(esc, spawn_slots_).empty();
+    spawned |= !states_.maybe_spawn(std::span<const AttrVec>(&window_mean, 1)).empty();
+  }
+
+  // (2) o_i from the window mean (eq. 2 unchanged); l_j for escalated
+  // sensors; c_i by majority where the screened bloc votes through its mean
+  // with weight screened_n. Same tie-breaks as identify_states_into: largest
+  // cluster, ties toward the observable's cluster, then the smaller id.
+  WindowStates& ws = window_states_;
+  std::size_t screened_slot = 0;
+  {
+    util::ScopedTimerNs t(t_identify_);
+    const std::size_t slots = states_.size();
+    ident_scratch_.cluster_sizes.assign(slots, 0);
+    ident_scratch_.point_slots.resize(esc_n);
+    ws.mapping.clear();
+    ws.sensors = n;
+    for (std::size_t j = 0; j < esc_n; ++j) {
+      const std::size_t s = spawned ? states_.map_slot(esc_points_[j]) : spawn_slots_[j];
+      ident_scratch_.point_slots[j] = s;
+      ++ident_scratch_.cluster_sizes[s];
+      ws.mapping.emplace_back(esc_sensors_[j], states_.ids()[s]);
+    }
+    const std::size_t obs_slot = states_.map_slot(window_mean);
+    screened_slot = obs_slot;
+    if (screened_n > 0) {
+      screened_slot = states_.map_slot(screened_mean_);
+      ident_scratch_.cluster_sizes[screened_slot] += screened_n;
+    }
+    std::size_t best = slots;
+    std::size_t best_count = 0;
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::size_t c = ident_scratch_.cluster_sizes[s];
+      if (c == 0) continue;
+      if (best == slots || c > best_count || (c == best_count && s == obs_slot)) {
+        best = s;
+        best_count = c;
+      }
+    }
+    ws.observable = states_.ids()[obs_slot];
+    ws.correct = states_.ids()[best];
+    ws.majority_size = best_count;
+  }
+
+  // (3) Alarms and tracks for escalated sensors only; each one's hysteresis
+  // resolves with the full tier's verdict for this window.
+  WindowSummary summary;
+  if (cfg_.record_history) {
+    summary.window_index = window.window_index;
+    summary.window_start = window.window_start;
+    summary.observable = ws.observable;
+    summary.correct = ws.correct;
+    summary.majority_size = ws.majority_size;
+    summary.sensors.reserve(ws.mapping.size());
+  }
+  {
+    util::ScopedTimerNs t(t_alarms_);
+    for (const auto& [sensor, l] : ws.mapping) {
+      const bool raw = l != ws.correct;
+      const AlarmUpdate u = alarms_.update(sensor, raw);
+      if (raw) ++raw_alarms_;
+      if (u.filtered) ++filtered_alarms_;
+      if (u.raised_edge) {
+        tracks_.open(sensor, window.window_index);
+        ++track_opens_;
+      }
+      if (u.cleared_edge) {
+        tracks_.close(sensor, window.window_index);
+        ++track_closes_;
+      }
+
+      if (tracks_.has_active_track(sensor)) {
+        const StateId e = raw ? l : hmm::kBottomSymbol;
+        tracks_.observe(sensor, ws.correct, e);
+        ++hmm_updates_;
+      }
+
+      screens_->resolve(sensor, !raw && !tracks_.has_active_track(sensor));
+
+      if (cfg_.record_history) {
+        SensorWindowInfo info;
+        info.mapped = l;
+        info.raw_alarm = raw;
+        info.filtered_alarm = u.filtered;
+        summary.sensors.append(sensor, info);
+      }
+    }
+  }
+
+  {
+    util::ScopedTimerNs t(t_hmm_);
+    // (4) Network HMM M_CO -- unchanged: the network-level (c_i, o_i)
+    // evidence is what exposes mean-steering attacks even with every
+    // individual sensor screened.
+    m_co_.observe(ws.correct, ws.observable);
+    ++hmm_updates_;
+
+    // (5) Markov models M_C and M_O.
+    if (prev_correct_) {
+      m_c_.add_transition(*prev_correct_, ws.correct);
+    } else {
+      m_c_.add_visit(ws.correct);
+    }
+    if (prev_observable_) {
+      m_o_.add_transition(*prev_observable_, ws.observable);
+    } else {
+      m_o_.add_visit(ws.observable);
+    }
+    prev_correct_ = ws.correct;
+    prev_observable_ = ws.observable;
+  }
+
+  // (6) Centroid EMA: escalated representatives plus one step for the
+  // screened bloc's mean, so the environment keeps tracking drift without a
+  // per-sensor pass. Slots were recorded in (2) and nothing moved since.
+  {
+    util::ScopedTimerNs t(t_centroid_);
+    if (screened_n > 0) {
+      if (esc_points_.size() <= esc_n) esc_points_.emplace_back();
+      esc_points_[esc_n].assign(screened_mean_.begin(), screened_mean_.end());
+      ident_scratch_.point_slots.push_back(screened_slot);
+      states_.update_labeled(std::span<const AttrVec>(esc_points_.data(), esc_n + 1),
+                             ident_scratch_.point_slots);
+    } else {
+      states_.update_labeled(esc, ident_scratch_.point_slots);
+    }
+  }
+
+  ++windows_processed_;
+  if (cfg_.record_history) history_.push_back(std::move(summary));
+
+  {
+    std::lock_guard<std::mutex> lock(diag_mu_.get());
+    diag_cache_.reset();
+  }
+}
+
+screen::ScreenStats DetectionPipeline::screen_stats() const {
+  return screens_ != nullptr ? screens_->stats() : screen::ScreenStats{};
 }
 
 PipelineCounters DetectionPipeline::counters() const {

@@ -37,6 +37,7 @@
 
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "core/tracks.h"
 #include "hmm/markov_chain.h"
 #include "hmm/online_hmm.h"
+#include "screen/screen.h"
 #include "trace/windower.h"
 #include "util/flat_map.h"
 #include "util/serialize_fwd.h"
@@ -161,6 +163,12 @@ class DetectionPipeline {
   const TrackManager& tracks() const { return tracks_; }
   const AlarmBank& alarms() const { return alarms_; }
 
+  /// The first-tier screen bank, or null when PipelineConfig::screen.mode is
+  /// kOff (off-mode pipelines allocate no screen state at all).
+  const screen::ScreenBank* screens() const { return screens_.get(); }
+  /// Tier statistics; all-zero when screening is off.
+  screen::ScreenStats screen_stats() const;
+
   // --- History / stats ----------------------------------------------------
   /// Empty when PipelineConfig::record_history is off.
   const std::vector<WindowSummary>& history() const { return history_; }
@@ -199,6 +207,18 @@ class DetectionPipeline {
   const PipelineConfig& config() const { return cfg_; }
 
  private:
+  /// The kScreen per-window path: per-sensor screens decide who takes the
+  /// full mapping/alarm/HMM stages; screened sensors vote as a bloc through
+  /// their collective mean. Shares the caller's flat representative arrays.
+  void process_window_screened(const ObservationSet& window, std::span<const AttrVec> points,
+                               std::span<const SensorId> sensors, const AttrVec& window_mean);
+
+  /// Fill resid_ (and size screen_dec_) for the screen tier: one scalar per
+  /// sensor, from the windower's cached rep_sums when present (bit-identical
+  /// to recomputing, without touching the representative vectors).
+  void fill_residuals(const ObservationSet& window, std::span<const AttrVec> points,
+                      const AttrVec& window_mean);
+
   /// Inputs diagnose_*() would otherwise recompute per tracked sensor,
   /// computed once per (diagnosis, window) pair. Guarded by diag_mu_;
   /// invalidated by process_window and checkpoint load.
@@ -220,6 +240,7 @@ class DetectionPipeline {
   hmm::OnlineHmm m_co_;
   hmm::MarkovChain m_c_;
   hmm::MarkovChain m_o_;
+  std::unique_ptr<screen::ScreenBank> screens_;  // null when screening is off
   std::optional<StateId> prev_correct_;
   std::optional<StateId> prev_observable_;
   std::vector<WindowSummary> history_;
@@ -234,6 +255,7 @@ class DetectionPipeline {
   // Stage-timer histograms, resolved from the global registry at
   // construction when cfg_.stage_timers is set; null otherwise, and a null
   // histogram makes ScopedTimerNs skip the clock read entirely.
+  util::Histogram* t_screen_ = nullptr;
   util::Histogram* t_spawn_ = nullptr;
   util::Histogram* t_identify_ = nullptr;
   util::Histogram* t_alarms_ = nullptr;
@@ -248,6 +270,15 @@ class DetectionPipeline {
   std::vector<std::size_t> spawn_slots_;  // per-point slots from the spawn scan
   WindowStates window_states_;
   StateIdentScratch ident_scratch_;
+
+  // kScreen-path scratch: escalated representatives and the screened bloc's
+  // mean (appended to esc_points_ for the combined centroid update), plus
+  // the batched-screen buffers (residuals in, decisions out).
+  std::vector<AttrVec> esc_points_;
+  std::vector<SensorId> esc_sensors_;
+  AttrVec screened_mean_;
+  std::vector<double> resid_;
+  std::vector<screen::ScreenDecision> screen_dec_;
 
   mutable util::CopyableMutex diag_mu_;
   mutable std::optional<DiagCache> diag_cache_;

@@ -44,10 +44,16 @@ ObservationSet Windower::finalize_current() {
   }
   set.rep_sensors.reserve(by_sensor.size());
   set.rep_points.reserve(by_sensor.size());
+  set.rep_sums.reserve(by_sensor.size());
   for (auto& [id, samples] : by_sensor) {
     auto rep = vecn::mean(samples);
     set.per_sensor.emplace(id, rep);
     set.rep_sensors.push_back(id);
+    set.rep_sums.push_back(vecn::scalar_sum(rep));
+    if (set.rep_total.empty()) set.rep_total.assign(rep.size(), 0.0);
+    for (std::size_t a = 0; a < set.rep_total.size() && a < rep.size(); ++a) {
+      set.rep_total[a] += rep[a];
+    }
     set.rep_points.push_back(std::move(rep));
   }
   if (!set.raw.empty()) vecn::mean_into(set.raw, set.cached_mean);

@@ -50,7 +50,29 @@ struct ObservationSet {
   std::vector<SensorId> rep_sensors;
   std::vector<AttrVec> rep_points;
 
+  /// Screen-tier line-rate cache, also filled at finalization (while the
+  /// representatives are still cache-hot): rep_sums[j] is
+  /// vecn::scalar_sum(rep_points[j]), and rep_total is the attr-wise sum
+  /// over all representatives in rep order. With these, a screening
+  /// pipeline touches only one scalar per healthy sensor per window -- the
+  /// full representative vectors are read for escalated sensors alone (the
+  /// screened-bloc mean comes from rep_total minus the escalated points).
+  /// Empty for hand-built windows; the pipeline falls back to computing
+  /// the identical values from rep_points / per_sensor.
+  std::vector<double> rep_sums;
+  AttrVec rep_total;
+
   bool empty() const { return raw.empty(); }
+
+  /// Number of sensors represented in this window. Prefers the flat rep
+  /// arrays so a pre-aggregated upload (representatives only, no per-sensor
+  /// map and no raw samples -- what a cluster head that windows locally
+  /// sends) still counts its sensors for the min-sensors gate and the
+  /// fleet's ingest weight. Identical to per_sensor.size() whenever the map
+  /// is populated.
+  std::size_t sensor_count() const {
+    return rep_sensors.empty() ? per_sensor.size() : rep_sensors.size();
+  }
 
   /// Mean over all raw observations (the input to observable-state
   /// identification, eq. (2)). Throws if the window is empty.

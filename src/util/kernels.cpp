@@ -65,6 +65,34 @@ double sum_scalar(const double* a, std::size_t n) {
   return reduce_tree(lane);
 }
 
+double sumsq_scalar(const double* a, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (int l = 0; l < 4; ++l) lane[l] += a[i + l] * a[i + l];
+  }
+  for (int l = 0; i < n; ++i, ++l) lane[l] += a[i] * a[i];
+  return reduce_tree(lane);
+}
+
+void sum_sumsq_scalar(const double* a, std::size_t n, double* sum_out, double* sumsq_out) {
+  double ls[4] = {0.0, 0.0, 0.0, 0.0};
+  double lq[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (int l = 0; l < 4; ++l) {
+      ls[l] += a[i + l];
+      lq[l] += a[i + l] * a[i + l];
+    }
+  }
+  for (int l = 0; i < n; ++i, ++l) {
+    ls[l] += a[i];
+    lq[l] += a[i] * a[i];
+  }
+  *sum_out = reduce_tree(ls);
+  *sumsq_out = reduce_tree(lq);
+}
+
 void vec_mat_scalar(const double* x, const double* m, std::size_t rows, std::size_t cols,
                     std::size_t stride, double* out) {
   for (std::size_t r = 0; r < rows; ++r) {
@@ -140,6 +168,7 @@ MaxPlusResult max_plus_scalar(const double* x, const double* y, std::size_t n) {
 
 constexpr Kernels kScalarKernels{
     "scalar",        dist2_block_scalar, dist2_scalar, dot_scalar,       sum_scalar,
+    sumsq_scalar,    sum_sumsq_scalar,
     vec_mat_scalar,  mat_vec_scalar,     scale_scalar, div_scale_scalar,
     axpy_scalar,     mul_scalar,         mul_axpy_scalar,
     normalize_scalar, max_plus_scalar,

@@ -62,6 +62,14 @@ struct Kernels {
   double (*dot)(const double* a, const double* b, std::size_t n);
   /// Striped sum of a[0..n).
   double (*sum)(const double* a, std::size_t n);
+  /// Striped sum of squares a[i]^2 over n elements (the second raw moment
+  /// numerator the screen tier's chi-squared statistic reduces over).
+  double (*sumsq)(const double* a, std::size_t n);
+  /// Fused windowed-moment reduction: *sum_out = striped sum of a,
+  /// *sumsq_out = striped sum of a^2, one pass over the input. Each moment
+  /// uses its own 4-lane tree, so both results are bit-identical to the
+  /// separate sum/sumsq kernels at every level.
+  void (*sum_sumsq)(const double* a, std::size_t n, double* sum_out, double* sumsq_out);
 
   /// out[j] += x[i] * m[i*stride + j], i ascending 0..rows. Per output lane
   /// this is the plain sequential accumulation order (no striping), so it is

@@ -91,6 +91,46 @@ double sum_avx2(const double* a, std::size_t n) {
   return finish_reduction(lane);
 }
 
+double sumsq_avx2(const double* a, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(a + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  if (i == n) return reduce_tree(acc);
+  alignas(32) double lane[4];
+  _mm256_storeu_pd(lane, acc);
+  for (int l = 0; i < n; ++i, ++l) lane[l] += a[i] * a[i];
+  return finish_reduction(lane);
+}
+
+void sum_sumsq_avx2(const double* a, std::size_t n, double* sum_out, double* sumsq_out) {
+  __m256d s = _mm256_setzero_pd();
+  __m256d q = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(a + i);
+    s = _mm256_add_pd(s, v);
+    q = _mm256_add_pd(q, _mm256_mul_pd(v, v));
+  }
+  if (i == n) {
+    *sum_out = reduce_tree(s);
+    *sumsq_out = reduce_tree(q);
+    return;
+  }
+  alignas(32) double ls[4];
+  alignas(32) double lq[4];
+  _mm256_storeu_pd(ls, s);
+  _mm256_storeu_pd(lq, q);
+  for (int l = 0; i < n; ++i, ++l) {
+    ls[l] += a[i];
+    lq[l] += a[i] * a[i];
+  }
+  *sum_out = finish_reduction(ls);
+  *sumsq_out = finish_reduction(lq);
+}
+
 void vec_mat_avx2(const double* x, const double* m, std::size_t rows, std::size_t cols,
                   std::size_t stride, double* out) {
   // Column-tiled: each 4-wide output tile stays in a register across the
@@ -209,6 +249,7 @@ MaxPlusResult max_plus_avx2(const double* x, const double* y, std::size_t n) {
 
 constexpr Kernels kAvx2Kernels{
     "avx2",        dist2_block_avx2, dist2_avx2, dot_avx2,       sum_avx2,
+    sumsq_avx2,    sum_sumsq_avx2,
     vec_mat_avx2,  mat_vec_avx2,     scale_avx2, div_scale_avx2,
     axpy_avx2,     mul_avx2,         mul_axpy_avx2,
     normalize_avx2, max_plus_avx2,

@@ -88,6 +88,51 @@ double sum_sse2(const double* a, std::size_t n) {
   return finish_reduction(lane);
 }
 
+double sumsq_sse2(const double* a, std::size_t n) {
+  Lanes acc{_mm_setzero_pd(), _mm_setzero_pd()};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a01 = _mm_loadu_pd(a + i);
+    const __m128d a23 = _mm_loadu_pd(a + i + 2);
+    acc.a01 = _mm_add_pd(acc.a01, _mm_mul_pd(a01, a01));
+    acc.a23 = _mm_add_pd(acc.a23, _mm_mul_pd(a23, a23));
+  }
+  if (i == n) return reduce_tree(acc);
+  double lane[4];
+  store_lanes(acc, lane);
+  for (int l = 0; i < n; ++i, ++l) lane[l] += a[i] * a[i];
+  return finish_reduction(lane);
+}
+
+void sum_sumsq_sse2(const double* a, std::size_t n, double* sum_out, double* sumsq_out) {
+  Lanes s{_mm_setzero_pd(), _mm_setzero_pd()};
+  Lanes q{_mm_setzero_pd(), _mm_setzero_pd()};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d a01 = _mm_loadu_pd(a + i);
+    const __m128d a23 = _mm_loadu_pd(a + i + 2);
+    s.a01 = _mm_add_pd(s.a01, a01);
+    s.a23 = _mm_add_pd(s.a23, a23);
+    q.a01 = _mm_add_pd(q.a01, _mm_mul_pd(a01, a01));
+    q.a23 = _mm_add_pd(q.a23, _mm_mul_pd(a23, a23));
+  }
+  if (i == n) {
+    *sum_out = reduce_tree(s);
+    *sumsq_out = reduce_tree(q);
+    return;
+  }
+  double ls[4];
+  double lq[4];
+  store_lanes(s, ls);
+  store_lanes(q, lq);
+  for (int l = 0; i < n; ++i, ++l) {
+    ls[l] += a[i];
+    lq[l] += a[i] * a[i];
+  }
+  *sum_out = finish_reduction(ls);
+  *sumsq_out = finish_reduction(lq);
+}
+
 void vec_mat_sse2(const double* x, const double* m, std::size_t rows, std::size_t cols,
                   std::size_t stride, double* out) {
   // Column-tiled like the AVX2 level; per output element the additions stay
@@ -213,6 +258,7 @@ MaxPlusResult max_plus_sse2(const double* x, const double* y, std::size_t n) {
 
 constexpr Kernels kSse2Kernels{
     "sse2",        dist2_block_sse2, dist2_sse2, dot_sse2,       sum_sse2,
+    sumsq_sse2,    sum_sumsq_sse2,
     vec_mat_sse2,  mat_vec_sse2,     scale_sse2, div_scale_sse2,
     axpy_sse2,     mul_sse2,         mul_axpy_sse2,
     normalize_sse2, max_plus_sse2,

@@ -43,6 +43,25 @@ inline double dist2(std::span<const double> a, std::span<const double> b) {
   return kern::k().dist2(a.data(), b.data(), a.size());
 }
 
+/// Component sum with a fixed, documented accumulation order: two
+/// interleaved partials (even indices into one, odd into the other), folded
+/// once at the end. Every producer and consumer of per-sensor scalar sums
+/// (the windower's cached rep_sums, the screen tier's residuals) uses this
+/// exact order, so a sum computed at aggregation time is bit-identical to
+/// one recomputed from the vector. The two-partial shape also breaks the
+/// serial add chain, which matters on the per-sensor line-rate path.
+inline double scalar_sum(std::span<const double> a) {
+  double s0 = 0.0;
+  double s1 = 0.0;
+  std::size_t i = 0;
+  for (; i + 1 < a.size(); i += 2) {
+    s0 += a[i];
+    s1 += a[i + 1];
+  }
+  if (i < a.size()) s0 += a[i];
+  return s0 + s1;
+}
+
 /// Euclidean norm ||a||.
 inline double norm(std::span<const double> a) {
   double s = 0.0;

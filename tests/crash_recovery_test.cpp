@@ -56,6 +56,18 @@ PipelineConfig region_config() {
   return cfg;
 }
 
+/// Same regions with the first-tier screens gating the full path. Short
+/// window/warmup/hysteresis so the 48-window traces leave sensors in every
+/// phase of the escalation state machine when the plug gets pulled.
+PipelineConfig screened_region_config() {
+  PipelineConfig cfg = region_config();
+  cfg.screen.mode = screen::ScreenMode::kScreen;
+  cfg.screen.window = 8;
+  cfg.screen.warmup_windows = 4;
+  cfg.screen.deescalate_after = 6;
+  return cfg;
+}
+
 std::vector<SensorRecord> simulate_region(std::uint64_t seed) {
   TwoPhaseEnvironment env;
   sim::Simulator s(env);
@@ -92,11 +104,12 @@ struct Workload {
   std::string baseline1, baseline4;
 };
 
-std::string run_uninterrupted(const Workload& w, std::size_t threads) {
+std::string run_uninterrupted(const Workload& w, std::size_t threads,
+                              PipelineConfig (*make_cfg)() = region_config) {
   FleetConfig fc;
   fc.threads = threads;
   FleetMonitor fleet(fc);
-  for (const auto& r : w.regions) fleet.add_region(r, region_config());
+  for (const auto& r : w.regions) fleet.add_region(r, make_cfg());
   for (const auto& r : w.regions) {
     const auto reader = open_trace_reader(w.trace_path.at(r));
     fleet.ingest(r, *reader, kIngestBatchRecords);
@@ -130,7 +143,7 @@ const Workload& workload() {
 /// the plug gets pulled (or the workload completes), and return the child's
 /// exit code. The child leaves only its on-disk store behind.
 int run_child_with_fault(const Workload& w, const std::string& dir, std::size_t threads,
-                         fault::Config fcfg) {
+                         fault::Config fcfg, PipelineConfig (*make_cfg)() = region_config) {
   const pid_t pid = fork();
   if (pid == 0) {
     fault::init(std::move(fcfg));
@@ -140,7 +153,7 @@ int run_child_with_fault(const Workload& w, const std::string& dir, std::size_t 
       fc.checkpoint_dir = dir;
       fc.checkpoint_every_records = kCheckpointEvery;
       FleetMonitor fleet(fc);
-      for (const auto& r : w.regions) fleet.add_region(r, region_config());
+      for (const auto& r : w.regions) fleet.add_region(r, make_cfg());
       for (const auto& r : w.regions) {
         const auto reader = open_trace_reader(w.trace_path.at(r));
         fleet.ingest(r, *reader, kIngestBatchRecords);
@@ -159,14 +172,15 @@ int run_child_with_fault(const Workload& w, const std::string& dir, std::size_t 
 
 /// Recover a fresh fleet from `dir`, replay each trace tail from the
 /// recorded record offset, and return the report.
-std::string recover_and_report(const Workload& w, const std::string& dir, std::size_t threads) {
+std::string recover_and_report(const Workload& w, const std::string& dir, std::size_t threads,
+                               PipelineConfig (*make_cfg)() = region_config) {
   FleetConfig fc;
   fc.threads = threads;
   fc.checkpoint_dir = dir;
   fc.checkpoint_every_records = kCheckpointEvery;
   FleetMonitor fleet(fc);
   for (const auto& r : w.regions) {
-    const auto resumed = fleet.add_region_resumed(r, region_config());
+    const auto resumed = fleet.add_region_resumed(r, make_cfg());
     EXPECT_TRUE(resumed.is_ok()) << r << ": " << resumed.status().to_string();
     if (!resumed.is_ok()) return {};
     const auto reader = open_trace_reader(w.trace_path.at(r));
@@ -222,6 +236,44 @@ TEST(CrashRecovery, LaterHitsReachDeeperStoreStates) {
     const int code = run_child_with_fault(w, dir, 1, fc);
     ASSERT_TRUE(code == fault::kPlugPulledExit || code == 0) << "child exit " << code;
     EXPECT_EQ(recover_and_report(w, dir, 1), w.baseline1);
+  }
+}
+
+TEST(CrashRecovery, ScreenedFleetRecoversByteIdentical) {
+  // With the first-tier screens on, every region checkpoint carries a
+  // "sentinel-screen-v1" section (rings, baselines, escalation state, tier
+  // totals). Pull the plug at points whose nth hit lands mid-stream -- after
+  // warmup, with clean-window streaks partially accumulated -- and prove the
+  // resumed screened fleet reproduces the uninterrupted screened baseline
+  // byte for byte at both thread counts. A screen tier restored even one
+  // clean-window off would de-escalate a sensor on a different window and
+  // shift the report.
+  const Workload& w = workload();
+  const std::string baseline1 = run_uninterrupted(w, 1, screened_region_config);
+  ASSERT_EQ(baseline1, run_uninterrupted(w, 4, screened_region_config))
+      << "screened parallel fleet must be deterministic";
+  const struct {
+    const char* point;
+    std::uint64_t nth;
+  } kTrials[] = {
+      {fault::kRegionPostRename, 2},
+      {fault::kIngestBatch, 4},
+      {fault::kManifestPostRename, 2},
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const auto& trial : kTrials) {
+      SCOPED_TRACE(std::string(trial.point) + " nth=" + std::to_string(trial.nth) +
+                   " threads=" + std::to_string(threads));
+      const std::string dir = w.root + "screened_" + CheckpointStore::sanitize(trial.point) +
+                              "_" + std::to_string(trial.nth) + "_t" + std::to_string(threads);
+      fault::Config fc;
+      fc.mode = fault::Mode::kRunLength;
+      fc.point = trial.point;
+      fc.nth = trial.nth;
+      const int code = run_child_with_fault(w, dir, threads, fc, screened_region_config);
+      ASSERT_TRUE(code == fault::kPlugPulledExit || code == 0) << "child exit " << code;
+      EXPECT_EQ(recover_and_report(w, dir, threads, screened_region_config), baseline1);
+    }
   }
 }
 

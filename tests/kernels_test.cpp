@@ -110,6 +110,19 @@ TEST(KernelsTest, ReductionsBitIdenticalAcrossLevels) {
       expect_same_bits(k.dot(a.data(), b.data(), n), ref.dot(a.data(), b.data(), n),
                        "dot " + tag);
       expect_same_bits(k.sum(a.data(), n), ref.sum(a.data(), n), "sum " + tag);
+      expect_same_bits(k.sumsq(a.data(), n), ref.sumsq(a.data(), n), "sumsq " + tag);
+      double s_got = 0.0;
+      double q_got = 0.0;
+      double s_want = 0.0;
+      double q_want = 0.0;
+      k.sum_sumsq(a.data(), n, &s_got, &q_got);
+      ref.sum_sumsq(a.data(), n, &s_want, &q_want);
+      expect_same_bits(s_got, s_want, "sum_sumsq.sum " + tag);
+      expect_same_bits(q_got, q_want, "sum_sumsq.sumsq " + tag);
+      // The fused kernel is the separate reductions, one pass: each moment
+      // must equal its standalone kernel bit-for-bit at every level.
+      expect_same_bits(s_got, k.sum(a.data(), n), "sum_sumsq vs sum " + tag);
+      expect_same_bits(q_got, k.sumsq(a.data(), n), "sum_sumsq vs sumsq " + tag);
     }
   }
 }

@@ -95,10 +95,11 @@ int usage() {
                "  sentinel_cli simulate <out.csv> [--days N] [--seed S] [--scenario KIND]\n"
                "  sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--json] [--auto]\n"
                "               [--checkpoint IN] [--save-checkpoint OUT] [--resume DIR]\n"
-               "               [--timers] [--metrics-json PATH]\n"
+               "               [--screen-mode off|screen|full] [--timers] [--metrics-json PATH]\n"
                "  sentinel_cli fleet <trace1> [<trace2> ...] [--window SECONDS] [--states K]\n"
                "               [--threads N] [--timers] [--metrics-json PATH]\n"
                "               [--resume DIR] [--checkpoint-every N]\n"
+               "               [--screen-mode off|screen|full]\n"
                "  sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]\n"
                "  sentinel_cli health <trace.csv> [--period SECONDS]\n"
                "  sentinel_cli convert <in> <out> [--to csv|binary]\n"
@@ -170,6 +171,29 @@ void inject_pipeline_counters(util::MetricsSnapshot& snap, const std::string& pr
   snap.add_counter(prefix + "hmm_updates", c.hmm_updates);
   snap.add_counter(prefix + "late_records", c.late_records);
   snap.add_counter(prefix + "clamped_records", c.clamped_records);
+}
+
+/// Parse --screen-mode into cfg (default off, the historical path). Prints
+/// and returns false on an unknown mode.
+bool apply_screen_mode(const Args& args, core::PipelineConfig& cfg) {
+  const std::string mode = opt_str(args, "--screen-mode", "off");
+  if (!screen::parse_screen_mode(mode.c_str(), cfg.screen.mode)) {
+    std::fprintf(stderr, "unknown --screen-mode '%s' (expected off|screen|full)\n", mode.c_str());
+    return false;
+  }
+  return true;
+}
+
+void inject_screen_stats(util::MetricsSnapshot& snap, const std::string& prefix,
+                         const screen::ScreenStats& s) {
+  snap.add_counter(prefix + "sensors", s.sensors);
+  snap.add_counter(prefix + "escalated", s.escalated);
+  snap.add_counter(prefix + "escalations", s.escalations);
+  snap.add_counter(prefix + "deescalations", s.deescalations);
+  snap.add_counter(prefix + "chi2_trips", s.chi2_trips);
+  snap.add_counter(prefix + "runs_trips", s.runs_trips);
+  snap.add_counter(prefix + "screened_windows", s.screened_windows);
+  snap.add_counter(prefix + "escalated_windows", s.escalated_windows);
 }
 
 int write_metrics_json(const Args& args, const util::MetricsSnapshot& snap) {
@@ -297,6 +321,7 @@ int cmd_analyze(const Args& args) {
   core::PipelineConfig cfg;
   cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
   cfg.stage_timers = args.options.count("--timers") > 0;
+  if (!apply_screen_mode(args, cfg)) return 2;
   const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
 
   Rng rng(7, "cli-kmeans");
@@ -443,6 +468,9 @@ int cmd_analyze(const Args& args) {
 
   auto snap = util::metrics().snapshot();
   inject_pipeline_counters(snap, "pipeline.", pipeline->counters());
+  if (pipeline->screens() != nullptr) {
+    inject_screen_stats(snap, "pipeline.screen.", pipeline->screen_stats());
+  }
   return write_metrics_json(args, snap);
 }
 
@@ -458,6 +486,7 @@ int cmd_fleet(const Args& args) {
   core::PipelineConfig cfg;
   cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
   cfg.stage_timers = args.options.count("--timers") > 0;
+  if (!apply_screen_mode(args, cfg)) return 2;
   const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
 
   // Bootstrap the shared initial model states from the first trace that
@@ -530,7 +559,11 @@ int cmd_fleet(const Args& args) {
   auto snap = util::metrics().snapshot();
   for (const auto& [name, path] : feeds) {
     if (fleet.region_health(name).health == core::RegionHealth::kQuarantined) continue;
-    inject_pipeline_counters(snap, "region." + name + ".", fleet.region(name).counters());
+    const auto& rp = fleet.region(name);
+    inject_pipeline_counters(snap, "region." + name + ".", rp.counters());
+    if (rp.screens() != nullptr) {
+      inject_screen_stats(snap, "region." + name + ".screen.", rp.screen_stats());
+    }
   }
   return write_metrics_json(args, snap);
 }
