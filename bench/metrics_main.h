@@ -53,6 +53,17 @@ inline int run(int argc, char** argv) {
     benchmark::AddCustomContext("machine.hardware_threads", std::to_string(hw));
     benchmark::AddCustomContext("machine.usable_concurrency", std::to_string(usable));
     benchmark::AddCustomContext("machine.kernel_level", sentinel::kern::level_name(level));
+    // google-benchmark stamps library_build_type from how LIBBENCHMARK was
+    // compiled (distro packages are often debug builds); what gates whether
+    // numbers are trustworthy is how THIS binary -- the code under test --
+    // was compiled. Emit the key again with the app's build type: JSON
+    // consumers keep the last duplicate key, so this override wins, and
+    // bench_compare.py refuses any JSON that doesn't say "release".
+#ifdef NDEBUG
+    benchmark::AddCustomContext("library_build_type", "release");
+#else
+    benchmark::AddCustomContext("library_build_type", "debug");
+#endif
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -32,10 +32,23 @@
 // keeping the per-sensor HMM cost (paid identically by both modes)
 // proportional to the fault duty cycle rather than saturated.
 
+// Besides time, the benches report `allocs_per_window`: heap allocations per
+// window fed during the timed span, counted by the global operator new
+// override below (the same accounting perf_pipeline uses). The warm-up
+// windows run before counting, so one-time growth (state spawns, slab
+// capacity, scratch vectors) is excluded. BM_ScreenedSteadyWindows pins the
+// strongest claim: with a persistent fault bloc and a single regime --
+// no track churn, no state spawns, no repacks after warm-up -- the batched
+// per-sensor path must be allocation-free at steady state (0 allocs/window).
+
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -44,6 +57,34 @@
 #include "screen/screen.h"
 #include "trace/windower.h"
 #include "util/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+// Count every heap allocation in the process (see perf_pipeline.cpp for the
+// rationale and the -Wmismatched-new-delete note).
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -175,6 +216,8 @@ void BM_ScreenedFleetWindows(benchmark::State& state) {
   for (std::size_t r = 0; r < kRegions; ++r) names.push_back("region-" + std::to_string(r));
 
   std::size_t escalated = 0;
+  std::uint64_t hot_allocs = 0;
+  std::uint64_t hot_windows = 0;
   for (auto _ : state) {
     state.PauseTiming();
     core::FleetConfig fc;
@@ -196,11 +239,14 @@ void BM_ScreenedFleetWindows(benchmark::State& state) {
     state.ResumeTiming();
     // Round-robin the window uploads across regions, one window per region
     // per turn -- the arrival order of a fleet of synchronized cluster heads.
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
     for (std::size_t i = kWarmWindows; i < kWindows; ++i) {
       for (std::size_t r = 0; r < kRegions; ++r) {
         fleet.add_window(names[r], w.regions[r].windows[i]);
       }
     }
+    hot_allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    hot_windows += kRegions * (kWindows - kWarmWindows);
     fleet.finish();
     const auto report = fleet.diagnose();
     benchmark::DoNotOptimize(report.overall);
@@ -208,6 +254,120 @@ void BM_ScreenedFleetWindows(benchmark::State& state) {
     for (const auto& [name, s] : report.screens) escalated += s.escalated;
   }
   state.counters["escalated"] = static_cast<double>(escalated);
+  state.counters["allocs_per_window"] = benchmark::Counter(
+      hot_windows == 0 ? 0.0
+                       : static_cast<double>(hot_allocs) / static_cast<double>(hot_windows));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kRegions *
+                                                    (kWindows - kWarmWindows)));
+}
+
+/// Steady-state variant: ONE resident regime and a persistent fault bloc.
+/// After warm-up the tier reaches a fixed point -- the fault bloc's tracks
+/// stay open (no churn), the regime never switches (no spawns, no screen
+/// trips from healthy sensors), and the slab stops repacking -- so the
+/// timed span isolates the batched per-sensor loop. Its allocs_per_window
+/// counter is the bench-enforced claim that the batched path does not touch
+/// the allocator at steady state.
+ScreenWorkload make_steady_workload(std::size_t suspicious_pct) {
+  ScreenWorkload w;
+
+  core::PipelineConfig pc;
+  pc.window_seconds = kWindowSeconds;
+  pc.initial_states.push_back(regime_centroid(0));
+  pc.model_states.max_states = 24;
+  pc.screen.chi2_threshold = 3.5;
+  pc.screen.runs_z_threshold = 3.5;
+  pc.record_history = false;
+  w.pipeline_config = pc;
+
+  const std::size_t suspicious = kSensors * suspicious_pct / 100;
+  const AttrVec regime = regime_centroid(0);
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    RegionFeed feed;
+    feed.windows.reserve(kWindows);
+    Rng rng(9600 + r, "perf-screen-steady");
+    for (std::size_t i = 1; i <= kWindows; ++i) {
+      ObservationSet os;
+      os.window_index = i;
+      os.window_start = kWindowSeconds * static_cast<double>(i - 1);
+      os.window_end = kWindowSeconds * static_cast<double>(i);
+      os.rep_sensors.reserve(kSensors);
+      os.rep_points.reserve(kSensors);
+      AttrVec mean(kAttrs, 0.0);
+      for (std::size_t s = 0; s < kSensors; ++s) {
+        // Persistent, mean-balanced fault: the bloc raw-alarms every window,
+        // so its tracks open once and never close.
+        const double fault =
+            s < suspicious ? ((s % 2 == 0) ? kFaultOffset : -kFaultOffset) : 0.0;
+        AttrVec p(kAttrs);
+        for (std::size_t a = 0; a < kAttrs; ++a) {
+          p[a] = regime[a] + rng.gaussian(0.0, 0.4) + fault;
+        }
+        for (std::size_t a = 0; a < kAttrs; ++a) mean[a] += p[a];
+        os.rep_sensors.push_back(static_cast<SensorId>(s));
+        os.rep_sums.push_back(vecn::scalar_sum(p));
+        if (os.rep_total.empty()) os.rep_total.assign(kAttrs, 0.0);
+        for (std::size_t a = 0; a < kAttrs; ++a) os.rep_total[a] += p[a];
+        os.rep_points.push_back(std::move(p));
+      }
+      for (auto& a : mean) a /= static_cast<double>(kSensors);
+      os.cached_mean = std::move(mean);
+      feed.windows.push_back(std::move(os));
+    }
+    w.regions.push_back(std::move(feed));
+  }
+  return w;
+}
+
+void BM_ScreenedSteadyWindows(benchmark::State& state) {
+  const auto suspicious_pct = static_cast<std::size_t>(state.range(0));
+  const auto mode =
+      state.range(1) == 0 ? screen::ScreenMode::kOff : screen::ScreenMode::kScreen;
+  // Own cache (same single-entry policy as workload()): the steady feed and
+  // the episodic feed never share a fraction's buffers.
+  static std::size_t cached_pct = static_cast<std::size_t>(-1);
+  static ScreenWorkload cache;
+  if (cached_pct != suspicious_pct) {
+    cache = make_steady_workload(suspicious_pct);
+    cached_pct = suspicious_pct;
+  }
+  const ScreenWorkload& w = cache;
+
+  std::vector<std::string> names;
+  for (std::size_t r = 0; r < kRegions; ++r) names.push_back("region-" + std::to_string(r));
+
+  std::uint64_t hot_allocs = 0;
+  std::uint64_t hot_windows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FleetConfig fc;
+    fc.threads = 1;
+    auto fleet = std::make_unique<core::FleetMonitor>(fc);
+    core::PipelineConfig pc = w.pipeline_config;
+    pc.screen.mode = mode;
+    for (std::size_t r = 0; r < kRegions; ++r) fleet->add_region(names[r], pc);
+    for (std::size_t i = 0; i < kWarmWindows; ++i) {
+      for (std::size_t r = 0; r < kRegions; ++r) {
+        fleet->add_window(names[r], w.regions[r].windows[i]);
+      }
+    }
+    state.ResumeTiming();
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (std::size_t i = kWarmWindows; i < kWindows; ++i) {
+      for (std::size_t r = 0; r < kRegions; ++r) {
+        fleet->add_window(names[r], w.regions[r].windows[i]);
+      }
+    }
+    hot_allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    hot_windows += kRegions * (kWindows - kWarmWindows);
+    state.PauseTiming();
+    benchmark::DoNotOptimize(fleet->diagnose().overall);
+    fleet.reset();
+    state.ResumeTiming();
+  }
+  state.counters["allocs_per_window"] = benchmark::Counter(
+      hot_windows == 0 ? 0.0
+                       : static_cast<double>(hot_allocs) / static_cast<double>(hot_windows));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kRegions *
                                                     (kWindows - kWarmWindows)));
 }
@@ -225,6 +385,13 @@ BENCHMARK(BM_ScreenedFleetWindows)
     ->Args({25, 1})
     ->Args({100, 0})
     ->Args({100, 1})
+    ->ArgNames({"suspicious_pct", "screen"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_ScreenedSteadyWindows)
+    ->Args({10, 0})
+    ->Args({10, 1})
     ->ArgNames({"suspicious_pct", "screen"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -242,42 +242,8 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
     summary.majority_size = ws.majority_size;
     summary.sensors.reserve(ws.mapping.size());
   }
-  {
-    util::ScopedTimerNs t(t_alarms_);
-    for (const auto& [sensor, l] : ws.mapping) {
-      const bool raw = l != ws.correct;
-      const AlarmUpdate u = alarms_.update(sensor, raw);
-      if (raw) ++raw_alarms_;
-      if (u.filtered) ++filtered_alarms_;
-      if (u.raised_edge) {
-        tracks_.open(sensor, window.window_index);
-        ++track_opens_;
-      }
-      if (u.cleared_edge) {
-        tracks_.close(sensor, window.window_index);
-        ++track_closes_;
-      }
-
-      if (tracks_.has_active_track(sensor)) {
-        const StateId e = raw ? l : hmm::kBottomSymbol;
-        tracks_.observe(sensor, ws.correct, e);
-        ++hmm_updates_;
-      }
-
-      // kFull: feed the hysteresis the same full-tier verdict kScreen would.
-      if (screens_ != nullptr) {
-        screens_->resolve(sensor, !raw && !tracks_.has_active_track(sensor));
-      }
-
-      if (cfg_.record_history) {
-        SensorWindowInfo info;
-        info.mapped = l;
-        info.raw_alarm = raw;
-        info.filtered_alarm = u.filtered;
-        summary.sensors.append(sensor, info);
-      }
-    }
-  }
+  // kFull: feed the hysteresis the same full-tier verdict kScreen would.
+  run_alarm_track_stage(window, summary, /*resolve_screens=*/screens_ != nullptr);
 
   {
     util::ScopedTimerNs t(t_hmm_);
@@ -337,6 +303,66 @@ void DetectionPipeline::fill_residuals(const ObservationSet& window,
       resid_[j] = vecn::scalar_sum(points[j]) - mean_sum;
     }
   }
+}
+
+void DetectionPipeline::run_alarm_track_stage(const ObservationSet& window,
+                                              WindowSummary& summary, bool resolve_screens) {
+  util::ScopedTimerNs t(t_alarms_);
+  WindowStates& ws = window_states_;
+  // Block size: one block's alarm rows, mapping slice, and update scratch
+  // stay L1-resident across the four passes.
+  constexpr std::size_t kBlock = 256;
+  const std::size_t n = ws.mapping.size();
+  blk_updates_.resize(std::min(kBlock, n));
+  tracks_.begin_window();
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t m = std::min(kBlock, n - base);
+    // Pass 1: alarm filter updates.
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto& [sensor, l] = ws.mapping[base + k];
+      const bool raw = l != ws.correct;
+      blk_updates_[k] = alarms_.update(sensor, raw);
+      if (raw) ++raw_alarms_;
+      if (blk_updates_[k].filtered) ++filtered_alarms_;
+    }
+    // Pass 2: track edges.
+    for (std::size_t k = 0; k < m; ++k) {
+      const AlarmUpdate& u = blk_updates_[k];
+      if (u.raised_edge) {
+        tracks_.open(ws.mapping[base + k].first, window.window_index);
+        ++track_opens_;
+      }
+      if (u.cleared_edge) {
+        tracks_.close(ws.mapping[base + k].first, window.window_index);
+        ++track_closes_;
+      }
+    }
+    // Pass 3: M_CE observes, enqueued into the track slab (applied in two
+    // batched kernel calls by the flush below).
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto& [sensor, l] = ws.mapping[base + k];
+      if (!tracks_.has_active_track(sensor)) continue;
+      const bool raw = l != ws.correct;
+      tracks_.observe(sensor, ws.correct, raw ? l : hmm::kBottomSymbol);
+      ++hmm_updates_;
+    }
+    // Pass 4: screen hysteresis resolution and history.
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto& [sensor, l] = ws.mapping[base + k];
+      const bool raw = l != ws.correct;
+      if (resolve_screens) {
+        screens_->resolve(sensor, !raw && !tracks_.has_active_track(sensor));
+      }
+      if (cfg_.record_history) {
+        SensorWindowInfo info;
+        info.mapped = l;
+        info.raw_alarm = raw;
+        info.filtered_alarm = blk_updates_[k].filtered;
+        summary.sensors.append(sensor, info);
+      }
+    }
+  }
+  tracks_.flush_window();
 }
 
 void DetectionPipeline::process_window_screened(const ObservationSet& window,
@@ -457,39 +483,7 @@ void DetectionPipeline::process_window_screened(const ObservationSet& window,
     summary.majority_size = ws.majority_size;
     summary.sensors.reserve(ws.mapping.size());
   }
-  {
-    util::ScopedTimerNs t(t_alarms_);
-    for (const auto& [sensor, l] : ws.mapping) {
-      const bool raw = l != ws.correct;
-      const AlarmUpdate u = alarms_.update(sensor, raw);
-      if (raw) ++raw_alarms_;
-      if (u.filtered) ++filtered_alarms_;
-      if (u.raised_edge) {
-        tracks_.open(sensor, window.window_index);
-        ++track_opens_;
-      }
-      if (u.cleared_edge) {
-        tracks_.close(sensor, window.window_index);
-        ++track_closes_;
-      }
-
-      if (tracks_.has_active_track(sensor)) {
-        const StateId e = raw ? l : hmm::kBottomSymbol;
-        tracks_.observe(sensor, ws.correct, e);
-        ++hmm_updates_;
-      }
-
-      screens_->resolve(sensor, !raw && !tracks_.has_active_track(sensor));
-
-      if (cfg_.record_history) {
-        SensorWindowInfo info;
-        info.mapped = l;
-        info.raw_alarm = raw;
-        info.filtered_alarm = u.filtered;
-        summary.sensors.append(sensor, info);
-      }
-    }
-  }
+  run_alarm_track_stage(window, summary, /*resolve_screens=*/true);
 
   {
     util::ScopedTimerNs t(t_hmm_);

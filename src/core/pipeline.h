@@ -219,6 +219,15 @@ class DetectionPipeline {
   void fill_residuals(const ObservationSet& window, std::span<const AttrVec> points,
                       const AttrVec& window_mean);
 
+  /// Stage (3): alarms and tracks over window_states_.mapping, iterated in
+  /// cache-sized sensor blocks as four passes (alarm updates, track edges,
+  /// batched M_CE observes, screen resolution + history). Every pass is
+  /// per-sensor independent, so the results are bit-identical to the old
+  /// interleaved loop -- but the M_CE row updates enqueue into the track
+  /// slab and coalesce into two kernel calls at the window flush.
+  void run_alarm_track_stage(const ObservationSet& window, WindowSummary& summary,
+                             bool resolve_screens);
+
   /// Inputs diagnose_*() would otherwise recompute per tracked sensor,
   /// computed once per (diagnosis, window) pair. Guarded by diag_mu_;
   /// invalidated by process_window and checkpoint load.
@@ -279,6 +288,7 @@ class DetectionPipeline {
   AttrVec screened_mean_;
   std::vector<double> resid_;
   std::vector<screen::ScreenDecision> screen_dec_;
+  std::vector<AlarmUpdate> blk_updates_;  // per-block alarm-stage scratch
 
   mutable util::CopyableMutex diag_mu_;
   mutable std::optional<DiagCache> diag_cache_;

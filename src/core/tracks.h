@@ -7,6 +7,17 @@
 //   e_i = bottom        when it (momentarily) agrees,
 // and the pair (c_i, e_i) feeds the track's online HMM M_CE, whose emission
 // matrix B^CE the classifier inspects for the error-type signatures.
+//
+// Storage: while a track is active its M_CE (and the sensor's pooled
+// aggregate M_CE) live in an OnlineHmmSlab lane -- contiguous
+// struct-of-arrays storage shared by every tracked sensor, updated in
+// batched kernel calls once per window (begin_window / flush_window
+// bracket the batch; observe() outside a bracket flushes immediately, so
+// standalone use keeps the one-call-one-update semantics). Closing a track
+// materializes the lane into the Track's `m_ce`, which from then on is the
+// authoritative copy; an ACTIVE track's `m_ce` member is empty -- readers
+// of live per-sensor evidence go through combined_m_ce(), which
+// materializes the aggregate lane on demand behind a dirty flag.
 
 #pragma once
 
@@ -16,18 +27,23 @@
 #include <optional>
 #include <vector>
 
+#include "hmm/hmm_slab.h"
 #include "hmm/online_hmm.h"
 #include "trace/record.h"
 #include "util/serialize_fwd.h"
+#include "util/sync.h"
 
 namespace sentinel::core {
 
 struct Track {
   std::size_t opened_window = 0;
   std::optional<std::size_t> closed_window;  // nullopt = still active
+  // Authoritative once the track closes; empty while the track is active
+  // (live state is in the TrackManager's slab lane).
   hmm::OnlineHmm m_ce;
   std::size_t observations = 0;        // windows fed (incl. bottom)
   std::size_t anomalous_observations = 0;  // windows with e != bottom
+  std::uint32_t lane = hmm::OnlineHmmSlab::kNoLane;  // slab lane while active
 
   explicit Track(hmm::OnlineHmmConfig cfg) : m_ce(cfg) {}
 
@@ -36,21 +52,36 @@ struct Track {
 
 class TrackManager {
  public:
-  explicit TrackManager(hmm::OnlineHmmConfig hmm_cfg) : hmm_cfg_(hmm_cfg) {}
+  explicit TrackManager(hmm::OnlineHmmConfig hmm_cfg)
+      : hmm_cfg_(hmm_cfg), slab_(hmm_cfg) {}
+
+  TrackManager(const TrackManager&) = delete;
+  TrackManager& operator=(const TrackManager&) = delete;
+  TrackManager(TrackManager&&) = default;
+  TrackManager& operator=(TrackManager&&) = default;
 
   /// Open a track for `sensor` at `window` (no-op if one is already active).
   void open(SensorId sensor, std::size_t window);
 
-  /// Close the active track, if any.
+  /// Close the active track, if any: its M_CE materializes out of the slab
+  /// into the Track record and the lane is recycled.
   void close(SensorId sensor, std::size_t window);
 
   bool has_active_track(SensorId sensor) const;
+
+  /// Bracket one observation window: observes inside the bracket batch
+  /// their EMA row updates into single kernel calls at flush_window().
+  /// Observes outside a bracket flush immediately (same results, one row
+  /// at a time) -- begin/flush is purely a batching hint.
+  void begin_window();
+  void flush_window();
 
   /// Feed one window's (c_i, e_i) to the sensor's active track.
   /// e = hmm::kBottomSymbol when the sensor agrees with the correct state.
   void observe(SensorId sensor, hmm::StateId correct, hmm::StateId error_state);
 
-  /// All tracks (closed and active) of a sensor, in open order.
+  /// All tracks (closed and active) of a sensor, in open order. An active
+  /// track's `m_ce` member is empty -- see combined_m_ce() for live state.
   const std::vector<Track>* tracks(SensorId sensor) const;
 
   /// The most informative track of a sensor: the one with the most anomalous
@@ -60,7 +91,9 @@ class TrackManager {
   /// Per-sensor evidence aggregated across ALL of the sensor's tracks: an
   /// intermittent fault (or a duty-cycled / state-gated attack) opens many
   /// short tracks, and the B^CE signature only becomes readable once their
-  /// observations are pooled.
+  /// observations are pooled. The view is materialized from the slab lane
+  /// on first call after an observe (mutex-guarded, safe under the
+  /// pipeline's concurrent const-read contract).
   const hmm::OnlineHmm* combined_m_ce(SensorId sensor) const;
   std::size_t total_anomalies(SensorId sensor) const;
 
@@ -69,9 +102,14 @@ class TrackManager {
 
   std::size_t total_tracks() const;
 
+  /// Batched-storage observability (see OnlineHmmSlab).
+  const hmm::OnlineHmmSlab& slab() const { return slab_; }
+
   /// Checkpointing: every track (with its M_CE) and per-sensor aggregates.
-  /// load() requires the same OnlineHmmConfig the saved instance had. The
-  /// stream overloads use the text codec on write, auto-detect on read.
+  /// Active-lane state materializes on the way out, so the bytes are
+  /// identical to what per-object storage would have written. load()
+  /// requires the same OnlineHmmConfig the saved instance had. The stream
+  /// overloads use the text codec on write, auto-detect on read.
   void save(serialize::Writer& w) const;
   void save(std::ostream& os) const;
   static TrackManager load(hmm::OnlineHmmConfig hmm_cfg, serialize::Reader& r);
@@ -79,10 +117,15 @@ class TrackManager {
 
  private:
   struct Aggregate {
-    hmm::OnlineHmm m_ce;
+    std::uint32_t lane;
     std::size_t anomalous = 0;
+    // Lazily materialized snapshot of the slab lane, refreshed behind the
+    // dirty flag on const reads (combined_m_ce, save).
+    mutable hmm::OnlineHmm view;
+    mutable bool view_dirty = true;
+    mutable util::CopyableMutex view_mu;
 
-    explicit Aggregate(hmm::OnlineHmmConfig cfg) : m_ce(cfg) {}
+    Aggregate(hmm::OnlineHmmConfig cfg, std::uint32_t l) : lane(l), view(cfg) {}
   };
 
   /// Small sensor ids answer has_active_track() from a flat flag array (the
@@ -90,11 +133,22 @@ class TrackManager {
   static constexpr SensorId kDenseLimit = 1u << 16;
 
   void set_active_flag(SensorId sensor, bool active);
+  void set_active_track(SensorId sensor, Track* track);
+  Track* active_track(SensorId sensor);
+  Aggregate& aggregate_for(SensorId sensor);
+  const hmm::OnlineHmm& refreshed_view(const Aggregate& agg) const;
 
   hmm::OnlineHmmConfig hmm_cfg_;
+  hmm::OnlineHmmSlab slab_;
   std::map<SensorId, std::vector<Track>> tracks_;
   std::map<SensorId, Aggregate> aggregates_;
   std::vector<std::uint8_t> active_dense_;  // 1 = active track, ids < kDenseLimit
+  // Dense hot-path caches for ids < kDenseLimit: the sensor's active Track
+  // (map vector elements -- stable while the track is active) and its
+  // Aggregate (map nodes -- always stable).
+  std::vector<Track*> active_track_dense_;
+  std::vector<Aggregate*> aggregate_dense_;
+  bool in_window_ = false;
 };
 
 }  // namespace sentinel::core

@@ -108,6 +108,10 @@ class OnlineHmm {
   static OnlineHmm load(OnlineHmmConfig cfg, std::istream& is);
 
  private:
+  // The slab (hmm/hmm_slab.h) stores the same estimator state in contiguous
+  // per-lane arenas and materializes/adopts OnlineHmm objects field-wise.
+  friend class OnlineHmmSlab;
+
   std::size_t intern_hidden(StateId id, StateId first_symbol);
   std::size_t intern_symbol(StateId id);
 

@@ -62,6 +62,21 @@ void dist2_block_avx2(const double* block, std::size_t count, std::size_t stride
     }
     return;
   }
+  if (stride == 8) {
+    // 5..8-attribute rows (the perf_screen fleet shape). Unrolls the two
+    // vector iterations of dist2_avx2; per lane the accumulation is
+    // (0 + d0^2) + d1^2 there and d0^2 + d1^2 here -- squares are never
+    // -0.0, so adding from +0.0 is exact and the results are bit-identical.
+    const __m256d q0 = _mm256_loadu_pd(p);
+    const __m256d q1 = _mm256_loadu_pd(p + 4);
+    for (std::size_t s = 0; s < count; ++s) {
+      const double* row = block + s * 8;
+      const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(row), q0);
+      const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(row + 4), q1);
+      out[s] = reduce_tree(_mm256_add_pd(_mm256_mul_pd(d0, d0), _mm256_mul_pd(d1, d1)));
+    }
+    return;
+  }
   for (std::size_t s = 0; s < count; ++s) {
     out[s] = dist2_avx2(block + s * stride, p, stride);
   }
@@ -160,6 +175,14 @@ void mat_vec_avx2(const double* m, const double* x, std::size_t rows, std::size_
   for (std::size_t r = 0; r < rows; ++r) out[r] = dot_avx2(m + r * stride, x, cols);
 }
 
+void mat_vec_block_avx2(const double* m, const double* xs, std::size_t count,
+                        std::size_t xstride, std::size_t rows, std::size_t cols,
+                        std::size_t stride, double* out) {
+  for (std::size_t k = 0; k < count; ++k) {
+    mat_vec_avx2(m, xs + k * xstride, rows, cols, stride, out + k * rows);
+  }
+}
+
 void scale_avx2(double* v, std::size_t n, double s) {
   const __m256d k = _mm256_set1_pd(s);
   std::size_t i = 0;
@@ -172,6 +195,23 @@ void div_scale_avx2(double* v, std::size_t n, double d) {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) _mm256_storeu_pd(v + i, _mm256_div_pd(_mm256_loadu_pd(v + i), k));
   for (; i < n; ++i) v[i] /= d;
+}
+
+void ema_scale_bump_rows_avx2(double* base, const std::size_t* offs, const std::uint32_t* cols,
+                              std::size_t count, std::size_t n, double s, double bump) {
+  const __m256d k = _mm256_set1_pd(s);
+  for (std::size_t r = 0; r < count; ++r) {
+    double* v = base + offs[r];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) _mm256_storeu_pd(v + i, _mm256_mul_pd(_mm256_loadu_pd(v + i), k));
+    for (; i < n; ++i) v[i] *= s;
+    v[cols[r]] += bump;
+  }
+}
+
+void div_scale_rows_avx2(double* base, const std::size_t* offs, const double* divisors,
+                         std::size_t count, std::size_t n) {
+  for (std::size_t r = 0; r < count; ++r) div_scale_avx2(base + offs[r], n, divisors[r]);
 }
 
 void axpy_avx2(double* y, const double* x, std::size_t n, double a) {
@@ -250,7 +290,9 @@ MaxPlusResult max_plus_avx2(const double* x, const double* y, std::size_t n) {
 constexpr Kernels kAvx2Kernels{
     "avx2",        dist2_block_avx2, dist2_avx2, dot_avx2,       sum_avx2,
     sumsq_avx2,    sum_sumsq_avx2,
-    vec_mat_avx2,  mat_vec_avx2,     scale_avx2, div_scale_avx2,
+    vec_mat_avx2,  mat_vec_avx2,     mat_vec_block_avx2,
+    scale_avx2,    div_scale_avx2,
+    ema_scale_bump_rows_avx2, div_scale_rows_avx2,
     axpy_avx2,     mul_avx2,         mul_axpy_avx2,
     normalize_avx2, max_plus_avx2,
 };

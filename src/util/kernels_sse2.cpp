@@ -158,6 +158,14 @@ void mat_vec_sse2(const double* m, const double* x, std::size_t rows, std::size_
   for (std::size_t r = 0; r < rows; ++r) out[r] = dot_sse2(m + r * stride, x, cols);
 }
 
+void mat_vec_block_sse2(const double* m, const double* xs, std::size_t count,
+                        std::size_t xstride, std::size_t rows, std::size_t cols,
+                        std::size_t stride, double* out) {
+  for (std::size_t k = 0; k < count; ++k) {
+    mat_vec_sse2(m, xs + k * xstride, rows, cols, stride, out + k * rows);
+  }
+}
+
 void scale_sse2(double* v, std::size_t n, double s) {
   const __m128d k = _mm_set1_pd(s);
   std::size_t i = 0;
@@ -170,6 +178,23 @@ void div_scale_sse2(double* v, std::size_t n, double d) {
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) _mm_storeu_pd(v + i, _mm_div_pd(_mm_loadu_pd(v + i), k));
   for (; i < n; ++i) v[i] /= d;
+}
+
+void ema_scale_bump_rows_sse2(double* base, const std::size_t* offs, const std::uint32_t* cols,
+                              std::size_t count, std::size_t n, double s, double bump) {
+  const __m128d k = _mm_set1_pd(s);
+  for (std::size_t r = 0; r < count; ++r) {
+    double* v = base + offs[r];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) _mm_storeu_pd(v + i, _mm_mul_pd(_mm_loadu_pd(v + i), k));
+    for (; i < n; ++i) v[i] *= s;
+    v[cols[r]] += bump;
+  }
+}
+
+void div_scale_rows_sse2(double* base, const std::size_t* offs, const double* divisors,
+                         std::size_t count, std::size_t n) {
+  for (std::size_t r = 0; r < count; ++r) div_scale_sse2(base + offs[r], n, divisors[r]);
 }
 
 void axpy_sse2(double* y, const double* x, std::size_t n, double a) {
@@ -259,7 +284,9 @@ MaxPlusResult max_plus_sse2(const double* x, const double* y, std::size_t n) {
 constexpr Kernels kSse2Kernels{
     "sse2",        dist2_block_sse2, dist2_sse2, dot_sse2,       sum_sse2,
     sumsq_sse2,    sum_sumsq_sse2,
-    vec_mat_sse2,  mat_vec_sse2,     scale_sse2, div_scale_sse2,
+    vec_mat_sse2,  mat_vec_sse2,     mat_vec_block_sse2,
+    scale_sse2,    div_scale_sse2,
+    ema_scale_bump_rows_sse2, div_scale_rows_sse2,
     axpy_sse2,     mul_sse2,         mul_axpy_sse2,
     normalize_sse2, max_plus_sse2,
 };

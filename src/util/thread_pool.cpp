@@ -56,6 +56,13 @@ std::size_t default_concurrency() {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = default_concurrency();
+  logical_size_ = threads;
+  if (threads == 1) {
+    // A single worker serializes every task anyway: skip the thread and the
+    // queue handoff entirely and run tasks inline at post() (see header).
+    inline_mode_ = true;
+    return;
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -73,6 +80,17 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   if (!task) throw std::invalid_argument("ThreadPool::post: null task");
+  if (inline_mode_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool::post on stopping pool");
+    }
+    // Recursive: a task posting nested work runs it immediately rather than
+    // deadlocking on its own lock.
+    std::lock_guard<std::recursive_mutex> run(inline_mu_);
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) throw std::runtime_error("ThreadPool::post on stopping pool");

@@ -9,6 +9,15 @@
 // pool can be torn down without orphaning submitted work. Tasks must not
 // block on other tasks of the same pool (no nested submit-and-wait), or a
 // pool smaller than the wait chain deadlocks.
+//
+// A pool sized to ONE worker spawns no thread at all: a single worker
+// serializes every task anyway, so post() runs the task inline on the
+// posting thread under a (recursive) mutex -- same one-at-a-time ordering,
+// none of the enqueue/wake/context-switch handoff. Two visible differences,
+// both documented behavior: a task posted from inside a task runs
+// immediately (nested post) instead of after the outer task, and a
+// throwing post()ed task propagates to the poster instead of terminating a
+// worker -- post() tasks must not throw either way.
 
 #pragma once
 
@@ -66,7 +75,9 @@ class ThreadPool {
     return fut;
   }
 
-  std::size_t size() const { return workers_.size(); }
+  /// Logical worker count -- what the pool was sized to, whether the
+  /// workers are real threads or the inline single-worker mode.
+  std::size_t size() const { return logical_size_; }
 
   /// Process-wide pool sized to the hardware, for callers that want to share
   /// workers instead of owning a pool (bench trace generation). Created on
@@ -81,6 +92,9 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  std::size_t logical_size_ = 0;
+  bool inline_mode_ = false;           // size 1: run tasks on the poster
+  std::recursive_mutex inline_mu_;     // serializes inline execution
 };
 
 }  // namespace sentinel::util

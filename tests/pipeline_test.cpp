@@ -245,5 +245,42 @@ TEST(Pipeline, MuteSensorSimplyDisappears) {
   EXPECT_LT(windows_with_1, 8u);
 }
 
+TEST(Pipeline, BlockBoundarySensorCountsDiagnoseAndCheckpointStably) {
+  // The alarm/track stage iterates sensors in 256-wide blocks. Fleet sizes
+  // straddling that block size -- including a final partial block of one --
+  // must behave exactly like any other size: faulted sensors at the block
+  // edges get their tracks, everyone else stays clean, and the checkpoint
+  // (which drains active tracks out of the slab) round-trips byte-stably.
+  const CycleEnvironment env;
+  for (const std::size_t n_sensors : {255ul, 256ul, 257ul}) {
+    auto plan = std::make_shared<faults::InjectionPlan>();
+    // Faults on the first sensor of the run, the last of the first block,
+    // and the first/last of the final (possibly 1-wide) block.
+    std::vector<SensorId> faulted = {0, 254};
+    if (n_sensors > 255) faulted.push_back(255);
+    if (n_sensors > 256) faulted.push_back(256);
+    for (const SensorId s : faulted) {
+      plan->add(s, std::make_unique<faults::StuckAtFault>(AttrVec{20.0, 5.0}),
+                0.25 * kSecondsPerDay);
+    }
+    DetectionPipeline p(test_config());
+    p.process_trace(simulate(env, kSecondsPerDay, plan, n_sensors));
+
+    EXPECT_EQ(p.windows_processed(), 24u) << n_sensors;
+    EXPECT_EQ(p.tracks().tracked_sensors(), faulted) << n_sensors;
+    for (const SensorId s : faulted) {
+      EXPECT_NE(p.m_ce(s), nullptr) << "sensor " << s << " of " << n_sensors;
+    }
+
+    std::stringstream first;
+    p.save_checkpoint(first);
+    std::istringstream in(first.str());
+    DetectionPipeline restored(test_config(), in);
+    std::stringstream second;
+    restored.save_checkpoint(second);
+    EXPECT_EQ(second.str(), first.str()) << n_sensors;
+  }
+}
+
 }  // namespace
 }  // namespace sentinel::core

@@ -69,6 +69,84 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
   EXPECT_THROW(pool.post(nullptr), std::invalid_argument);
 }
 
+// --- Single-worker inline mode ----------------------------------------------
+
+TEST(ThreadPoolInline, SizeOneSpawnsNoThreadAndRunsOnThePoster) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);  // logical size, even without a real worker
+  const auto poster = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool done = false;
+  pool.post([&] {
+    ran_on = std::this_thread::get_id();
+    done = true;
+  });
+  // post() returned => the task already ran, on this very thread.
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ran_on, poster);
+}
+
+TEST(ThreadPoolInline, SubmitFuturesAndOrderMatchQueueSemantics) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(pool.submit([i, &order] {
+      order.push_back(i);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+  std::vector<int> want(16);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);  // post order, exactly like a one-worker queue
+}
+
+TEST(ThreadPoolInline, SubmitPropagatesExceptionsAndPoolSurvives) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolInline, NestedPostRunsImmediately) {
+  // Documented inline-mode semantics: a task posted from inside a task runs
+  // before the outer post() returns (the recursive mutex admits it).
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.post([&] {
+    order.push_back(1);
+    pool.post([&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadPoolInline, ConcurrentPostersStaySerialized) {
+  ThreadPool pool(1);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::atomic<int> ran{0};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        pool.post([&] {
+          const int now = in_flight.fetch_add(1) + 1;
+          int prev = max_in_flight.load();
+          while (now > prev && !max_in_flight.compare_exchange_weak(prev, now)) {
+          }
+          in_flight.fetch_sub(1);
+          ran.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& p : posters) p.join();
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_EQ(max_in_flight.load(), 1);  // never two tasks at once
+}
+
 TEST(ThreadPool, SharedPoolIsUsable) {
   auto& pool = ThreadPool::shared();
   EXPECT_GE(pool.size(), 1u);

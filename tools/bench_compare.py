@@ -7,7 +7,8 @@ Usage:
 Exit codes:
     0  no benchmark regressed by more than the threshold
     1  at least one benchmark regressed (or an input is unreadable/malformed)
-    2  refused: the two files were not measured on the same machine
+    2  refused: the two files were not measured on the same machine, or one
+       of them came from a non-release build
 
 The baseline is a committed BENCH_*.json (e.g. BENCH_screen.json); the
 candidate is the JSON a fresh run of the same bench binary just wrote. Rows
@@ -26,6 +27,13 @@ selected. If either file lacks those fields, or any of them disagree, the
 diff is refused with exit 2 (CI treats that as a skip, not a failure): a
 "regression" measured against a baseline from a different CPU budget or a
 different SIMD level is noise, not signal.
+
+The same logic refuses debug numbers outright: the bench binaries stamp the
+application's build type into the context as library_build_type (overriding
+google-benchmark's own key, which describes how the benchmark LIBRARY was
+compiled -- irrelevant and misleadingly "debug" with distro packages). A
+baseline or candidate whose library_build_type is not "release" is refused
+with exit 2: -O0 throughput is not comparable to anything.
 """
 
 import argparse
@@ -74,6 +82,16 @@ def check_same_machine(base_doc, cand_doc, base_path, cand_path):
         sys.exit(2)
 
 
+def check_release_build(doc, path):
+    build = doc["context"].get("library_build_type")
+    if build != "release":
+        print(f"bench_compare: REFUSED -- {path} was produced by a "
+              f"'{build}' build (library_build_type); only release-build "
+              "numbers are comparable. Re-run the bench from a release tree "
+              "(-DCMAKE_BUILD_TYPE=Release).", file=sys.stderr)
+        sys.exit(2)
+
+
 def comparable_rows(doc, path):
     """Name -> row. Median aggregates when present, else iteration rows."""
     rows = {}
@@ -116,6 +134,8 @@ def main():
     base_doc = load(args.baseline)
     cand_doc = load(args.candidate)
     check_same_machine(base_doc, cand_doc, args.baseline, args.candidate)
+    check_release_build(base_doc, args.baseline)
+    check_release_build(cand_doc, args.candidate)
 
     base_rows = comparable_rows(base_doc, args.baseline)
     cand_rows = comparable_rows(cand_doc, args.candidate)
