@@ -9,8 +9,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -19,6 +24,35 @@
 #include "metrics_main.h"
 #include "sim/simulator.h"
 #include "util/thread_pool.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+
+// Count every heap allocation in the process (same minimal override as
+// perf_pipeline): the ingest sweeps report allocs_per_record, and the
+// steady-state bench below asserts the fused path stays off the allocator.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -81,7 +115,9 @@ void BM_FleetIngestDiagnose(benchmark::State& state) {
   // every shard's queue stays busy and ingestion overlaps.
   constexpr std::size_t kBurst = 1024;
 
+  std::uint64_t allocs = 0;
   for (auto _ : state) {
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
     core::FleetConfig fc;
     fc.threads = threads;
     core::FleetMonitor fleet(fc);
@@ -102,9 +138,80 @@ void BM_FleetIngestDiagnose(benchmark::State& state) {
     fleet.finish();
     const auto report = fleet.diagnose();
     benchmark::DoNotOptimize(report.overall);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * records_per_iter));
+  // Raw record throughput (the fleet capacity-planning unit) and whole-run
+  // allocator pressure. allocs_per_record here covers the full lifecycle --
+  // fleet construction, cold-start growth, finish, diagnose -- so it is an
+  // upper bound; BM_FleetIngestSteadyState isolates the steady-state ingest
+  // loop and asserts it stays allocation-free.
+  state.counters["records_per_second"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * records_per_iter),
+                         benchmark::Counter::kIsRate);
+  state.counters["allocs_per_record"] = benchmark::Counter(
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(allocs) /
+                static_cast<double>(state.iterations() * records_per_iter));
+}
+
+/// Steady-state fused ingest: one serial region, the decode -> window ->
+/// screen-cache data plane only (no finish/diagnose in the timed loop). A
+/// warm-up pass over the full trace grows every recycled buffer (windower
+/// slots, gather gathers, pipeline scratch, alarm rows); the counted pass
+/// replays the identical trace time-shifted by a whole number of windows, so
+/// every record takes the same path through warm state. The fused path's
+/// contract -- zero allocations per record at steady state -- is asserted
+/// in-bench (a tiny epsilon absorbs the amortized history-arena slabs and
+/// alarm-edge track churn, which are per-window, not per-record).
+void BM_FleetIngestSteadyState(benchmark::State& state) {
+  const FleetWorkload& w = workload();
+  const std::vector<SensorRecord>& trace = w.traces[0];
+  constexpr std::size_t kBurst = 1024;
+
+  // Shift pass 2 by the trace duration rounded up to a whole window so the
+  // replayed records open fresh windows instead of arriving late.
+  const double window = w.pipeline_config.window_seconds;
+  double t_max = 0.0;
+  for (const auto& rec : trace) t_max = std::max(t_max, rec.time);
+  const double shift = (std::floor(t_max / window) + 1.0) * window;
+  std::vector<SensorRecord> shifted = trace;
+  for (auto& rec : shifted) rec.time += shift;
+
+  std::uint64_t hot_allocs = 0;
+  std::uint64_t hot_records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FleetConfig fc;
+    fc.threads = 1;
+    core::FleetMonitor fleet(fc);
+    fleet.add_region("r", w.pipeline_config);
+    for (std::size_t off = 0; off < trace.size(); off += kBurst) {
+      const std::size_t len = std::min(kBurst, trace.size() - off);
+      fleet.add_records("r", {trace.data() + off, len});
+    }
+    state.ResumeTiming();
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (std::size_t off = 0; off < shifted.size(); off += kBurst) {
+      const std::size_t len = std::min(kBurst, shifted.size() - off);
+      fleet.add_records("r", {shifted.data() + off, len});
+    }
+    hot_allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    hot_records += shifted.size();
+    benchmark::DoNotOptimize(fleet.region("r").windows_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hot_records));
+  const double allocs_per_record =
+      hot_records == 0 ? 0.0
+                       : static_cast<double>(hot_allocs) / static_cast<double>(hot_records);
+  state.counters["records_per_second"] = benchmark::Counter(
+      static_cast<double>(hot_records), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_record"] = benchmark::Counter(allocs_per_record);
+  if (allocs_per_record > 0.01) {
+    state.SkipWithError("fused ingest path allocated at steady state");
+  }
 }
 
 /// Crash-consistent checkpointing tax (docs/RELIABILITY.md): the same
@@ -218,6 +325,8 @@ BENCHMARK(BM_FleetIngestDiagnose)
     ->ArgNames({"regions", "threads"})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+BENCHMARK(BM_FleetIngestSteadyState)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK(BM_FleetCheckpointOverhead)
     ->Arg(0)

@@ -34,6 +34,7 @@
 
 #include "core/fleet.h"
 #include "faults/fault_models.h"
+#include "metrics_main.h"
 #include "faults/injection_plan.h"
 #include "sim/simulator.h"
 #include "trace/binary_trace.h"
@@ -258,4 +259,8 @@ BENCHMARK(BM_ReadCsvZeroCopy);
 BENCHMARK(BM_ReadBinary);
 BENCHMARK(BM_EndToEndFleetCsv);
 BENCHMARK(BM_EndToEndFleetBinary);
-BENCHMARK_MAIN();
+
+// metrics_main stamps the machine.* context fields (CPU budget, kernel
+// level) and the library build type into the JSON, which is what lets
+// tools/bench_compare.py gate BENCH_io.json in CI.
+int main(int argc, char** argv) { return sentinel::bench_main::run(argc, argv); }

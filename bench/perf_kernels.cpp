@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics_main.h"
 #include "util/kernels.h"
 #include "util/rng.h"
 
@@ -154,13 +155,12 @@ void register_for_level(kern::Level level) {
 
 }  // namespace
 
+// metrics_main stamps the machine.* context fields and the library build
+// type (this binary's, not libbenchmark's) into the JSON, which is what
+// lets tools/bench_compare.py gate BENCH_kernels.json.
 int main(int argc, char** argv) {
   for (const kern::Level level : {kern::Level::scalar, kern::Level::sse2, kern::Level::avx2}) {
     register_for_level(level);
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return sentinel::bench_main::run(argc, argv);
 }

@@ -145,7 +145,12 @@ struct FleetMonitor::Shard {
   std::vector<SensorRecord> producer_buf;  // producer-thread-only
   std::mutex mu;
   std::condition_variable cv;  // queue shrank, drain finished, or error set
-  std::deque<SensorRecord> queue;
+  // Queue of whole producer batches: handoff moves one vector instead of
+  // copying records element-wise, and the drain side replays each batch
+  // through the pipeline's fused add_records span entry. queue_records
+  // tracks the record total for backpressure.
+  std::deque<std::vector<SensorRecord>> queue;
+  std::size_t queue_records = 0;
   std::deque<ObservationSet> window_queue;  // add_window feed (coarse; uncapped)
   bool draining = false;       // a pool task owns this shard's pipeline
   std::exception_ptr error;    // first pipeline exception, folded into health
@@ -419,16 +424,18 @@ void FleetMonitor::add_records(const std::string& region, std::span<const Sensor
   }
   if (!pool_) {
     auto& pipeline = regions_.find(region)->second;
-    std::size_t i = 0;
     try {
-      for (; i < recs.size(); ++i) {
-        pipeline.add_record(recs[i]);
-        ++st.records_ingested;
-      }
+      // One fused span pass through the pipeline's windower -- no
+      // per-record dispatch. Accounting is span-granular: a pipeline
+      // exception quarantines the region and counts the whole span as
+      // dropped (the poisoned pipeline's exact progress is unknowable and
+      // the region stops voting either way).
+      pipeline.add_records(recs);
+      st.records_ingested += recs.size();
     } catch (...) {
       const auto err = std::current_exception();
-      st.records_dropped += recs.size() - i;
-      m_dropped_->add(recs.size() - i);
+      st.records_dropped += recs.size();
+      m_dropped_->add(recs.size());
       quarantine(region,
                  util::Status(util::StatusCode::kInternal,
                               "region " + region + ": pipeline failed: " + describe(err)),
@@ -681,24 +688,28 @@ FleetMonitor::IngestSummary FleetMonitor::ingest_file(const std::string& region,
 /// worker error makes this a drop-and-fold instead of a handoff.
 void FleetMonitor::flush_shard(Shard& sh) const {
   if (sh.producer_buf.empty()) return;
+  const std::size_t nbuf = sh.producer_buf.size();
   bool start_drain = false;
   bool failed = false;
   {
     std::unique_lock<std::mutex> lock(sh.mu);
     if (!sh.error) {
-      // Backpressure: block while the region's queue is at capacity. A full
-      // queue is a documented-healthy state (the producer simply outran the
-      // pipeline), counted so operators can size max_queue_records.
-      if (sh.queue.size() >= cfg_.max_queue_records) m_backpressure_->inc();
-      sh.cv.wait(lock, [&] { return sh.queue.size() < cfg_.max_queue_records || sh.error; });
+      // Backpressure: block while the region's queue is at capacity
+      // (records, not batches). A full queue is a documented-healthy state
+      // (the producer simply outran the pipeline), counted so operators can
+      // size max_queue_records.
+      if (sh.queue_records >= cfg_.max_queue_records) m_backpressure_->inc();
+      sh.cv.wait(lock, [&] { return sh.queue_records < cfg_.max_queue_records || sh.error; });
     }
     if (sh.error) {
-      sh.dropped += sh.producer_buf.size();
+      sh.dropped += nbuf;
       failed = true;
     } else {
-      sh.queue.insert(sh.queue.end(), std::make_move_iterator(sh.producer_buf.begin()),
-                      std::make_move_iterator(sh.producer_buf.end()));
-      m_queue_depth_->record(sh.queue.size());
+      // Whole-batch handoff: one vector move, no per-record copies. The
+      // drain side applies the batch as a single fused span.
+      sh.queue.push_back(std::move(sh.producer_buf));
+      sh.queue_records += nbuf;
+      m_queue_depth_->record(sh.queue_records);
       if (!sh.draining) {
         sh.draining = true;
         start_drain = true;
@@ -706,7 +717,7 @@ void FleetMonitor::flush_shard(Shard& sh) const {
     }
   }
   m_handoffs_->inc();
-  if (!failed) m_enqueued_->add(sh.producer_buf.size());
+  if (!failed) m_enqueued_->add(nbuf);
   sh.producer_buf.clear();
   if (start_drain) {
     pool_->post([this, &sh] { drain_shard(sh); });
@@ -716,8 +727,9 @@ void FleetMonitor::flush_shard(Shard& sh) const {
 
 void FleetMonitor::drain_shard(Shard& sh) const {
   for (;;) {
-    std::deque<SensorRecord> batch;
+    std::deque<std::vector<SensorRecord>> batches;
     std::deque<ObservationSet> wbatch;
+    std::size_t taken = 0;
     {
       std::lock_guard<std::mutex> lock(sh.mu);
       if (sh.queue.empty() && sh.window_queue.empty()) {
@@ -725,37 +737,45 @@ void FleetMonitor::drain_shard(Shard& sh) const {
         sh.cv.notify_all();
         return;
       }
-      batch.swap(sh.queue);
+      batches.swap(sh.queue);
+      taken = sh.queue_records;
+      sh.queue_records = 0;
       wbatch.swap(sh.window_queue);
     }
     sh.cv.notify_all();  // queue emptied; unblock backpressured producers
     std::size_t applied = 0;
     std::size_t wapplied = 0;
     try {
-      for (const auto& rec : batch) {
-        sh.pipeline->add_record(rec);
-        ++applied;
+      // Each handed-off batch replays as one fused span -- FIFO order, so
+      // the record sequence (hence the report) is identical to the serial
+      // path's.
+      for (const auto& batch : batches) {
+        sh.pipeline->add_records(batch);
+        applied += batch.size();
       }
       for (const auto& w : wbatch) {
         sh.pipeline->process_window(w);
         ++wapplied;
       }
-      m_drained_->add(batch.size());
+      m_drained_->add(taken);
       m_drain_batches_->inc();
       SENTINEL_FAULT_POINT(util::fault::kDrainBatch);
     } catch (...) {
       // Park the failure for the producer to fold into the region's health;
-      // everything behind the poison record is discarded (the pipeline's
+      // everything from the poison batch on is discarded (the pipeline's
       // state after a throw is unknown, so applying more would be worse).
-      // Unapplied windows count at their record weight, matching ingest.
+      // Accounting is span-granular: the failing batch counts as dropped in
+      // full. Unapplied windows count at their record weight, matching
+      // ingest.
       std::lock_guard<std::mutex> lock(sh.mu);
       sh.error = std::current_exception();
-      sh.dropped += (batch.size() - applied) + sh.queue.size();
+      sh.dropped += (taken - applied) + sh.queue_records;
       for (std::size_t i = wapplied; i < wbatch.size(); ++i) {
         sh.dropped += wbatch[i].sensor_count();
       }
       for (const auto& w : sh.window_queue) sh.dropped += w.sensor_count();
       sh.queue.clear();
+      sh.queue_records = 0;
       sh.window_queue.clear();
       sh.draining = false;
       sh.cv.notify_all();

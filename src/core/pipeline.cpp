@@ -35,7 +35,7 @@ util::Histogram& stage_histogram(const char* name) {
 DetectionPipeline::DetectionPipeline(PipelineConfig cfg)
     : cfg_(std::move(cfg)),
       states_(cfg_.model_states, cfg_.initial_states),
-      windower_(cfg_.window_seconds),
+      windower_(WindowerConfig{cfg_.window_seconds, cfg_.keep_raw}),
       alarms_(cfg_.alarm_filter),
       tracks_(hmm_config(cfg_)),
       m_co_(hmm_config(cfg_)) {
@@ -143,7 +143,15 @@ void DetectionPipeline::save_checkpoint(std::ostream& os, serialize::Format form
 }
 
 void DetectionPipeline::add_record(const SensorRecord& rec) {
-  windower_.add(rec, [this](ObservationSet&& window) { process_window(window); });
+  add_records(std::span<const SensorRecord>(&rec, 1));
+}
+
+void DetectionPipeline::add_records(std::span<const SensorRecord> recs) {
+  // One fused pass: the windower's columnar accumulators run inline over the
+  // batch, and each completed window is processed in place through the
+  // recycled emission object -- no per-record virtual dispatch, no window
+  // materialization, and (keep_raw off) no allocations per record.
+  windower_.add_batch(recs, [this](ObservationSet&& window) { process_window(window); });
 }
 
 void DetectionPipeline::finish() {
@@ -240,7 +248,7 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
     summary.observable = ws.observable;
     summary.correct = ws.correct;
     summary.majority_size = ws.majority_size;
-    summary.sensors.reserve(ws.mapping.size());
+    hist_scratch_.clear();
   }
   // kFull: feed the hysteresis the same full-tier verdict kScreen would.
   run_alarm_track_stage(window, summary, /*resolve_screens=*/screens_ != nullptr);
@@ -274,13 +282,24 @@ void DetectionPipeline::process_window(const ObservationSet& window) {
   }
 
   ++windows_processed_;
-  if (cfg_.record_history) history_.push_back(std::move(summary));
+  if (cfg_.record_history) commit_history(summary);
 
   // The learned state advanced: drop the memoized diagnosis inputs.
   {
     std::lock_guard<std::mutex> lock(diag_mu_.get());
     diag_cache_.reset();
   }
+}
+
+void DetectionPipeline::commit_history(WindowSummary& summary) {
+  // Park the staged per-sensor rows (ascending sensor order, built by the
+  // alarm/track stage) in the slab arena and retain a view over them: the
+  // history append itself never allocates, and the arena grows one slab per
+  // ~4096 rows.
+  const auto rows = history_arena_.alloc(hist_scratch_.size());
+  std::copy(hist_scratch_.begin(), hist_scratch_.end(), rows.begin());
+  summary.sensors = util::FlatMapView<SensorId, SensorWindowInfo>(rows.data(), rows.size());
+  history_.push_back(summary);
 }
 
 void DetectionPipeline::fill_residuals(const ObservationSet& window,
@@ -358,7 +377,7 @@ void DetectionPipeline::run_alarm_track_stage(const ObservationSet& window,
         info.mapped = l;
         info.raw_alarm = raw;
         info.filtered_alarm = blk_updates_[k].filtered;
-        summary.sensors.append(sensor, info);
+        hist_scratch_.emplace_back(sensor, info);
       }
     }
   }
@@ -481,7 +500,7 @@ void DetectionPipeline::process_window_screened(const ObservationSet& window,
     summary.observable = ws.observable;
     summary.correct = ws.correct;
     summary.majority_size = ws.majority_size;
-    summary.sensors.reserve(ws.mapping.size());
+    hist_scratch_.clear();
   }
   run_alarm_track_stage(window, summary, /*resolve_screens=*/true);
 
@@ -525,7 +544,7 @@ void DetectionPipeline::process_window_screened(const ObservationSet& window,
   }
 
   ++windows_processed_;
-  if (cfg_.record_history) history_.push_back(std::move(summary));
+  if (cfg_.record_history) commit_history(summary);
 
   {
     std::lock_guard<std::mutex> lock(diag_mu_.get());

@@ -40,6 +40,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/alarms.h"
@@ -53,6 +54,7 @@
 #include "hmm/online_hmm.h"
 #include "screen/screen.h"
 #include "trace/windower.h"
+#include "util/arena.h"
 #include "util/flat_map.h"
 #include "util/serialize_fwd.h"
 #include "util/sync.h"
@@ -95,9 +97,11 @@ struct WindowSummary {
   StateId observable = 0;  // o_i
   StateId correct = 0;     // c_i
   std::size_t majority_size = 0;
-  /// Per-sensor records in ascending sensor order. A sorted flat map: one
-  /// allocation per window instead of one tree node per sensor per window.
-  util::FlatMap<SensorId, SensorWindowInfo> sensors;
+  /// Per-sensor records in ascending sensor order. A sorted view into the
+  /// pipeline's history arena: retaining a window allocates nothing at
+  /// steady state (the arena grows one slab per ~4096 rows). Valid for the
+  /// owning pipeline's lifetime.
+  util::FlatMapView<SensorId, SensorWindowInfo> sensors;
 };
 
 /// What save_checkpoint persists.
@@ -140,6 +144,13 @@ class DetectionPipeline {
   /// Streaming entry point: records must arrive roughly time-ordered; the
   /// internal windower closes windows as time advances.
   void add_record(const SensorRecord& rec);
+
+  /// Bulk streaming entry: one fused pass over a decoded batch. The windower
+  /// accumulates columnar per-sensor sums inline and each completed window is
+  /// processed in place -- no per-record dispatch overhead and, with
+  /// keep_raw off, no allocations per record at steady state. Equivalent to
+  /// calling add_record on each element in order.
+  void add_records(std::span<const SensorRecord> recs);
 
   /// Close the final partial window.
   void finish();
@@ -228,6 +239,10 @@ class DetectionPipeline {
   void run_alarm_track_stage(const ObservationSet& window, WindowSummary& summary,
                              bool resolve_screens);
 
+  /// Move the staged hist_scratch_ rows into the history arena, point
+  /// `summary.sensors` at them, and append the summary to history_.
+  void commit_history(WindowSummary& summary);
+
   /// Inputs diagnose_*() would otherwise recompute per tracked sensor,
   /// computed once per (diagnosis, window) pair. Guarded by diag_mu_;
   /// invalidated by process_window and checkpoint load.
@@ -253,6 +268,11 @@ class DetectionPipeline {
   std::optional<StateId> prev_correct_;
   std::optional<StateId> prev_observable_;
   std::vector<WindowSummary> history_;
+  /// Backing store for WindowSummary::sensors rows (stable addresses).
+  util::SlabArena<std::pair<SensorId, SensorWindowInfo>> history_arena_;
+  /// Recycled staging buffer the alarm/track stage fills before the rows are
+  /// copied into the arena (only when record_history is on).
+  std::vector<std::pair<SensorId, SensorWindowInfo>> hist_scratch_;
   std::size_t windows_processed_ = 0;
   std::size_t windows_skipped_ = 0;
   std::size_t raw_alarms_ = 0;

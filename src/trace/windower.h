@@ -3,18 +3,31 @@
 // The collector node partitions incoming observations into windows of
 // duration w: O_i = { p | <t,p> in O  and  w*(i-1) <= t <= w*i }.
 //
-// An ObservationSet carries both the raw observations of the window and the
-// per-sensor *representatives* (the mean of a sensor's samples within the
-// window). The pipeline maps each sensor's representative to a model state
+// An ObservationSet carries the per-sensor *representatives* (the mean of a
+// sensor's samples within the window) plus the screen-tier caches derived
+// from them; the pipeline maps each sensor's representative to a model state
 // (eq. (3)), so a sensor contributes one vote per window regardless of how
-// many of its packets survived the radio.
+// many of its packets survived the radio. Raw per-record retention is an
+// opt-in (WindowerConfig::keep_raw) -- the fleet path consumes only the flat
+// rep arrays and cached_mean.
+//
+// The windower itself is columnar: per-sensor running sums live in
+// slot-indexed SoA arenas (O(1) sensor-id -> slot, reused across windows), a
+// record's floating-point adds are batched through the kernel dispatch
+// table's accum_rows/sum_rows entries, and every per-window container is
+// recycled, so the steady-state ingest path performs zero allocations per
+// record. Finalization reproduces the legacy map-based accumulation order
+// bit-for-bit (see windower.cpp), so goldens and checkpoints are unchanged.
 
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -28,25 +41,29 @@ struct ObservationSet {
   double window_start = 0.0;     // seconds
   double window_end = 0.0;       // seconds
 
-  /// All raw attribute vectors received in this window.
+  /// All raw attribute vectors received in this window. Populated only when
+  /// the producing windower keeps raw history (WindowerConfig::keep_raw) or
+  /// the window was hand-built; the flat rep arrays below are authoritative.
   std::vector<AttrVec> raw;
 
   /// Per-sensor representative: mean of that sensor's samples in the window.
-  /// Sensors with no surviving packets this window are absent.
+  /// Sensors with no surviving packets this window are absent. Like `raw`,
+  /// populated only with keep_raw (it duplicates rep_sensors/rep_points as a
+  /// map; rebuildable from them).
   std::map<SensorId, AttrVec> per_sensor;
 
   /// Mean over all raw observations, filled by the windower at finalization
-  /// (same accumulation order as vecn::mean over `raw`, so the bits match).
-  /// Empty for hand-built windows; overall_mean() computes it on demand then.
-  /// Caching it means window replay (the fleet's dominant workload) never
-  /// re-walks the raw vectors.
+  /// (same accumulation order as vecn::mean over the raw records, so the
+  /// bits match). Empty for hand-built windows; overall_mean() computes it
+  /// on demand then. Caching it means window replay (the fleet's dominant
+  /// workload) never re-walks the raw vectors.
   AttrVec cached_mean;
 
-  /// Flat copy of per_sensor in ascending sensor order, also filled at
+  /// Flat per-sensor representatives in ascending sensor order, filled at
   /// finalization: rep_points[j] is sensor rep_sensors[j]'s representative.
   /// The pipeline's per-window passes (spawn scan, eq. (3) mapping, eq. (5)
-  /// update) all iterate these arrays instead of re-walking the map. Empty
-  /// for hand-built windows (the pipeline copies out of per_sensor then).
+  /// update) all iterate these arrays instead of walking a map. Empty for
+  /// hand-built windows (the pipeline copies out of per_sensor then).
   std::vector<SensorId> rep_sensors;
   std::vector<AttrVec> rep_points;
 
@@ -62,7 +79,10 @@ struct ObservationSet {
   std::vector<double> rep_sums;
   AttrVec rep_total;
 
-  bool empty() const { return raw.empty(); }
+  /// True when the window saw no observations at all. Checks the rep arrays
+  /// as well as raw/per_sensor so a keep_raw=false window (raw never
+  /// retained) still reads as occupied.
+  bool empty() const { return raw.empty() && per_sensor.empty() && rep_sensors.empty(); }
 
   /// Number of sensors represented in this window. Prefers the flat rep
   /// arrays so a pre-aggregated upload (representatives only, no per-sensor
@@ -75,11 +95,23 @@ struct ObservationSet {
   }
 
   /// Mean over all raw observations (the input to observable-state
-  /// identification, eq. (2)). Throws if the window is empty.
+  /// identification, eq. (2)). Prefers the finalization-time cache (the only
+  /// source when raw history is off). Throws if the window is empty.
   AttrVec overall_mean() const;
 
   /// Representatives as a flat (sensor, value) list in sensor order.
   std::vector<std::pair<SensorId, AttrVec>> representatives() const;
+};
+
+/// Windower configuration.
+struct WindowerConfig {
+  /// The paper's w (they use 12 samples x 5 min = 1 hour). Must be > 0.
+  double window_seconds = 0.0;
+  /// Retain each window's raw attribute vectors and the per_sensor map in
+  /// the emitted ObservationSet. Costs one heap copy per record plus map
+  /// nodes per sensor per window; the detection pipeline reads only the rep
+  /// arrays + cached_mean, so the fleet path runs with this off.
+  bool keep_raw = true;
 };
 
 /// Streaming windower: feed records in nondecreasing-ish time order, pop
@@ -88,8 +120,10 @@ struct ObservationSet {
 /// counted as late.
 class Windower {
  public:
-  /// window_seconds: the paper's w (they use 12 samples x 5 min = 1 hour).
-  explicit Windower(double window_seconds);
+  explicit Windower(const WindowerConfig& cfg);
+  /// Legacy convenience: window duration only, raw history retained.
+  explicit Windower(double window_seconds)
+      : Windower(WindowerConfig{window_seconds, /*keep_raw=*/true}) {}
 
   /// Add a record. Returns any windows completed by this record's arrival
   /// (possibly more than one if time jumped; empty windows are emitted so the
@@ -97,31 +131,44 @@ class Windower {
   std::vector<ObservationSet> add(const SensorRecord& rec);
 
   /// Allocation-free variant: invokes `on_window(ObservationSet&&)` for each
-  /// completed window instead of materializing a result vector. This is the
-  /// hot path of DetectionPipeline::add_record (and, through it, the fleet's
-  /// shard drain): most records complete no window, so the common case does
-  /// exactly one push_back.
+  /// completed window instead of materializing a result vector.
   template <typename Fn>
   void add(const SensorRecord& rec, Fn&& on_window) {
-    const auto idx = index_for(rec.time);
-    if (current_index_ == 0) {
-      open_window(idx);
-    } else if (idx < current_index_) {
-      ++late_records_;
-      return;
-    } else if (idx > current_index_) {
-      on_window(finalize_current());
-      // Emit empty windows for any gap so downstream sees time holes.
-      for (std::size_t i = current_index_ + 1; i < idx; ++i) {
-        ObservationSet empty;
-        empty.window_index = i;
-        empty.window_start = window_seconds_ * static_cast<double>(i - 1);
-        empty.window_end = window_seconds_ * static_cast<double>(i);
-        on_window(std::move(empty));
+    add_batch(std::span<const SensorRecord>(&rec, 1), std::forward<Fn>(on_window));
+  }
+
+  /// Bulk entry: the fused decode -> window -> screen-cache pass. The trace
+  /// readers and FleetMonitor feed whole decoded batches here; per record the
+  /// window bookkeeping runs inline and the floating-point accumulation is
+  /// deferred into gather buffers flushed through the kernel table
+  /// (accum_rows / sum_rows), so the common no-window-closed case touches no
+  /// allocator and no map. Completed windows are delivered to
+  /// `on_window(ObservationSet&&)` in order; the emission object is recycled
+  /// across windows when the callback reads it in place (the pipeline does).
+  template <typename Fn>
+  void add_batch(std::span<const SensorRecord> recs, Fn&& on_window) {
+    for (const SensorRecord& rec : recs) {
+      const auto idx = index_for(rec.time);
+      if (current_index_ == 0) {
+        open_window(idx);
+      } else if (idx < current_index_) {
+        ++late_records_;
+        continue;
+      } else if (idx > current_index_) {
+        finalize_into(out_);
+        on_window(std::move(out_));
+        // Emit empty windows for any gap so downstream sees time holes.
+        for (std::size_t i = current_index_ + 1; i < idx; ++i) {
+          ObservationSet empty;
+          empty.window_index = i;
+          empty.window_start = window_seconds_ * static_cast<double>(i - 1);
+          empty.window_end = window_seconds_ * static_cast<double>(i);
+          on_window(std::move(empty));
+        }
+        open_window(idx);
       }
-      open_window(idx);
+      accumulate(rec);
     }
-    pending_.push_back(rec);
   }
 
   /// Flush the final partial window (if any).
@@ -134,25 +181,81 @@ class Windower {
   /// sensor emitting clamped timestamps is broken in a specific way.
   std::size_t clamped_records() const { return clamped_records_; }
   double window_seconds() const { return window_seconds_; }
+  bool keep_raw() const { return keep_raw_; }
 
   /// Persist / restore the in-flight state -- the open window's index and
   /// pending records, plus the late/clamped tallies -- so a resumed pipeline
   /// continues mid-window exactly where the checkpointed one stopped (the
   /// resumable-checkpoint section; window_seconds_ is configuration and is
-  /// not serialized).
+  /// not serialized). The byte format is the arrival-order record log, so
+  /// checkpoints are byte-identical to the pre-columnar windower's; load()
+  /// rebuilds the columnar accumulators by replaying the log.
   void save(serialize::Writer& w) const;
   void load(serialize::Reader& r);
 
  private:
-  ObservationSet finalize_current();
+  static constexpr std::uint32_t kDimsUnset = 0xFFFFFFFFu;
+  static constexpr std::size_t kGatherCap = 256;
+
   void open_window(std::size_t index);
   std::size_t index_for(double time);
+  /// Log `rec` into the recycled arrival-order log and update the columnar
+  /// accumulators (gather-deferred adds). Allocation-free at steady state.
+  void accumulate(const SensorRecord& rec);
+  void accumulate_entry(const SensorRecord& e);
+  std::uint32_t slot_for(SensorId id);
+  void grow_stride(std::size_t dims);
+  void rehash();
+  void flush_slot_gather();
+  void flush_total_gather();
+  /// Build the completed window into `out` (recycling its buffers) from the
+  /// columnar state, then reset the per-window accumulators. Throws the
+  /// legacy dimension-mismatch errors (see windower.cpp); the window's
+  /// content is discarded in that case.
+  void finalize_into(ObservationSet& out);
+  void reset_window_state();
 
   double window_seconds_;
+  bool keep_raw_;
   std::size_t current_index_ = 0;  // 0 = no window open yet
-  std::vector<SensorRecord> pending_;
   std::size_t late_records_ = 0;
   std::size_t clamped_records_ = 0;
+
+  // Arrival-order log of the open window's records. Elements are recycled
+  // (attrs keep their heap buffers across windows); only the first
+  // pending_count_ entries are live. This is the checkpoint byte format and
+  // the source of `raw` when keep_raw is on.
+  std::vector<SensorRecord> pending_log_;
+  std::size_t pending_count_ = 0;
+
+  // Columnar per-sensor state. Slots are assigned on first sight of a sensor
+  // id and persist for the windower's lifetime; per-window fields (counts,
+  // dims, sums rows) are reset for touched slots only.
+  std::vector<std::uint32_t> ht_;            // open-addressing: slot + 1, 0 = empty
+  std::vector<SensorId> slot_ids_;           // slot -> sensor id
+  std::vector<std::size_t> slot_counts_;     // samples this window
+  std::vector<std::uint32_t> slot_dims_;     // dims of the slot's first sample
+  std::vector<std::uint32_t> slot_conflict_; // dims of its first mismatched sample
+  std::vector<double> sums_;                 // slot-major running sums, stride_ wide
+  std::size_t stride_ = 0;                   // kern::padded(max dims seen)
+  std::vector<std::uint32_t> touched_;       // slots hit this window, first-touch order
+
+  // Whole-window running total (the cached_mean numerator).
+  std::vector<double> total_;
+  std::uint32_t window_dims_ = kDimsUnset;   // dims of the window's first record
+  std::uint32_t window_conflict_ = kDimsUnset;
+
+  // Gather buffers for the deferred adds. Sources point into pending_log_
+  // entries (heap-stable across log growth), so a gather may span add_batch
+  // calls; destinations are offsets so sums_ may grow underneath.
+  std::array<std::size_t, kGatherCap> g_offs_;
+  std::array<const double*, kGatherCap> g_srcs_;
+  std::size_t g_count_ = 0;
+  std::size_t g_dims_ = 0;
+  std::array<const double*, kGatherCap> gt_srcs_;
+  std::size_t gt_count_ = 0;
+
+  ObservationSet out_;  // recycled emission object
 };
 
 /// Batch convenience: window a whole trace (records need not be sorted).

@@ -1,0 +1,56 @@
+// Slab arena: append-only bulk allocator with stable addresses.
+//
+// The pipeline's window history retains a per-sensor info row for every
+// sensor in every window. Giving each WindowSummary its own vector means one
+// heap allocation per window at steady state; parking the rows in a shared
+// arena instead amortizes that to one allocation per kMinChunk rows
+// (~0.0002 allocations/window for a 4096-row chunk and a handful of
+// sensors). Chunks are never moved or freed until the arena is cleared, so
+// spans handed out by alloc() stay valid for the arena's lifetime -- exactly
+// the contract a FlatMapView over history rows needs.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace sentinel::util {
+
+template <typename T>
+class SlabArena {
+ public:
+  /// Carve out `n` contiguous default-constructed elements. The returned
+  /// span stays valid until clear()/destruction (chunks are never
+  /// reallocated). Allocations larger than the chunk size get a dedicated
+  /// chunk.
+  std::span<T> alloc(std::size_t n) {
+    if (n == 0) return {};
+    if (chunks_.empty() || used_ + n > chunk_cap_) {
+      chunk_cap_ = std::max<std::size_t>(kMinChunk, n);
+      chunks_.push_back(std::make_unique<T[]>(chunk_cap_));
+      used_ = 0;
+    }
+    T* base = chunks_.back().get() + used_;
+    used_ += n;
+    return {base, n};
+  }
+
+  /// Drop all chunks. Invalidates every span previously returned.
+  void clear() {
+    chunks_.clear();
+    chunk_cap_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinChunk = 4096;
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t chunk_cap_ = 0;  // capacity of the current (last) chunk
+  std::size_t used_ = 0;       // elements consumed in the current chunk
+};
+
+}  // namespace sentinel::util

@@ -68,4 +68,51 @@ class FlatMap {
   std::vector<value_type> data_;
 };
 
+/// Non-owning view over a sorted (key, value) run -- same read API as
+/// FlatMap, but the storage lives elsewhere (a SlabArena in the pipeline's
+/// window history, so retaining a window costs no per-window allocation).
+/// The viewed run must outlive the view and be sorted ascending by key.
+template <typename K, typename V>
+class FlatMapView {
+ public:
+  using value_type = std::pair<K, V>;
+  using const_iterator = const value_type*;
+  using iterator = const_iterator;
+
+  FlatMapView() = default;
+  FlatMapView(const value_type* data, std::size_t size) : data_(data), size_(size) {}
+
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  const_iterator find(const K& key) const {
+    const auto it = lower_bound(key);
+    return (it != end() && it->first == key) ? it : end();
+  }
+
+  std::size_t count(const K& key) const { return find(key) == end() ? 0 : 1; }
+
+  const V& at(const K& key) const {
+    const auto it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMapView::at: missing key");
+    return it->second;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  friend bool operator==(const FlatMapView& a, const FlatMapView& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(begin(), end(), key,
+                            [](const value_type& v, const K& k) { return v.first < k; });
+  }
+
+  const value_type* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 }  // namespace sentinel::util

@@ -197,6 +197,30 @@ void div_scale_rows_sse2(double* base, const std::size_t* offs, const double* di
   for (std::size_t r = 0; r < count; ++r) div_scale_sse2(base + offs[r], n, divisors[r]);
 }
 
+void accum_rows_sse2(double* base, const std::size_t* offs, const double* const* srcs,
+                     std::size_t count, std::size_t n) {
+  for (std::size_t r = 0; r < count; ++r) {
+    double* v = base + offs[r];
+    const double* s = srcs[r];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      _mm_storeu_pd(v + i, _mm_add_pd(_mm_loadu_pd(v + i), _mm_loadu_pd(s + i)));
+    }
+    for (; i < n; ++i) v[i] += s[i];
+  }
+}
+
+void sum_rows_sse2(double* out, const double* const* srcs, std::size_t count, std::size_t n) {
+  for (std::size_t r = 0; r < count; ++r) {
+    const double* s = srcs[r];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      _mm_storeu_pd(out + i, _mm_add_pd(_mm_loadu_pd(out + i), _mm_loadu_pd(s + i)));
+    }
+    for (; i < n; ++i) out[i] += s[i];
+  }
+}
+
 void axpy_sse2(double* y, const double* x, std::size_t n, double a) {
   const __m128d k = _mm_set1_pd(a);
   std::size_t i = 0;
@@ -287,6 +311,7 @@ constexpr Kernels kSse2Kernels{
     vec_mat_sse2,  mat_vec_sse2,     mat_vec_block_sse2,
     scale_sse2,    div_scale_sse2,
     ema_scale_bump_rows_sse2, div_scale_rows_sse2,
+    accum_rows_sse2, sum_rows_sse2,
     axpy_sse2,     mul_sse2,         mul_axpy_sse2,
     normalize_sse2, max_plus_sse2,
 };
