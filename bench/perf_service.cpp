@@ -1,0 +1,205 @@
+// P3 -- google-benchmark: resident service loopback data plane
+// (src/service). The serve daemon turns every batch entry point into a
+// socket round trip, so the wire tax -- client-side SNTRB1 encode, loopback
+// TCP, server-side frame decode -- sits on the ingest hot path. This bench
+// measures:
+//
+//   BM_ServeStreamThroughput   records/s end to end: encode -> loopback ->
+//                              decode -> fused columnar ingest, one tenant
+//                              streaming the golden 7-day trace per
+//                              iteration (fresh region each time so pipeline
+//                              state never accumulates across iterations).
+//   BM_ServeIngestAckLatency   p50/p99 of a small send + kFlush barrier:
+//                              the time a tenant waits to learn its frame
+//                              landed in the region (admission round trip).
+//   BM_ServeHealthLatency      p50/p99 of a HEALTH request while a region
+//                              is live: the control-plane floor.
+//
+// Latency percentiles are computed from per-iteration wall samples and
+// exported as p50_us / p99_us counters next to the usual timings.
+//
+// Results are recorded in BENCH_service.json (see docs/PERFORMANCE.md);
+// docs/SERVICE.md covers the protocol being exercised.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "metrics_main.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace sentinel;
+
+/// The golden scenario trace (same shape as perf_io's): 10 GDI sensors over
+/// 7 days. Generated once; every iteration streams these records.
+const std::vector<SensorRecord>& bench_trace() {
+  static const std::vector<SensorRecord> trace = [] {
+    sim::GdiEnvironmentConfig ec;
+    ec.duration_seconds = 7.0 * kSecondsPerDay;
+    ec.seed = 20260806;
+    const sim::GdiEnvironment env(ec);
+    sim::GdiDeploymentConfig dc;
+    dc.num_sensors = 10;
+    dc.seed = 20260806;
+    return sim::make_gdi_deployment(env, dc).run(ec.duration_seconds).trace;
+  }();
+  return trace;
+}
+
+core::PipelineConfig region_config() {
+  core::PipelineConfig cfg;
+  sim::GdiEnvironmentConfig ec;
+  const sim::GdiEnvironment env(ec);
+  for (double t = 0.0; t < 2.0 * kSecondsPerDay; t += 2.0 * kSecondsPerHour) {
+    cfg.initial_states.push_back(env.truth(t));
+  }
+  cfg.initial_states.resize(6);
+  return cfg;
+}
+
+service::ServerConfig server_config() {
+  service::ServerConfig sc;
+  sc.region = region_config();
+  return sc;
+}
+
+/// Region names must be unique across the whole process: google-benchmark
+/// re-runs bench functions while estimating iteration counts, and a resident
+/// fleet never forgets a tenant.
+std::string next_region() {
+  static std::atomic<std::uint64_t> id{0};
+  return "bench" + std::to_string(id.fetch_add(1));
+}
+
+void set_latency_counters(benchmark::State& state, std::vector<double>& samples_us) {
+  if (samples_us.empty()) return;
+  const auto nth = [&](double q) {
+    const auto k = static_cast<std::ptrdiff_t>(q * static_cast<double>(samples_us.size() - 1));
+    std::nth_element(samples_us.begin(), samples_us.begin() + k, samples_us.end());
+    return samples_us[static_cast<std::size_t>(k)];
+  };
+  state.counters["p50_us"] = nth(0.50);
+  state.counters["p99_us"] = nth(0.99);
+}
+
+// --- throughput ------------------------------------------------------------
+
+void BM_ServeStreamThroughput(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  service::Server server(server_config());
+  server.start();
+  service::ClientConfig cc;
+  cc.port = server.port();
+
+  for (auto _ : state) {
+    state.PauseTiming();  // connection + HELLO are per-tenant setup, not wire
+    service::Client client(cc);
+    if (!client.hello(next_region(), 2).is_ok()) {
+      state.SkipWithError("hello failed");
+      break;
+    }
+    state.ResumeTiming();
+    if (!client.send({trace.data(), trace.size()}).is_ok() || !client.flush().is_ok()) {
+      state.SkipWithError("stream failed");
+      break;
+    }
+  }
+  server.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * trace.size()));
+  state.counters["records"] = static_cast<double>(trace.size());
+}
+
+// --- request latency -------------------------------------------------------
+
+void BM_ServeIngestAckLatency(benchmark::State& state) {
+  service::Server server(server_config());
+  server.start();
+  service::ClientConfig cc;
+  cc.port = server.port();
+  service::Client client(cc);
+  if (!client.hello(next_region(), 2).is_ok()) {
+    state.SkipWithError("hello failed");
+    server.stop();
+    return;
+  }
+
+  // A synthetic forward-moving feed: constant readings keep the pipeline's
+  // per-frame work flat so the samples measure the barrier, not detection.
+  constexpr std::size_t kFrame = 256;
+  std::vector<SensorRecord> frame(kFrame);
+  double clock = 0.0;
+  std::vector<double> samples_us;
+  samples_us.reserve(10000);
+
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kFrame; ++i) {
+      frame[i] = SensorRecord{static_cast<SensorId>(i % 10), clock, AttrVec{20.0, 50.0}};
+      clock += 1.0;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!client.send({frame.data(), frame.size()}).is_ok() || !client.flush().is_ok()) {
+      state.SkipWithError("send failed");
+      break;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    samples_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  server.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kFrame));
+  set_latency_counters(state, samples_us);
+}
+
+void BM_ServeHealthLatency(benchmark::State& state) {
+  const auto& trace = bench_trace();
+  service::Server server(server_config());
+  server.start();
+  service::ClientConfig cc;
+  cc.port = server.port();
+  service::Client client(cc);
+  if (!client.hello(next_region(), 2).is_ok() ||
+      !client.send({trace.data(), trace.size() / 8}).is_ok()) {
+    state.SkipWithError("setup failed");
+    server.stop();
+    return;
+  }
+
+  std::vector<double> samples_us;
+  samples_us.reserve(10000);
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto health = client.health_text();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!health.is_ok()) {
+      state.SkipWithError("health failed");
+      break;
+    }
+    benchmark::DoNotOptimize(health);
+    samples_us.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  server.stop();
+  set_latency_counters(state, samples_us);
+}
+
+}  // namespace
+
+// UseRealTime throughout: the server does its half of the work on its own
+// threads, so client-side CPU time flatters every number -- wall clock is
+// what a tenant actually experiences.
+BENCHMARK(BM_ServeStreamThroughput)->UseRealTime();
+BENCHMARK(BM_ServeIngestAckLatency)->UseRealTime();
+BENCHMARK(BM_ServeHealthLatency)->UseRealTime();
+
+// metrics_main stamps the machine.* context fields into the JSON so
+// tools/bench_compare.py can gate BENCH_service.json in CI.
+int main(int argc, char** argv) { return sentinel::bench_main::run(argc, argv); }

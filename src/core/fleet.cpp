@@ -1,6 +1,7 @@
 #include "core/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -266,6 +267,8 @@ FleetMonitor::FleetMonitor(FleetConfig cfg) : cfg_(cfg) {
   m_windows_ = &reg.counter("fleet.windows_ingested");
   m_handoffs_ = &reg.counter("fleet.handoff_batches");
   m_backpressure_ = &reg.counter("fleet.backpressure_waits");
+  m_backpressure_ns_ = &reg.counter("fleet.backpressure_block_ns");
+  m_snapshots_ = &reg.counter("fleet.report_snapshots");
   m_drained_ = &reg.counter("fleet.records_drained");
   m_drain_batches_ = &reg.counter("fleet.drain_batches");
   m_dropped_ = &reg.counter("fleet.records_dropped_quarantined");
@@ -561,6 +564,7 @@ FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, Trac
   std::vector<SensorRecord> batch;
   const MalformedCounts before = st.malformed;
   const std::size_t comment_base = st.comment_lines;
+  const std::uint64_t block_base = st.backpressure_block_ns;
 
   // Resume: fast-forward past the prefix the restored checkpoint already
   // covers. The reader's malformed/comment tallies over that prefix are
@@ -659,6 +663,7 @@ FleetMonitor::IngestSummary FleetMonitor::ingest(const std::string& region, Trac
   st.malformed += reader.malformed() - skip_malformed;
   st.comment_lines = comment_base + (reader.comment_lines() - skip_comments);
   sum.status = st.status;
+  sum.backpressure_block_ns = st.backpressure_block_ns - block_base;
   return sum;
 }
 
@@ -696,10 +701,25 @@ void FleetMonitor::flush_shard(Shard& sh) const {
     if (!sh.error) {
       // Backpressure: block while the region's queue is at capacity
       // (records, not batches). A full queue is a documented-healthy state
-      // (the producer simply outran the pipeline), counted so operators can
-      // size max_queue_records.
-      if (sh.queue_records >= cfg_.max_queue_records) m_backpressure_->inc();
-      sh.cv.wait(lock, [&] { return sh.queue_records < cfg_.max_queue_records || sh.error; });
+      // (the producer simply outran the pipeline), counted -- and the block
+      // attributed to this region by duration -- so operators can size
+      // max_queue_records and a service front end can bill the stall to the
+      // tenant that caused it.
+      if (sh.queue_records >= cfg_.max_queue_records) {
+        m_backpressure_->inc();
+        RegionState& st = state_of(sh.name);
+        ++st.backpressure_waits;
+        const auto t0 = std::chrono::steady_clock::now();
+        sh.cv.wait(lock, [&] { return sh.queue_records < cfg_.max_queue_records || sh.error; });
+        const auto blocked = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        st.backpressure_block_ns += blocked;
+        m_backpressure_ns_->add(blocked);
+      } else {
+        sh.cv.wait(lock, [&] { return sh.queue_records < cfg_.max_queue_records || sh.error; });
+      }
     }
     if (sh.error) {
       sh.dropped += nbuf;
@@ -856,6 +876,53 @@ void FleetMonitor::finish() {
       }
     }
   }
+}
+
+FleetMonitor::FleetSnapshot FleetMonitor::report_snapshot() {
+  // diagnose() drains, then reads each quiescent pipeline through const
+  // accessors only -- no window closes, no model is finalized -- so the
+  // fleet keeps ingesting afterwards as if the snapshot never happened.
+  FleetSnapshot snap;
+  snap.epoch = ++snapshot_epoch_;
+  snap.report = diagnose();
+  m_snapshots_->inc();
+  return snap;
+}
+
+void FleetMonitor::finish_region(const std::string& name) {
+  RegionState& st = state_of(name);  // throws on unknown region
+  if (pool_) {
+    Shard& sh = *shards_.find(name)->second;
+    flush_shard(sh);
+    wait_shard(sh);
+    absorb_shard_faults();
+  }
+  if (st.health != RegionHealth::kQuarantined) {
+    try {
+      regions_.find(name)->second.finish();
+    } catch (...) {
+      const auto err = std::current_exception();
+      quarantine(name,
+                 util::Status(util::StatusCode::kInternal,
+                              "region " + name + ": finish failed: " + describe(err)),
+                 err);
+    }
+  }
+  if (cfg_.health.flag_silent_regions && st.health == RegionHealth::kHealthy &&
+      st.records_ingested == 0) {
+    degrade(name, util::Status(util::StatusCode::kUnavailable,
+                               "region " + name + ": no records ingested"));
+  }
+}
+
+std::size_t FleetMonitor::queue_depth(const std::string& region) const {
+  state_of(region);  // throws on unknown region
+  const auto it = shards_.find(region);
+  if (it == shards_.end()) return 0;  // serial fleet: records apply inline
+  Shard& sh = *it->second;
+  const std::size_t buffered = sh.producer_buf.size();  // producer-thread-only
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.queue_records + buffered;
 }
 
 DetectionPipeline& FleetMonitor::region(const std::string& name) {

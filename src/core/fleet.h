@@ -93,6 +93,15 @@ struct RegionState {
   /// Malformed-line causes accumulated from this region's readers.
   MalformedCounts malformed;
   std::size_t comment_lines = 0;
+  /// Backpressure attribution (sharded fleets only; always 0 serial): how
+  /// many producer flushes found this region's queue at capacity, and the
+  /// total wall-clock the producer spent blocked in those waits. Purely
+  /// observational -- timing-dependent, so never rendered into reports --
+  /// but it is what lets an admission controller (src/service) or an
+  /// operator reading --metrics-json tell *which* tenant is saturating its
+  /// shard and by how much.
+  std::uint64_t backpressure_waits = 0;
+  std::uint64_t backpressure_block_ns = 0;
 };
 
 struct FleetReport {
@@ -234,6 +243,10 @@ class FleetMonitor {
   struct IngestSummary {
     std::size_t records = 0;  // records accepted into the region
     util::Status status;      // region status after this ingest
+    /// Producer block time attributable to *this* ingest call: how long the
+    /// caller sat in backpressure waits while feeding these records (0 for
+    /// serial fleets, where records apply inline).
+    std::uint64_t backpressure_block_ns = 0;
   };
 
   /// Streaming ingestion: pump `reader` dry into `region` in batches of
@@ -294,6 +307,40 @@ class FleetMonitor {
   /// fleet that never contained the quarantined ones.
   FleetReport diagnose() const;
 
+  /// A live diagnosis epoch: diagnose() plus a monotonic sequence number.
+  struct FleetSnapshot {
+    std::uint64_t epoch = 0;  // 1 for the first snapshot, then counting up
+    FleetReport report;
+  };
+
+  /// Diagnose the fleet *without* finish()-style finalization: drains, then
+  /// reads every live pipeline through const accessors only. No partial
+  /// window is closed and no model is touched, so ingestion continues
+  /// afterwards exactly as if the snapshot had never been taken -- the
+  /// final finish() report is byte-identical to a never-snapshotted run
+  /// (test-enforced). This is what a resident service answers REPORT
+  /// requests from while tenants keep streaming.
+  FleetSnapshot report_snapshot();
+
+  /// Snapshots taken so far (the epoch of the last report_snapshot()).
+  std::uint64_t snapshot_epoch() const { return snapshot_epoch_; }
+
+  /// finish() for a single region: quiesce its shard, flush its partial
+  /// window, and apply the silent-region check -- other regions keep
+  /// ingesting untouched. Regions are independent until the structural
+  /// vote, so finishing them one by one as their feeds end yields the same
+  /// per-region diagnoses as one collective finish(). A finish()-time
+  /// pipeline exception quarantines the region, as in finish().
+  void finish_region(const std::string& name);
+
+  /// Records currently queued (committed to the shard queue plus the
+  /// producer-side buffer) for `region`; 0 for serial fleets, where records
+  /// apply inline. Producer-thread only, like the ingestion API: this is
+  /// the admission-control probe -- a service front end rejects a tenant's
+  /// frame (instead of blocking inside ingest) when the shard is already at
+  /// FleetConfig::max_queue_records. Throws on unknown region.
+  std::size_t queue_depth(const std::string& region) const;
+
   const FleetConfig& config() const { return cfg_; }
 
  private:
@@ -334,6 +381,8 @@ class FleetMonitor {
   /// records_ingested at each region's last committed checkpoint -- the
   /// interval baseline for maybe_checkpoint. Caller thread only.
   std::map<std::string, std::uint64_t> ckpt_anchor_;
+  /// report_snapshot() sequence number. Caller thread only.
+  std::uint64_t snapshot_epoch_ = 0;
 
   /// Health records, keyed like regions_. Only the caller (producer) thread
   /// reads or writes these -- workers report through their Shard and the
@@ -347,6 +396,8 @@ class FleetMonitor {
   util::Counter* m_windows_ = nullptr;
   util::Counter* m_handoffs_ = nullptr;
   util::Counter* m_backpressure_ = nullptr;
+  util::Counter* m_backpressure_ns_ = nullptr;
+  util::Counter* m_snapshots_ = nullptr;
   util::Counter* m_drained_ = nullptr;
   util::Counter* m_drain_batches_ = nullptr;
   util::Counter* m_dropped_ = nullptr;

@@ -1,0 +1,140 @@
+// Resident fleet service: a localhost TCP listener that keeps one
+// FleetMonitor alive across connections -- the run-forever refactor of the
+// batch entry points (see docs/SERVICE.md for the protocol and tenant
+// model).
+//
+// Threading model (docs/CONCURRENCY.md#service):
+//   - the accept loop runs on the thread calling run() (or a background
+//     thread via start());
+//   - each connection gets a handler thread that parses frames;
+//   - every FleetMonitor call is serialized under one ingest mutex, which
+//     is what preserves the fleet's single-producer contract: the "producer
+//     thread" becomes "exactly one producer at a time", and per-region
+//     record order is each connection's send order -- so any interleaving
+//     of tenants yields the same per-region report bytes as ingest_file of
+//     the same records (test-enforced);
+//   - an optional timer thread commits incremental checkpoints through the
+//     fleet's store every checkpoint_interval_seconds.
+//
+// Shutdown (request_stop(), a kShutdown frame, or a signal handler calling
+// request_stop(), which is async-signal-safe) stops the accept loop,
+// unblocks and joins every connection, drains all shards, and commits a
+// final checkpoint -- so a restart with ServerConfig::resume continues
+// bit-identically (chaos-tested, SIGKILL included).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet.h"
+#include "core/pipeline.h"
+#include "service/frame.h"
+
+namespace sentinel::service {
+
+struct ServerConfig {
+  /// Port to bind on 127.0.0.1; 0 = ephemeral (read the choice via port()).
+  std::uint16_t port = 0;
+  /// The resident fleet (threads, queue bounds, checkpoint_dir, cadence).
+  core::FleetConfig fleet;
+  /// Per-tenant region configuration: every region a HELLO binds is created
+  /// from this one config, so all tenants run the same detection parameters
+  /// (initial states included -- which is what makes a served region's
+  /// report comparable against a batch run of the same trace).
+  core::PipelineConfig region;
+  /// Restore regions from fleet.checkpoint_dir's last committed epoch at
+  /// HELLO time (serve --resume). The HELLO ack tells the client how many
+  /// records the restored state already covers.
+  bool resume = false;
+  /// Commit incremental checkpoints on a timer thread this often
+  /// (0 = record-cadence only via FleetConfig::checkpoint_every_records).
+  double checkpoint_interval_seconds = 0.0;
+  /// Upper bound on records per kRecords frame (admission sanity check).
+  std::size_t max_frame_records = 1u << 16;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws std::runtime_error when the socket cannot be
+  /// set up (port in use, no loopback).
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the ephemeral choice when cfg.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop; blocks until a shutdown is requested, then tears down
+  /// connections, drains the fleet, and commits the final checkpoint.
+  void run();
+
+  /// run() on a background thread (tests, benches, the in-process chaos
+  /// child). Pair with stop().
+  void start();
+
+  /// Request shutdown and, when start() was used, join the background
+  /// thread. Safe to call more than once.
+  void stop();
+
+  /// Async-signal-safe shutdown request: sets the stop flag and pokes the
+  /// accept loop's wake pipe. The caller (run()/stop()) does the actual
+  /// teardown.
+  void request_stop();
+
+  bool stopped() const { return stopped_.load(); }
+
+  /// The resident fleet -- test/bench access; external callers must not
+  /// touch the ingestion API while connections are live.
+  core::FleetMonitor& fleet() { return fleet_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};  // handler exited; accept loop reaps
+  };
+
+  void serve_connection(int fd);
+  void handle_hello(int fd, const Frame& f, std::string& region, std::size_t& dims,
+                    std::uint64_t& expected_seq);
+  void handle_records(int fd, const Frame& f, const std::string& region, std::size_t dims,
+                      std::uint64_t& expected_seq, bool& health_reported);
+  void handle_report(int fd, const Frame& f, const std::string& region);
+  void handle_metrics(int fd);
+  void handle_health(int fd);
+  void shutdown_fleet();
+
+  ServerConfig cfg_;
+  core::FleetMonitor fleet_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_r_ = -1;  // accept-loop wake pipe (request_stop writes wake_w_)
+  int wake_w_ = -1;
+
+  /// Serializes every FleetMonitor call across connection handlers, report
+  /// requests, the checkpoint timer, and shutdown.
+  std::mutex ingest_mu_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::thread run_thread_;  // only when start() was used
+
+  std::thread timer_thread_;
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+};
+
+}  // namespace sentinel::service

@@ -42,6 +42,19 @@ double get_f64le(const unsigned char* p) { return std::bit_cast<double>(get_u64l
 
 }  // namespace
 
+void encode_binary_record(unsigned char* p, const SensorRecord& rec) {
+  put_u32le(p, rec.sensor);
+  put_f64le(p + 4, rec.time);
+  for (std::size_t i = 0; i < rec.attrs.size(); ++i) put_f64le(p + 12 + 8 * i, rec.attrs[i]);
+}
+
+void decode_binary_record(const unsigned char* p, std::size_t dims, SensorRecord& rec) {
+  rec.sensor = get_u32le(p);
+  rec.time = get_f64le(p + 4);
+  rec.attrs.resize(dims);
+  for (std::size_t i = 0; i < dims; ++i) rec.attrs[i] = get_f64le(p + 12 + 8 * i);
+}
+
 // ---------------------------------------------------------------------------
 // BinaryTraceWriter
 
@@ -88,9 +101,7 @@ void BinaryTraceWriter::append(const SensorRecord& rec) {
                              std::to_string(dims_));
   }
   auto* p = reinterpret_cast<unsigned char*>(scratch_.data());
-  put_u32le(p, rec.sensor);
-  put_f64le(p + 4, rec.time);
-  for (std::size_t i = 0; i < dims_; ++i) put_f64le(p + 12 + 8 * i, rec.attrs[i]);
+  encode_binary_record(p, rec);
   out_.write(scratch_.data(), static_cast<std::streamsize>(scratch_.size()));
   if (!out_) throw std::runtime_error("binary trace: write failed for " + path_);
   ++count_;
@@ -180,10 +191,7 @@ void BinaryTraceReader::parse_header(const unsigned char* header, std::size_t fi
 }
 
 void BinaryTraceReader::decode(const unsigned char* p, SensorRecord& rec) const {
-  rec.sensor = get_u32le(p);
-  rec.time = get_f64le(p + 4);
-  rec.attrs.resize(dims_);
-  for (std::size_t i = 0; i < dims_; ++i) rec.attrs[i] = get_f64le(p + 12 + 8 * i);
+  decode_binary_record(p, dims_, rec);
 }
 
 std::size_t BinaryTraceReader::skip_records(std::size_t n) {

@@ -40,6 +40,15 @@ constexpr std::size_t binary_trace_record_bytes(std::size_t dims) {
   return 4 + 8 + 8 * dims;
 }
 
+/// Encode one record into `p` (binary_trace_record_bytes(rec.attrs.size())
+/// writable bytes) / decode one record of `dims` attributes from `p`. The
+/// SNTRB1 record payload is also the service wire format (src/service), so
+/// the file writer/reader and the network frame codec share these -- a
+/// record streamed over a socket is bit-identical to the same record read
+/// from a file.
+void encode_binary_record(unsigned char* p, const SensorRecord& rec);
+void decode_binary_record(const unsigned char* p, std::size_t dims, SensorRecord& rec);
+
 /// Streaming writer. Records must all share one dimensionality, fixed by the
 /// first append (or by passing dims > 0 up front). close() (or the
 /// destructor) backpatches the record count into the header; a file that was

@@ -1,0 +1,419 @@
+// Resident fleet service (src/service): wire framing, the determinism
+// contract (a trace streamed over N concurrent connections yields the same
+// per-region report bytes as ingest_file), admission-control stream
+// control, and checkpointed shutdown/resume.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet.h"
+#include "core/pipeline.h"
+#include "service/client.h"
+#include "service/frame.h"
+#include "service/frame_reader.h"
+#include "service/server.h"
+#include "sim/simulator.h"
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_reader.h"
+
+namespace sentinel {
+namespace {
+
+/// The golden 7-day scenario from golden_report_test.cpp: 10 GDI sensors,
+/// a stuck-at fault on sensor 6 from day 2, an additive offset on sensor 3
+/// from day 4. Generated once per process.
+const std::vector<SensorRecord>& golden_trace() {
+  static const std::vector<SensorRecord> trace = [] {
+    sim::GdiEnvironmentConfig ec;
+    ec.duration_seconds = 7.0 * kSecondsPerDay;
+    ec.seed = 20260806;
+    const sim::GdiEnvironment env(ec);
+    sim::GdiDeploymentConfig dc;
+    dc.num_sensors = 10;
+    dc.seed = 20260806;
+    return sim::make_gdi_deployment(env, dc).run(ec.duration_seconds).trace;
+  }();
+  return trace;
+}
+
+core::PipelineConfig golden_config() {
+  sim::GdiEnvironmentConfig ec;
+  ec.duration_seconds = 7.0 * kSecondsPerDay;
+  ec.seed = 20260806;
+  const sim::GdiEnvironment env(ec);
+  core::PipelineConfig cfg;
+  for (double t = 0.0; t < 2.0 * kSecondsPerDay; t += 2.0 * kSecondsPerHour) {
+    cfg.initial_states.push_back(env.truth(t));
+  }
+  cfg.initial_states.resize(6);
+  return cfg;
+}
+
+/// Path of the golden trace as an SNTRB1 file (written once per process).
+/// The pid keeps concurrent test processes (ctest -j) from rewriting the
+/// file under each other's readers.
+const std::string& golden_trace_path() {
+  static const std::string path = [] {
+    const std::string p = testing::TempDir() + "service_golden." +
+                          std::to_string(::getpid()) + ".snt";
+    write_trace_binary_file(p, golden_trace());
+    return p;
+  }();
+  return path;
+}
+
+/// Batch baseline: `regions` regions all ingesting the golden trace from
+/// disk, collective finish, rendered fleet report.
+std::string batch_report(std::size_t regions, std::size_t threads) {
+  core::FleetConfig fc;
+  fc.threads = threads;
+  core::FleetMonitor fleet(fc);
+  for (std::size_t i = 0; i < regions; ++i) {
+    fleet.add_region("tenant" + std::to_string(i), golden_config());
+  }
+  for (std::size_t i = 0; i < regions; ++i) {
+    const auto sum = fleet.ingest_file("tenant" + std::to_string(i), golden_trace_path());
+    EXPECT_TRUE(sum.status.is_ok());
+  }
+  fleet.finish();
+  return core::to_string(fleet.diagnose());
+}
+
+/// Served run: `conns` concurrent connections, one per tenant region, all
+/// streaming the golden trace at once; then a final fleet-scope report.
+std::string served_report(std::size_t conns, std::size_t threads,
+                          std::size_t frame_records = 4096) {
+  service::ServerConfig sc;
+  sc.fleet.threads = threads;
+  sc.region = golden_config();
+  service::Server server(std::move(sc));
+  server.start();
+
+  std::vector<std::thread> tenants;
+  std::vector<std::string> errors(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    tenants.emplace_back([&, i] {
+      try {
+        service::ClientConfig cc;
+        cc.port = server.port();
+        cc.frame_records = frame_records;
+        service::Client client(cc);
+        const auto offset = client.hello("tenant" + std::to_string(i), 2);
+        if (!offset.is_ok()) {
+          errors[i] = offset.status().to_string();
+          return;
+        }
+        const auto reader = open_trace_reader(golden_trace_path());
+        const auto sent = client.stream_reader(*reader);
+        if (!sent.is_ok()) errors[i] = sent.status().to_string();
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    });
+  }
+  for (auto& t : tenants) t.join();
+  for (const auto& e : errors) EXPECT_TRUE(e.empty()) << e;
+
+  service::ClientConfig cc;
+  cc.port = server.port();
+  service::Client control(cc);
+  const auto report = control.report(/*finalize=*/true, /*fleet_scope=*/true);
+  EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+  server.stop();
+  return report.is_ok() ? *report : std::string();
+}
+
+TEST(ServiceFraming, RecordCodecRoundTripsThroughFrameReader) {
+  std::vector<SensorRecord> records;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    records.push_back(SensorRecord{i, 17.5 * i, AttrVec{1.0 + i, -2.0 * i, 0.25}});
+  }
+  const std::size_t rb = binary_trace_record_bytes(3);
+  std::vector<unsigned char> wire(records.size() * rb);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    encode_binary_record(wire.data() + i * rb, records[i]);
+  }
+
+  service::FrameReader reader(3);
+  reader.reset(wire.data(), records.size());
+  std::vector<SensorRecord> out;
+  std::vector<SensorRecord> all;
+  while (reader.read_batch(out, 17) > 0) all.insert(all.end(), out.begin(), out.end());
+  ASSERT_EQ(all.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(all[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(ServiceDeterminism, SingleConnectionMatchesIngestFile) {
+  const std::string want = batch_report(1, 1);
+  ASSERT_FALSE(want.empty());
+  EXPECT_EQ(served_report(1, 1), want);
+}
+
+TEST(ServiceDeterminism, FourConcurrentConnectionsMatchIngestFileAtAnyThreads) {
+  const std::string want = batch_report(4, 1);
+  ASSERT_FALSE(want.empty());
+  // Fleet threading is byte-invisible, so the serial batch baseline is the
+  // reference for both a serial and a sharded resident fleet -- whatever
+  // order the four tenants' frames interleave in.
+  EXPECT_EQ(served_report(4, 1), want);
+  EXPECT_EQ(served_report(4, 4), want);
+}
+
+TEST(ServiceDeterminism, TinyFramesDoNotChangeTheReport) {
+  // 64-record frames force thousands of ingest calls and many flush
+  // barriers; the report must not care how the stream was framed.
+  const std::string want = batch_report(1, 1);
+  EXPECT_EQ(served_report(1, 1, /*frame_records=*/64), want);
+}
+
+TEST(ServiceControlPlane, SnapshotReportMetricsAndHealthAnswerMidStream) {
+  service::ServerConfig sc;
+  sc.region = golden_config();
+  service::Server server(std::move(sc));
+  server.start();
+
+  service::ClientConfig cc;
+  cc.port = server.port();
+  service::Client client(cc);
+  ASSERT_TRUE(client.hello("north", 2).is_ok());
+  const auto& trace = golden_trace();
+  ASSERT_TRUE(client.send({trace.data(), trace.size() / 2}).is_ok());
+
+  // Live snapshot: does not finalize, stream continues afterwards.
+  const auto snapshot = client.report(/*finalize=*/false, /*fleet_scope=*/false);
+  ASSERT_TRUE(snapshot.is_ok()) << snapshot.status().to_string();
+  EXPECT_NE(snapshot->find("network:"), std::string::npos);
+
+  const auto health = client.health_text();
+  ASSERT_TRUE(health.is_ok());
+  EXPECT_NE(health->find("region north healthy"), std::string::npos) << *health;
+
+  const auto metrics = client.metrics_json();
+  ASSERT_TRUE(metrics.is_ok());
+  EXPECT_NE(metrics->find("fleet.region.north.records_ingested"), std::string::npos);
+  EXPECT_NE(metrics->find("fleet.report_snapshots"), std::string::npos);
+
+  // The rest of the stream still lands and finalizes normally.
+  ASSERT_TRUE(client.send({trace.data() + trace.size() / 2, trace.size() - trace.size() / 2})
+                  .is_ok());
+  const auto final_report = client.report(/*finalize=*/true, /*fleet_scope=*/false);
+  ASSERT_TRUE(final_report.is_ok());
+  EXPECT_NE(final_report->find("network:"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServiceAdmission, OutOfOrderFrameIsBouncedWithExpectedSeq) {
+  service::ServerConfig sc;
+  sc.region = golden_config();
+  service::Server server(std::move(sc));
+  server.start();
+
+  // Raw socket: drive the protocol by hand to provoke the reject.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  std::vector<unsigned char> hello(4 + 5);
+  service::put_u32le(hello.data(), 2);
+  std::memcpy(hello.data() + 4, "manual", 5);
+  ASSERT_TRUE(service::write_frame(fd, service::FrameType::kHello, hello.data(), hello.size())
+                  .is_ok());
+  service::Frame f;
+  ASSERT_TRUE(service::read_frame(fd, f).is_ok());
+  ASSERT_EQ(f.type, service::FrameType::kAck);
+
+  // Frame with seq 7 while the server expects 0.
+  const std::size_t rb = binary_trace_record_bytes(2);
+  std::vector<unsigned char> payload(service::kRecordsHeaderBytes + rb);
+  service::put_u64le(payload.data(), 7);
+  service::put_u32le(payload.data() + 8, 1);
+  encode_binary_record(payload.data() + service::kRecordsHeaderBytes,
+                       SensorRecord{1, 1.0, AttrVec{20.0, 50.0}});
+  ASSERT_TRUE(
+      service::write_frame(fd, service::FrameType::kRecords, payload.data(), payload.size())
+          .is_ok());
+
+  ASSERT_TRUE(service::read_frame(fd, f).is_ok());
+  ASSERT_EQ(f.type, service::FrameType::kEvent);
+  service::AckBody body;
+  ASSERT_TRUE(service::parse_ack(f.payload, body).is_ok());
+  EXPECT_EQ(body.code, util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(body.value, 0u);  // "resend from sequence 0"
+
+  // Resending with the expected seq is accepted (no event, flush acks 1).
+  service::put_u64le(payload.data(), 0);
+  ASSERT_TRUE(
+      service::write_frame(fd, service::FrameType::kRecords, payload.data(), payload.size())
+          .is_ok());
+  ASSERT_TRUE(service::write_frame(fd, service::FrameType::kFlush, nullptr, 0).is_ok());
+  ASSERT_TRUE(service::read_frame(fd, f).is_ok());
+  ASSERT_EQ(f.type, service::FrameType::kAck);
+  ASSERT_TRUE(service::parse_ack(f.payload, body).is_ok());
+  EXPECT_EQ(body.code, util::StatusCode::kOk);
+  EXPECT_EQ(body.value, 1u);  // records_ingested
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceAdmission, RecordsBeforeHelloIsRejected) {
+  service::ServerConfig sc;
+  sc.region = golden_config();
+  service::Server server(std::move(sc));
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  unsigned char payload[service::kRecordsHeaderBytes] = {};
+  ASSERT_TRUE(
+      service::write_frame(fd, service::FrameType::kRecords, payload, sizeof payload).is_ok());
+  service::Frame f;
+  ASSERT_TRUE(service::read_frame(fd, f).is_ok());
+  ASSERT_EQ(f.type, service::FrameType::kAck);
+  service::AckBody body;
+  ASSERT_TRUE(service::parse_ack(f.payload, body).is_ok());
+  EXPECT_EQ(body.code, util::StatusCode::kFailedPrecondition);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceAdmission, ShardFullRejectionsAreRetriedToTheSameReport) {
+  // A sharded fleet with a tiny queue bound: frames race the drain worker,
+  // so some get bounced with kResourceExhausted and retried by the client.
+  // Whether or not any given run provokes a bounce, the report must equal
+  // the batch baseline -- the rejection path is byte-invisible.
+  const std::string want = batch_report(1, 1);
+  service::ServerConfig sc;
+  sc.fleet.threads = 2;
+  sc.fleet.max_queue_records = 512;
+  sc.region = golden_config();
+  service::Server server(std::move(sc));
+  server.start();
+
+  service::ClientConfig cc;
+  cc.port = server.port();
+  cc.frame_records = 256;
+  service::Client client(cc);
+  ASSERT_TRUE(client.hello("tenant0", 2).is_ok());
+  const auto reader = open_trace_reader(golden_trace_path());
+  const auto sent = client.stream_reader(*reader);
+  ASSERT_TRUE(sent.is_ok()) << sent.status().to_string();
+  EXPECT_EQ(*sent, golden_trace().size());
+
+  const auto report = client.report(/*finalize=*/true, /*fleet_scope=*/true);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(*report, want);
+  RecordProperty("rejected_frames", static_cast<int>(client.rejected_frames()));
+  server.stop();
+}
+
+TEST(ServiceResume, ShutdownCheckpointThenResumeIsByteIdentical) {
+  const std::string want = batch_report(1, 1);
+  const std::string dir = testing::TempDir() + "service_resume_ckpt";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const auto& trace = golden_trace();
+  const std::size_t cut = trace.size() / 2;
+
+  // First server life: stream half the trace, then a clean shutdown commits
+  // the final (mid-window) checkpoint.
+  {
+    service::ServerConfig sc;
+    sc.fleet.checkpoint_dir = dir;
+    sc.fleet.checkpoint_every_records = 0;  // only the shutdown checkpoint
+    sc.region = golden_config();
+    service::Server server(std::move(sc));
+    server.start();
+    service::ClientConfig cc;
+    cc.port = server.port();
+    service::Client client(cc);
+    ASSERT_TRUE(client.hello("tenant0", 2).is_ok());
+    ASSERT_TRUE(client.send({trace.data(), cut}).is_ok());
+    ASSERT_TRUE(client.flush().is_ok());
+    ASSERT_TRUE(client.shutdown_server().is_ok());
+    server.stop();
+    ASSERT_TRUE(server.stopped());
+  }
+
+  // Second life: --resume restores the region; HELLO names the covered
+  // offset and the tenant streams the full trace from it. The final report
+  // must match a never-interrupted batch run byte for byte.
+  {
+    service::ServerConfig sc;
+    sc.fleet.checkpoint_dir = dir;
+    sc.resume = true;
+    sc.region = golden_config();
+    service::Server server(std::move(sc));
+    server.start();
+    service::ClientConfig cc;
+    cc.port = server.port();
+    service::Client client(cc);
+    const auto offset = client.hello("tenant0", 2);
+    ASSERT_TRUE(offset.is_ok());
+    EXPECT_EQ(*offset, cut);
+    ASSERT_TRUE(
+        client.send({trace.data() + *offset, trace.size() - *offset}).is_ok());
+    const auto report = client.report(/*finalize=*/true, /*fleet_scope=*/true);
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_EQ(*report, want);
+    server.stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceLifecycle, ReconnectingTenantResumesFromLiveOffset) {
+  service::ServerConfig sc;
+  sc.region = golden_config();
+  service::Server server(std::move(sc));
+  server.start();
+
+  const auto& trace = golden_trace();
+  const std::size_t cut = trace.size() / 3;
+  service::ClientConfig cc;
+  cc.port = server.port();
+  {
+    service::Client first(cc);
+    ASSERT_TRUE(first.hello("tenant0", 2).is_ok());
+    ASSERT_TRUE(first.send({trace.data(), cut}).is_ok());
+    ASSERT_TRUE(first.flush().is_ok());
+  }  // connection drops; the region stays resident
+
+  service::Client second(cc);
+  const auto offset = second.hello("tenant0", 2);
+  ASSERT_TRUE(offset.is_ok());
+  EXPECT_EQ(*offset, cut);  // "stream from here"
+  ASSERT_TRUE(second.send({trace.data() + cut, trace.size() - cut}).is_ok());
+  const auto report = second.report(/*finalize=*/true, /*fleet_scope=*/true);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(*report, batch_report(1, 1));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace sentinel

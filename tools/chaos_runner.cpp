@@ -9,13 +9,22 @@
 // matrix mismatches -- the CI chaos job's pass/fail signal.
 //
 //   chaos_runner [--list] [--dir=<root>] [--points=a,b,c] [--threads=1,4]
-//                [--every=<records>] [--nth=1] [--keep]
+//                [--every=<records>] [--nth=1] [--keep] [--serve]
+//
+// --serve switches to the resident-service drill (docs/SERVICE.md): fork an
+// in-process `service::Server` child with checkpointing, stream the workload
+// to it over SNTRS1 connections, SIGKILL the daemon mid-stream, restart it
+// with resume, stream the remainder from the offsets HELLO reports, and
+// compare the final fleet report byte-for-byte against an uninterrupted
+// batch baseline. SIGKILL needs no compiled-in fault points, so --serve
+// works in any build, Release included.
 //
 // The same proof runs as a gtest (tests/crash_recovery_test.cpp); this tool
 // exists for CI wiring, manual poking at single points, and for running the
 // matrix against configurations the test suite does not pin (thread counts,
 // commit intervals). See docs/RELIABILITY.md.
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -29,6 +38,8 @@
 
 #include "core/checkpoint_store.h"
 #include "core/fleet.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "sim/simulator.h"
 #include "trace/binary_trace.h"
 #include "trace/trace_reader.h"
@@ -64,6 +75,7 @@ struct Options {
   std::size_t every = 1500;
   std::uint64_t nth = 1;
   bool keep = false;
+  bool serve = false;
 };
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -180,6 +192,146 @@ bool run_cell(const Workload& w, const Options& opt, const std::string& point,
   return ok;
 }
 
+std::vector<SensorRecord> load_trace(const std::string& path) {
+  const auto reader = open_trace_reader(path);
+  std::vector<SensorRecord> all;
+  std::vector<SensorRecord> batch;
+  while (reader->read_batch(batch, kIngestBatch) > 0) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  return all;
+}
+
+struct ServeChild {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// Fork an in-process resident service; the child reports its ephemeral
+/// port back over a pipe before entering the accept loop.
+ServeChild spawn_server(std::size_t threads, const std::string& dir, std::size_t every,
+                        bool resume) {
+  int pfd[2];
+  if (pipe(pfd) != 0) throw std::runtime_error("spawn_server: pipe failed");
+  const pid_t pid = fork();
+  if (pid == 0) {
+    close(pfd[0]);
+    service::ServerConfig sc;
+    sc.fleet.threads = threads;
+    sc.fleet.checkpoint_dir = dir;
+    sc.fleet.checkpoint_every_records = every;
+    sc.region = region_config();
+    sc.resume = resume;
+    try {
+      service::Server server(std::move(sc));
+      const std::uint16_t port = server.port();
+      if (write(pfd[1], &port, sizeof port) != sizeof port) std::_Exit(97);
+      close(pfd[1]);
+      server.run();  // until kShutdown or the parent's SIGKILL
+    } catch (...) {
+      std::_Exit(97);
+    }
+    std::_Exit(0);
+  }
+  close(pfd[1]);
+  ServeChild child;
+  child.pid = pid;
+  if (read(pfd[0], &child.port, sizeof child.port) != sizeof child.port) {
+    close(pfd[0]);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    throw std::runtime_error("spawn_server: daemon died before reporting its port");
+  }
+  close(pfd[0]);
+  return child;
+}
+
+/// The resident-service drill: stream most of the workload, SIGKILL the
+/// daemon with unflushed frames in flight, restart with resume, stream the
+/// tails from the offsets HELLO reports, and byte-compare the final report.
+bool run_serve_cell(const Workload& w, const Options& opt, std::size_t threads,
+                    const std::string& baseline) {
+  const std::string dir = opt.root + "/serve_t" + std::to_string(threads);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::map<std::string, std::vector<SensorRecord>> recs;
+  for (const auto& r : w.regions) recs[r] = load_trace(w.trace_path.at(r));
+
+  // First life: stream ~3/4 of each region with a sync barrier, force a
+  // checkpoint commit, then put the tail on the wire WITHOUT flushing and
+  // pull the plug -- the daemon dies with frames mid-ingest.
+  const auto first = spawn_server(threads, dir, opt.every, /*resume=*/false);
+  try {
+    service::ClientConfig cc;
+    cc.port = first.port;
+    for (const auto& r : w.regions) {
+      const auto& all = recs.at(r);
+      const std::size_t cut = all.size() * 3 / 4;
+      service::Client client(cc);
+      if (!client.hello(r, 2).is_ok()) throw std::runtime_error("hello failed");
+      if (!client.send({all.data(), cut}).is_ok()) throw std::runtime_error("send failed");
+      if (!client.flush().is_ok()) throw std::runtime_error("flush failed");
+    }
+    service::Client control(cc);
+    if (!control.checkpoint().is_ok()) throw std::runtime_error("checkpoint failed");
+    for (const auto& r : w.regions) {
+      const auto& all = recs.at(r);
+      const std::size_t cut = all.size() * 3 / 4;
+      service::Client client(cc);
+      (void)client.hello(r, 2);
+      (void)client.send({all.data() + cut, all.size() - cut});  // no flush: in flight
+    }
+  } catch (const std::exception& e) {
+    std::cout << "  serve t=" << threads << ": FAIL (stream: " << e.what() << ")\n";
+    kill(first.pid, SIGKILL);
+    int status = 0;
+    waitpid(first.pid, &status, 0);
+    return false;
+  }
+  kill(first.pid, SIGKILL);
+  int status = 0;
+  waitpid(first.pid, &status, 0);
+
+  // Second life: resume from the surviving store. HELLO names how many
+  // records each region's restored state covers; the tenants stream the
+  // full trace and the client-side skip drops the covered prefix.
+  std::string recovered;
+  std::uint64_t resumed_from = 0;
+  try {
+    const auto second = spawn_server(threads, dir, opt.every, /*resume=*/true);
+    service::ClientConfig cc;
+    cc.port = second.port;
+    for (const auto& r : w.regions) {
+      const auto& all = recs.at(r);
+      service::Client client(cc);
+      const auto offset = client.hello(r, 2);
+      if (!offset.is_ok()) throw std::runtime_error("resume hello failed");
+      if (*offset > all.size()) throw std::runtime_error("offset past end of trace");
+      resumed_from += *offset;
+      if (!client.send({all.data() + *offset, all.size() - *offset}).is_ok()) {
+        throw std::runtime_error("resume send failed");
+      }
+      if (!client.flush().is_ok()) throw std::runtime_error("resume flush failed");
+    }
+    service::Client control(cc);
+    const auto report = control.report(/*finalize=*/true, /*fleet_scope=*/true);
+    if (!report.is_ok()) throw std::runtime_error("report failed");
+    recovered = *report;
+    (void)control.shutdown_server();
+    waitpid(second.pid, &status, 0);
+  } catch (const std::exception& e) {
+    std::cout << "  serve t=" << threads << ": FAIL (recovery: " << e.what() << ")\n";
+    return false;
+  }
+
+  const bool ok = recovered == baseline;
+  std::cout << "  serve t=" << threads << " (SIGKILL mid-stream, resumed covering "
+            << resumed_from << " records)" << (ok ? ": ok" : ": FAIL (report diverges)") << '\n';
+  if (!opt.keep) std::filesystem::remove_all(dir);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -204,12 +356,34 @@ int main(int argc, char** argv) {
       opt.nth = std::stoull(val());
     } else if (arg == "--keep") {
       opt.keep = true;
+    } else if (arg == "--serve") {
+      opt.serve = true;
     } else {
       std::cerr << "chaos_runner: unknown argument " << arg << "\n"
                 << "usage: chaos_runner [--list] [--dir=<root>] [--points=a,b,c]\n"
-                << "                    [--threads=1,4] [--every=N] [--nth=N] [--keep]\n";
+                << "                    [--threads=1,4] [--every=N] [--nth=N] [--keep]\n"
+                << "                    [--serve]\n";
       return 2;
     }
+  }
+  if (opt.serve) {
+    // SIGKILL drill against the resident service: no compiled-in fault
+    // points needed, so it runs (and is CI-run) in Release builds too.
+    std::filesystem::create_directories(opt.root);
+    const Workload w = make_workload(opt.root);
+    std::size_t failures = 0;
+    for (const std::size_t threads : opt.threads) {
+      const std::string baseline = run_fleet(w, threads, "", opt.every);
+      std::cout << "serve threads=" << threads << " (baseline " << baseline.size()
+                << " bytes)\n";
+      if (!run_serve_cell(w, opt, threads, baseline)) ++failures;
+    }
+    if (failures > 0) {
+      std::cout << failures << " serve cell(s) FAILED\n";
+      return 1;
+    }
+    std::cout << "all " << opt.threads.size() << " serve cells recovered byte-identically\n";
+    return 0;
   }
 #ifndef SENTINEL_FAULT_INJECTION
   std::cerr << "chaos_runner: built without SENTINEL_FAULT_INJECTION; "

@@ -1,0 +1,60 @@
+// `sentinel_cli convert`: streaming CSV <-> SNTRB1 transcoder. Split out of
+// the historical monolithic sentinel_cli.cpp; output is byte-identical.
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "cli/common.h"
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+#include "trace/trace_reader.h"
+
+namespace sentinel::cli {
+
+int cmd_convert(const Args& args) {
+  std::string to = opt_str(args, "--to", "");
+  if (to.empty()) {
+    // Infer the target format from the output extension.
+    const auto dot = args.path2.rfind('.');
+    const std::string ext = dot == std::string::npos ? "" : args.path2.substr(dot);
+    to = (ext == ".snt" || ext == ".bin") ? "binary" : "csv";
+  }
+  if (to != "csv" && to != "binary") {
+    std::fprintf(stderr, "unknown target format '%s' (expected csv or binary)\n", to.c_str());
+    return 2;
+  }
+
+  const auto reader = open_trace_reader(args.path);
+  std::vector<SensorRecord> batch;
+  std::size_t total = 0;
+  if (to == "binary") {
+    BinaryTraceWriter writer(args.path2);
+    while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
+      writer.append(batch);
+      total += batch.size();
+    }
+    writer.close();
+  } else {
+    std::ofstream out(args.path2);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", args.path2.c_str());
+      return 1;
+    }
+    while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
+      write_trace(out, batch);
+      total += batch.size();
+    }
+    if (!out) {
+      std::fprintf(stderr, "write failed for %s\n", args.path2.c_str());
+      return 1;
+    }
+  }
+  if (reader->malformed_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n", reader->malformed_lines());
+  }
+  std::printf("wrote %zu records to %s (%s)\n", total, args.path2.c_str(), to.c_str());
+  return 0;
+}
+
+}  // namespace sentinel::cli

@@ -46,6 +46,18 @@
 //       (--checkpoint-every records, default 262144). A corrupt store entry
 //       prints a one-line status and exits nonzero.
 //
+//   sentinel_cli serve --bootstrap <trace> [--port P] [--port-file PATH] ...
+//       Resident fleet service: keep one FleetMonitor alive behind a
+//       localhost TCP listener (SNTRS1 protocol, docs/SERVICE.md). Tenants
+//       bind regions per connection; reports/metrics/health are served
+//       live; `serve --resume DIR` continues bit-identically from the last
+//       committed checkpoint.
+//
+//   sentinel_cli stream <trace1> [<trace2> ...] --port P [--report] [--final]
+//                [--shutdown] [--metrics-json PATH]
+//       Feed traces to a running server, one connection per region; then
+//       optionally fetch the fleet report and shut the server down.
+//
 //   sentinel_cli scenarios
 //       List the canonical injection scenarios.
 //
@@ -55,583 +67,48 @@
 // byte-identical either way).
 //
 // Every command that reads a trace (analyze, inject, health, convert,
-// fleet) accepts CSV or binary input interchangeably -- detection is by
-// file content, never by extension.
+// fleet, stream) accepts CSV or binary input interchangeably -- detection
+// is by file content, never by extension.
+//
+// Each subcommand is its own translation unit under tools/cli/; this file
+// is only the dispatch table.
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <iostream>
-#include <map>
-#include <optional>
-#include <sstream>
-#include <string>
-#include <vector>
 
-#include "common/scenario.h"
-#include "faults/replay.h"
-#include "core/autotune.h"
-#include "core/checkpoint_store.h"
-#include "core/fleet.h"
-#include "core/offline_kmeans.h"
-#include "core/pipeline.h"
-#include "trace/binary_trace.h"
-#include "trace/health.h"
-#include "trace/trace_io.h"
-#include "trace/trace_reader.h"
+#include "cli/common.h"
 #include "util/fault_test.h"
-#include "util/metrics.h"
-#include "util/status.h"
-#include "util/vecn.h"
-
-namespace {
-
-using namespace sentinel;
-
-int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  sentinel_cli simulate <out.csv> [--days N] [--seed S] [--scenario KIND]\n"
-               "  sentinel_cli analyze <trace.csv> [--window SECONDS] [--states K] [--json] [--auto]\n"
-               "               [--checkpoint IN] [--save-checkpoint OUT] [--resume DIR]\n"
-               "               [--screen-mode off|screen|full] [--timers] [--metrics-json PATH]\n"
-               "  sentinel_cli fleet <trace1> [<trace2> ...] [--window SECONDS] [--states K]\n"
-               "               [--threads N] [--timers] [--metrics-json PATH]\n"
-               "               [--resume DIR] [--checkpoint-every N]\n"
-               "               [--screen-mode off|screen|full]\n"
-               "  sentinel_cli inject <in.csv> <out.csv> [--scenario KIND] [--seed S]\n"
-               "  sentinel_cli health <trace.csv> [--period SECONDS]\n"
-               "  sentinel_cli convert <in> <out> [--to csv|binary]\n"
-               "  sentinel_cli scenarios\n");
-  return 2;
-}
-
-struct Args {
-  std::string command;
-  std::string path;
-  std::string path2;
-  std::vector<std::string> paths;  // fleet: one trace per region
-  std::map<std::string, std::string> options;
-};
-
-std::optional<Args> parse(int argc, char** argv) {
-  if (argc < 2) return std::nullopt;
-  Args args;
-  args.command = argv[1];
-  int i = 2;
-  if (args.command == "simulate" || args.command == "analyze" || args.command == "health" ||
-      args.command == "inject" || args.command == "convert") {
-    if (argc < 3 || argv[2][0] == '-') return std::nullopt;
-    args.path = argv[2];
-    i = 3;
-  }
-  if (args.command == "inject" || args.command == "convert") {
-    if (argc < 4 || argv[3][0] == '-') return std::nullopt;
-    args.path2 = argv[3];
-    i = 4;
-  }
-  if (args.command == "fleet") {
-    while (i < argc && argv[i][0] != '-') args.paths.emplace_back(argv[i++]);
-    if (args.paths.empty()) return std::nullopt;
-  }
-  for (; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag.rfind("--", 0) != 0) return std::nullopt;
-    if (flag == "--json" || flag == "--auto" || flag == "--timers") {
-      args.options[flag] = "1";
-      continue;
-    }
-    if (i + 1 >= argc) return std::nullopt;
-    args.options[flag] = argv[++i];
-  }
-  return args;
-}
-
-double opt_double(const Args& a, const std::string& key, double fallback) {
-  const auto it = a.options.find(key);
-  return it == a.options.end() ? fallback : std::stod(it->second);
-}
-
-std::string opt_str(const Args& a, const std::string& key, const std::string& fallback) {
-  const auto it = a.options.find(key);
-  return it == a.options.end() ? fallback : it->second;
-}
-
-void inject_pipeline_counters(util::MetricsSnapshot& snap, const std::string& prefix,
-                              const core::PipelineCounters& c) {
-  snap.add_counter(prefix + "windows_processed", c.windows_processed);
-  snap.add_counter(prefix + "windows_skipped", c.windows_skipped);
-  snap.add_counter(prefix + "state_spawns", c.state_spawns);
-  snap.add_counter(prefix + "state_merges", c.state_merges);
-  snap.add_counter(prefix + "raw_alarms", c.raw_alarms);
-  snap.add_counter(prefix + "filtered_alarms", c.filtered_alarms);
-  snap.add_counter(prefix + "track_opens", c.track_opens);
-  snap.add_counter(prefix + "track_closes", c.track_closes);
-  snap.add_counter(prefix + "hmm_updates", c.hmm_updates);
-  snap.add_counter(prefix + "late_records", c.late_records);
-  snap.add_counter(prefix + "clamped_records", c.clamped_records);
-}
-
-/// Parse --screen-mode into cfg (default off, the historical path). Prints
-/// and returns false on an unknown mode.
-bool apply_screen_mode(const Args& args, core::PipelineConfig& cfg) {
-  const std::string mode = opt_str(args, "--screen-mode", "off");
-  if (!screen::parse_screen_mode(mode.c_str(), cfg.screen.mode)) {
-    std::fprintf(stderr, "unknown --screen-mode '%s' (expected off|screen|full)\n", mode.c_str());
-    return false;
-  }
-  return true;
-}
-
-void inject_screen_stats(util::MetricsSnapshot& snap, const std::string& prefix,
-                         const screen::ScreenStats& s) {
-  snap.add_counter(prefix + "sensors", s.sensors);
-  snap.add_counter(prefix + "escalated", s.escalated);
-  snap.add_counter(prefix + "escalations", s.escalations);
-  snap.add_counter(prefix + "deescalations", s.deescalations);
-  snap.add_counter(prefix + "chi2_trips", s.chi2_trips);
-  snap.add_counter(prefix + "runs_trips", s.runs_trips);
-  snap.add_counter(prefix + "screened_windows", s.screened_windows);
-  snap.add_counter(prefix + "escalated_windows", s.escalated_windows);
-}
-
-int write_metrics_json(const Args& args, const util::MetricsSnapshot& snap) {
-  const std::string path = opt_str(args, "--metrics-json", "");
-  if (path.empty()) return 0;
-  std::ofstream out(path);
-  if (out) out << snap.to_json() << '\n';
-  if (!out) {
-    std::fprintf(stderr, "cannot write metrics json %s\n", path.c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
-  return 0;
-}
-
-std::optional<bench::InjectionKind> kind_by_name(const std::string& name) {
-  for (const auto k : bench::all_injection_kinds()) {
-    if (name == bench::to_string(k)) return k;
-  }
-  return std::nullopt;
-}
-
-int cmd_scenarios() {
-  for (const auto k : bench::all_injection_kinds()) {
-    std::printf("%-14s expected: %s/%s\n", bench::to_string(k),
-                core::to_string(bench::expected_verdict(k)).c_str(),
-                core::to_string(bench::expected_kind(k)).c_str());
-  }
-  return 0;
-}
-
-int cmd_simulate(const Args& args) {
-  const double days = opt_double(args, "--days", 14.0);
-  const auto seed = static_cast<std::uint64_t>(opt_double(args, "--seed", 42.0));
-  const std::string scenario = opt_str(args, "--scenario", "clean");
-  const auto kind = kind_by_name(scenario);
-  if (!kind) {
-    std::fprintf(stderr, "unknown scenario '%s' (try: sentinel_cli scenarios)\n",
-                 scenario.c_str());
-    return 2;
-  }
-
-  bench::ScenarioConfig sc;
-  sc.duration_days = days;
-  sc.seed = seed;
-
-  sim::GdiEnvironmentConfig ec;
-  ec.duration_seconds = days * kSecondsPerDay;
-  ec.seed = seed;
-  const sim::GdiEnvironment env(ec);
-  sim::GdiDeploymentConfig dc;
-  dc.seed = seed;
-  auto simulator = sim::make_gdi_deployment(env, dc);
-  auto plan = std::make_shared<faults::InjectionPlan>();
-  if (const auto inject = bench::make_injection(*kind, seed)) inject(*plan, env);
-  simulator.set_transform(faults::make_transform(plan));
-  const auto result = simulator.run(ec.duration_seconds);
-
-  const AttrSchema schema = gdi_schema();
-  write_trace_file(args.path, result.trace, &schema);
-  std::printf("wrote %zu records (%zu sampled, %zu lost, %zu malformed) to %s\n",
-              result.trace.size(), result.stats.sampled, result.stats.lost,
-              result.stats.malformed, args.path.c_str());
-  std::printf("scenario: %s\n", bench::to_string(*kind));
-  return 0;
-}
-
-int cmd_inject(const Args& args) {
-  const auto read = read_trace_file(args.path);
-  if (read.records.empty()) {
-    std::fprintf(stderr, "no parseable records in %s\n", args.path.c_str());
-    return 1;
-  }
-  const std::string scenario = opt_str(args, "--scenario", "stuck-at");
-  const auto kind = kind_by_name(scenario);
-  if (!kind || *kind == bench::InjectionKind::kClean) {
-    std::fprintf(stderr, "unknown or empty scenario '%s'\n", scenario.c_str());
-    return 2;
-  }
-  const auto seed = static_cast<std::uint64_t>(opt_double(args, "--seed", 42.0));
-
-  // Ground truth reconstructed from the recording itself (paper 4.2 on real
-  // data); the injection starts one-seventh into the recording.
-  const faults::TraceEnvironment env(read.records);
-  const double t0 = read.records.front().time;
-  const double t1 = read.records.back().time;
-  faults::InjectionPlan plan;
-  bench::make_injection(*kind, seed, t0 + (t1 - t0) / 7.0)(plan, env);
-  const auto injected = faults::inject_into_trace(read.records, plan, env);
-
-  const AttrSchema schema = gdi_schema();
-  write_trace_file(args.path2, injected, &schema);
-  std::printf("injected %s into %zu sensors; wrote %zu records to %s\n",
-              bench::to_string(*kind), plan.injected_sensors().size(), injected.size(),
-              args.path2.c_str());
-  return 0;
-}
-
-int cmd_health(const Args& args) {
-  const auto read = read_trace_file(args.path);
-  if (read.records.empty()) {
-    std::fprintf(stderr, "no parseable records in %s\n", args.path.c_str());
-    return 1;
-  }
-  const double period = opt_double(args, "--period", 5.0 * kSecondsPerMinute);
-  for (const auto& h : analyze_health(read.records, period)) {
-    std::printf("%s\n", to_string(h).c_str());
-  }
-  return 0;
-}
-
-int cmd_analyze(const Args& args) {
-  const auto read = read_trace_file(args.path);
-  if (read.records.empty()) {
-    std::fprintf(stderr, "no parseable records in %s (%s)\n", args.path.c_str(),
-                 to_string(read.malformed).c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "read %zu records (skipped: %s)\n", read.records.size(),
-               to_string(read.malformed).c_str());
-  if (!read.status.is_ok()) {
-    std::fprintf(stderr, "warning: source ended early: %s\n", read.status.to_string().c_str());
-  }
-
-  core::PipelineConfig cfg;
-  cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
-  cfg.stage_timers = args.options.count("--timers") > 0;
-  if (!apply_screen_mode(args, cfg)) return 2;
-  const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
-
-  Rng rng(7, "cli-kmeans");
-  if (args.options.count("--auto")) {
-    // Derive thresholds and S_o from the data (core/autotune.h).
-    const auto tuned = core::suggest_configuration(read.records, cfg.window_seconds, k, rng);
-    cfg.initial_states = tuned.initial_states;
-    cfg.model_states = tuned.suggested;
-    std::fprintf(stderr,
-                 "auto-tune: noise %.2f, regime spacing %.1f%s -> merge %.1f, spawn %.1f\n",
-                 tuned.noise_scale, tuned.state_spacing,
-                 tuned.scales_separated ? "" : " (WARNING: scales not separated)",
-                 tuned.suggested.merge_threshold, tuned.suggested.spawn_threshold);
-  } else {
-    // Bootstrap the initial model states from the trace itself (offline
-    // clustering over per-window means, paper section 4.1).
-    std::vector<AttrVec> history;
-    for (const auto& w : window_trace(read.records, cfg.window_seconds)) {
-      if (!w.empty()) history.push_back(w.overall_mean());
-    }
-    if (history.size() < k) {
-      std::fprintf(stderr, "trace too short: %zu windows for %zu initial states\n",
-                   history.size(), k);
-      return 1;
-    }
-    cfg.initial_states = core::kmeans(history, k, rng).centroids;
-  }
-
-  std::unique_ptr<core::DetectionPipeline> pipeline;
-  const std::string checkpoint_in = opt_str(args, "--checkpoint", "");
-  const std::string resume_dir = opt_str(args, "--resume", "");
-  if (!checkpoint_in.empty() && !resume_dir.empty()) {
-    std::fprintf(stderr, "--checkpoint and --resume are mutually exclusive\n");
-    return 2;
-  }
-
-  // --resume: restore from the crash-consistent store's last committed epoch
-  // and fast-forward past the records that epoch already covers. Any torn or
-  // corrupt state surfaces as a clean one-line status + nonzero exit.
-  std::unique_ptr<core::CheckpointStore> store;
-  std::uint64_t skip = 0;
-  if (!resume_dir.empty()) {
-    store = std::make_unique<core::CheckpointStore>(resume_dir);
-    const auto manifest = store->load_manifest();
-    if (manifest.is_ok()) {
-      const auto it = manifest->regions.find("analyze");
-      if (it != manifest->regions.end()) {
-        std::string bytes;
-        if (const util::Status s = store->read_region(it->second, bytes); !s.is_ok()) {
-          std::fprintf(stderr, "%s\n", s.to_string().c_str());
-          return 1;
-        }
-        std::istringstream in(bytes);
-        try {
-          pipeline = std::make_unique<core::DetectionPipeline>(cfg, in);
-        } catch (const std::exception& e) {
-          const util::Status s(util::StatusCode::kDataLoss,
-                               "checkpoint restore failed: " + std::string(e.what()));
-          std::fprintf(stderr, "%s\n", s.to_string().c_str());
-          return 1;
-        }
-        skip = it->second.records_applied;
-        std::fprintf(stderr, "resumed from %s epoch %llu (skipping %llu covered records)\n",
-                     resume_dir.c_str(), static_cast<unsigned long long>(it->second.epoch),
-                     static_cast<unsigned long long>(skip));
-      }
-    } else if (manifest.status().code() != util::StatusCode::kNotFound) {
-      std::fprintf(stderr, "%s\n", manifest.status().to_string().c_str());
-      return 1;
-    }
-  }
-  if (!pipeline && !checkpoint_in.empty()) {
-    std::ifstream in(checkpoint_in);
-    if (!in) {
-      std::fprintf(stderr, "cannot open checkpoint %s\n", checkpoint_in.c_str());
-      return 1;
-    }
-    try {
-      pipeline = std::make_unique<core::DetectionPipeline>(cfg, in);
-    } catch (const std::exception& e) {
-      const util::Status s(util::StatusCode::kDataLoss,
-                           "checkpoint " + checkpoint_in + ": " + std::string(e.what()));
-      std::fprintf(stderr, "%s\n", s.to_string().c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "resumed from checkpoint %s\n", checkpoint_in.c_str());
-  }
-  if (!pipeline) pipeline = std::make_unique<core::DetectionPipeline>(cfg);
-
-  if (skip >= read.records.size()) {
-    if (skip > read.records.size()) {
-      std::fprintf(stderr, "warning: checkpoint covers %llu records but trace holds %zu\n",
-                   static_cast<unsigned long long>(skip), read.records.size());
-    }
-  } else if (skip > 0) {
-    const std::vector<SensorRecord> tail(read.records.begin() + static_cast<std::ptrdiff_t>(skip),
-                                         read.records.end());
-    pipeline->process_trace(tail);
-  } else {
-    pipeline->process_trace(read.records);
-  }
-
-  const auto report = pipeline->diagnose();
-  if (args.options.count("--json")) {
-    std::printf("%s\n", core::to_json(report).c_str());
-  } else {
-    std::printf("windows: %zu processed, %zu skipped; %zu model states\n",
-                pipeline->windows_processed(), pipeline->windows_skipped(),
-                pipeline->model_states().size());
-    const auto m_c = pipeline->correct_model();
-    const auto lookup = pipeline->centroid_lookup();
-    std::printf("environment model M_C:\n");
-    for (const auto id : m_c.states()) {
-      if (const auto c = lookup(id)) {
-        std::printf("  state %-4u %-12s occupancy %.3f\n", id, vecn::to_string(*c, 0).c_str(),
-                    m_c.occupancy()[*m_c.index_of(id)]);
-      }
-    }
-    std::printf("%s", core::to_string(report).c_str());
-  }
-
-  const std::string checkpoint_out = opt_str(args, "--save-checkpoint", "");
-  if (!checkpoint_out.empty()) {
-    std::ofstream out(checkpoint_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write checkpoint %s\n", checkpoint_out.c_str());
-      return 1;
-    }
-    pipeline->save_checkpoint(out);
-    std::fprintf(stderr, "checkpoint written to %s\n", checkpoint_out.c_str());
-  }
-
-  if (store) {
-    core::RegionCheckpointMeta meta;
-    meta.records_applied =
-        std::max<std::uint64_t>(skip, static_cast<std::uint64_t>(read.records.size()));
-    if (const util::Status s = store->commit_region("analyze", *pipeline, meta); !s.is_ok()) {
-      std::fprintf(stderr, "%s\n", s.to_string().c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "checkpoint committed to %s (%llu records covered)\n",
-                 resume_dir.c_str(), static_cast<unsigned long long>(meta.records_applied));
-  }
-
-  auto snap = util::metrics().snapshot();
-  inject_pipeline_counters(snap, "pipeline.", pipeline->counters());
-  if (pipeline->screens() != nullptr) {
-    inject_screen_stats(snap, "pipeline.screen.", pipeline->screen_stats());
-  }
-  return write_metrics_json(args, snap);
-}
-
-int cmd_fleet(const Args& args) {
-  core::FleetConfig fc;
-  fc.threads = static_cast<std::size_t>(opt_double(args, "--threads", 1.0));
-  const std::string resume_dir = opt_str(args, "--resume", "");
-  fc.checkpoint_dir = resume_dir;
-  fc.checkpoint_every_records = static_cast<std::size_t>(opt_double(
-      args, "--checkpoint-every", static_cast<double>(core::FleetConfig{}.checkpoint_every_records)));
-  core::FleetMonitor fleet(fc);
-
-  core::PipelineConfig cfg;
-  cfg.window_seconds = opt_double(args, "--window", cfg.window_seconds);
-  cfg.stage_timers = args.options.count("--timers") > 0;
-  if (!apply_screen_mode(args, cfg)) return 2;
-  const auto k = static_cast<std::size_t>(opt_double(args, "--states", 6.0));
-
-  // Bootstrap the shared initial model states from the first trace that
-  // parses (offline clustering over per-window means, paper section 4.1).
-  // A trace that cannot even bootstrap will quarantine its region later.
-  Rng rng(7, "cli-kmeans");
-  for (const auto& path : args.paths) {
-    try {
-      const auto read = read_trace_file(path);
-      std::vector<AttrVec> history;
-      for (const auto& w : window_trace(read.records, cfg.window_seconds)) {
-        if (!w.empty()) history.push_back(w.overall_mean());
-      }
-      if (history.size() < k) continue;
-      cfg.initial_states = core::kmeans(history, k, rng).centroids;
-      break;
-    } catch (const std::exception&) {
-      continue;
-    }
-  }
-  if (cfg.initial_states.empty()) {
-    std::fprintf(stderr, "no trace long enough to bootstrap %zu initial states\n", k);
-    return 1;
-  }
-
-  // One region per trace; region names derive from the file stem.
-  std::vector<std::pair<std::string, std::string>> feeds;  // region -> path
-  std::map<std::string, std::size_t> skip;                 // resume offsets per region
-  for (const auto& path : args.paths) {
-    const auto slash = path.find_last_of("/\\");
-    std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
-    const auto dot = stem.rfind('.');
-    if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
-    std::string name = stem;
-    for (std::size_t n = 2; std::any_of(feeds.begin(), feeds.end(),
-                                        [&](const auto& f) { return f.first == name; });
-         ++n) {
-      name = stem + "#" + std::to_string(n);
-    }
-    feeds.emplace_back(name, path);
-    if (resume_dir.empty()) {
-      fleet.add_region(name, cfg);
-      continue;
-    }
-    // Restore from the store's last committed epoch; a corrupt entry is a
-    // one-line status + nonzero exit, never a silently-fresh region.
-    const auto resumed = fleet.add_region_resumed(name, cfg);
-    if (!resumed.is_ok()) {
-      std::fprintf(stderr, "%s\n", resumed.status().to_string().c_str());
-      return 1;
-    }
-    skip[name] = static_cast<std::size_t>(resumed.value());
-    if (resumed.value() > 0) {
-      std::fprintf(stderr, "[region %s] resumed: checkpoint covers %llu records\n", name.c_str(),
-                   static_cast<unsigned long long>(resumed.value()));
-    }
-  }
-
-  for (const auto& [name, path] : feeds) {
-    const auto sum = fleet.ingest_file(name, path, 0, skip[name]);
-    std::fprintf(stderr, "[region %s] ingested %zu records from %s%s%s\n", name.c_str(),
-                 sum.records, path.c_str(), sum.status.is_ok() ? "" : " -- ",
-                 sum.status.is_ok() ? "" : sum.status.to_string().c_str());
-  }
-  if (!resume_dir.empty()) fleet.checkpoint_now();
-  fleet.finish();
-  const auto report = fleet.diagnose();
-  std::printf("%s", core::to_string(report).c_str());
-
-  auto snap = util::metrics().snapshot();
-  for (const auto& [name, path] : feeds) {
-    if (fleet.region_health(name).health == core::RegionHealth::kQuarantined) continue;
-    const auto& rp = fleet.region(name);
-    inject_pipeline_counters(snap, "region." + name + ".", rp.counters());
-    if (rp.screens() != nullptr) {
-      inject_screen_stats(snap, "region." + name + ".screen.", rp.screen_stats());
-    }
-  }
-  return write_metrics_json(args, snap);
-}
-
-int cmd_convert(const Args& args) {
-  std::string to = opt_str(args, "--to", "");
-  if (to.empty()) {
-    // Infer the target format from the output extension.
-    const auto dot = args.path2.rfind('.');
-    const std::string ext = dot == std::string::npos ? "" : args.path2.substr(dot);
-    to = (ext == ".snt" || ext == ".bin") ? "binary" : "csv";
-  }
-  if (to != "csv" && to != "binary") {
-    std::fprintf(stderr, "unknown target format '%s' (expected csv or binary)\n", to.c_str());
-    return 2;
-  }
-
-  const auto reader = open_trace_reader(args.path);
-  std::vector<SensorRecord> batch;
-  std::size_t total = 0;
-  if (to == "binary") {
-    BinaryTraceWriter writer(args.path2);
-    while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
-      writer.append(batch);
-      total += batch.size();
-    }
-    writer.close();
-  } else {
-    std::ofstream out(args.path2);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", args.path2.c_str());
-      return 1;
-    }
-    while (reader->read_batch(batch, TraceReader::kDefaultBatch) > 0) {
-      write_trace(out, batch);
-      total += batch.size();
-    }
-    if (!out) {
-      std::fprintf(stderr, "write failed for %s\n", args.path2.c_str());
-      return 1;
-    }
-  }
-  if (reader->malformed_lines() > 0) {
-    std::fprintf(stderr, "warning: skipped %zu malformed lines\n", reader->malformed_lines());
-  }
-  std::printf("wrote %zu records to %s (%s)\n", total, args.path2.c_str(), to.c_str());
-  return 0;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   // Arm crash-fault injection from SENTINEL_FAULT_* when the build compiles
   // the points in -- lets the chaos harness pull the plug on the real CLI.
   sentinel::util::fault::init_from_env();
-  const auto args = parse(argc, argv);
-  if (!args) return usage();
+  using sentinel::cli::Args;
+  const auto args = sentinel::cli::parse(argc, argv);
+  if (!args) return sentinel::cli::usage();
+
+  struct Entry {
+    const char* name;
+    int (*run)(const Args&);
+  };
+  static constexpr Entry kCommands[] = {
+      {"scenarios", sentinel::cli::cmd_scenarios},
+      {"simulate", sentinel::cli::cmd_simulate},
+      {"analyze", sentinel::cli::cmd_analyze},
+      {"fleet", sentinel::cli::cmd_fleet},
+      {"serve", sentinel::cli::cmd_serve},
+      {"stream", sentinel::cli::cmd_stream},
+      {"health", sentinel::cli::cmd_health},
+      {"inject", sentinel::cli::cmd_inject},
+      {"convert", sentinel::cli::cmd_convert},
+  };
   try {
-    if (args->command == "scenarios") return cmd_scenarios();
-    if (args->command == "simulate") return cmd_simulate(*args);
-    if (args->command == "analyze") return cmd_analyze(*args);
-    if (args->command == "fleet") return cmd_fleet(*args);
-    if (args->command == "health") return cmd_health(*args);
-    if (args->command == "inject") return cmd_inject(*args);
-    if (args->command == "convert") return cmd_convert(*args);
+    for (const Entry& e : kCommands) {
+      if (args->command == e.name) return e.run(*args);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+  return sentinel::cli::usage();
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Byte-identity smoke for the resident service (docs/SERVICE.md): the same
+# traces run through `fleet` (batch, one-shot) and through `serve` + `stream`
+# (resident daemon, loopback SNTRS1) must print identical report bytes.
+#
+#   tools/service_smoke.sh <path-to-sentinel_cli> [workdir]
+#
+# Exits nonzero when the server never comes up or the reports diverge.
+set -euo pipefail
+
+CLI=${1:?usage: service_smoke.sh <path-to-sentinel_cli> [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+"$CLI" simulate "$WORK/north.csv" --days 2 --seed 11
+"$CLI" simulate "$WORK/south.csv" --days 2 --seed 12 --scenario stuck-at
+"$CLI" fleet "$WORK/north.csv" "$WORK/south.csv" > "$WORK/fleet.txt"
+
+rm -f "$WORK/port.txt"
+"$CLI" serve --bootstrap "$WORK/north.csv" --port 0 --port-file "$WORK/port.txt" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port.txt" ] && break
+  sleep 0.1
+done
+[ -s "$WORK/port.txt" ] || { echo "service smoke: server never published its port" >&2; exit 1; }
+PORT=$(cat "$WORK/port.txt")
+
+"$CLI" stream "$WORK/north.csv" "$WORK/south.csv" --port "$PORT" \
+  --report --final --shutdown > "$WORK/stream.txt"
+wait "$SERVER_PID"
+trap - EXIT
+
+diff -u "$WORK/fleet.txt" "$WORK/stream.txt"
+echo "service smoke: reports byte-identical ($(wc -c < "$WORK/fleet.txt") bytes)"
